@@ -1,0 +1,75 @@
+"""Figure 5 — amortized update cost, concentrated insertion sequence.
+
+Paper setup: a two-level base document (2,000,000 elements) is bulk loaded;
+a two-level subtree (500,000 elements) is then inserted one element at a
+time, each consecutive pair "squeezed" into the center of the growing
+sibling list — the adversary of Section 1.
+
+Paper result (Figure 5): B-BOX cheapest (O(1) amortized confirmed), then
+B-BOX-O (size-field maintenance), then W-BOX, then W-BOX-O; every naive-k
+is far worse (naive-256 still costs ~100 I/Os per insertion), with
+diminishing returns in k.
+
+We reproduce the ordering and the gap at reduced scale.
+"""
+
+import pytest
+
+from benchmarks.conftest import NAIVE_KS, fmt, get_workload, record_table
+
+SCHEMES = ["W-BOX", "W-BOX-O", "B-BOX", "B-BOX-O"] + [f"naive-{k}" for k in NAIVE_KS]
+
+
+@pytest.mark.parametrize("scheme_name", SCHEMES)
+def test_fig5_amortized_cost(benchmark, scheme_name):
+    benchmark.pedantic(
+        lambda: get_workload("concentrated", scheme_name), rounds=1, iterations=1
+    )
+    _, result = get_workload("concentrated", scheme_name)
+    benchmark.extra_info["mean_io_per_insert"] = result.mean
+    assert result.mean > 0
+
+
+def test_fig5_table_and_ordering(benchmark):
+    def build():
+        return {name: get_workload("concentrated", name)[1] for name in SCHEMES}
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [
+        [name, len(results[name].costs), fmt(results[name].mean), results[name].total]
+        for name in SCHEMES
+    ]
+    record_table(
+        "fig5_concentrated",
+        "Figure 5: amortized update cost (block I/Os per element insertion), "
+        "concentrated insertion sequence",
+        ["scheme", "inserts", "mean I/O", "total I/O"],
+        rows,
+    )
+
+    means = {name: results[name].mean for name in SCHEMES}
+    # Paper's ordering: B-BOX < B-BOX-O and both W-BOXes above B-BOX...
+    assert means["B-BOX"] < means["B-BOX-O"]
+    assert means["B-BOX"] < means["W-BOX"]
+    assert means["W-BOX"] <= means["W-BOX-O"]
+    # ...and every BOX beats every naive-k that actually hit its relabeling
+    # regime (a relabel costs ~N/B I/Os; at smoke scale large-k gaps never
+    # exhaust, which is why the paper runs 2M-element documents).
+    from benchmarks.conftest import SCALE_NAME
+
+    if SCALE_NAME == "smoke":
+        # At smoke scale the base document is so small that a relabel is
+        # nearly free; only tiny gaps show the effect.
+        exercised = ["naive-1", "naive-4"]
+    else:
+        exercised = [
+            f"naive-{k}"
+            for k in NAIVE_KS
+            if get_workload("concentrated", f"naive-{k}")[0].relabel_count >= 3
+        ]
+    assert "naive-1" in exercised and "naive-4" in exercised
+    best_naive = min(means[name] for name in exercised)
+    for box in ("W-BOX", "W-BOX-O", "B-BOX", "B-BOX-O"):
+        assert means[box] < best_naive, (box, means[box], best_naive)
+    # Diminishing returns: more gap bits help, but naive never catches up.
+    assert means["naive-1"] > means["naive-16"]

@@ -1,0 +1,92 @@
+"""The ORDPATH comparison of Section 2.
+
+The paper positions ORDPATH [15, 16] as the strongest immutable-label
+alternative and dismisses it with one argument:
+
+    "as an immutable labeling scheme, ORDPATH cannot escape the lower bound
+    of Ω(N) bits per label … Even for shallow XML documents, certain
+    insertion sequences (such as the *concentrated* sequence we experiment
+    with in Section 7) can result in Ω(N)-bit labels."
+
+This bench makes that concrete: the same concentrated and scattered
+workloads, ORDPATH next to the BOXes and naive-k, reporting update I/O
+(where immutability shines — nothing is ever relabeled) and the maximum
+label width (where it loses — each squeezed pair adds a component, so the
+width grows linearly with the insert count while every mutable scheme
+stays near log N).
+"""
+
+import pytest
+
+from repro import OrdPath
+from repro.workloads import run_concentrated, run_scattered
+
+from benchmarks.conftest import BENCH_CONFIG, SCALE, fmt, get_workload, record_table
+
+
+def run_ordpath(workload: str):
+    scheme = OrdPath(BENCH_CONFIG)
+    if workload == "concentrated":
+        result = run_concentrated(scheme, SCALE["base"], SCALE["inserts"])
+    else:
+        result = run_scattered(scheme, SCALE["base"], SCALE["inserts"])
+    return scheme, result
+
+
+@pytest.mark.parametrize("workload", ["concentrated", "scattered"])
+def test_ordpath_runs(benchmark, workload):
+    scheme, result = benchmark.pedantic(lambda: run_ordpath(workload), rounds=1, iterations=1)
+    benchmark.extra_info["mean_io"] = result.mean
+    benchmark.extra_info["max_label_bits"] = scheme.label_bit_length()
+
+
+def test_ordpath_table(benchmark):
+    def build():
+        rows = []
+        outcome = {}
+        for workload in ("concentrated", "scattered"):
+            scheme, result = run_ordpath(workload)
+            outcome[workload] = scheme
+            rows.append(
+                [
+                    f"ORDPATH / {workload}",
+                    fmt(result.mean),
+                    scheme.label_bit_length(),
+                    fmt(scheme.mean_label_bits(), 1),
+                ]
+            )
+        for name in ("W-BOX", "B-BOX", "naive-256"):
+            scheme, result = get_workload("concentrated", name)
+            rows.append(
+                [
+                    f"{name} / concentrated",
+                    fmt(result.mean),
+                    scheme.label_bit_length(),
+                    "-",
+                ]
+            )
+        return rows, outcome
+
+    rows, outcome = benchmark.pedantic(build, rounds=1, iterations=1)
+    record_table(
+        "table_ordpath",
+        "Section 2's ORDPATH argument: update cost vs. label width under the "
+        "Section 7 workloads (immutable labels never relabel, but the "
+        "concentrated squeeze grows them without bound)",
+        ["scheme / workload", "mean update I/O", "max label bits", "mean label bits"],
+        rows,
+    )
+
+    concentrated = outcome["concentrated"]
+    scattered = outcome["scattered"]
+    # Update cost: ORDPATH is as cheap as it gets (nothing ever moves)...
+    _, ordpath_concentrated = run_ordpath("concentrated")
+    assert ordpath_concentrated.mean < 6
+    # ...but the squeeze grows labels linearly: ~1 component per pair, far
+    # past any machine word, while the BOXes stay near log N.
+    assert concentrated.label_bit_length() > 32 * 8
+    assert concentrated.label_bit_length() > SCALE["inserts"]  # Ω(N) bits
+    wbox, _ = get_workload("concentrated", "W-BOX")
+    assert concentrated.label_bit_length() > 20 * wbox.label_bit_length()
+    # Scattered insertion is kind to ORDPATH, as it is to naive-k.
+    assert scattered.label_bit_length() < 64

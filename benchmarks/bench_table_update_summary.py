@@ -1,0 +1,116 @@
+"""Theorem cost summary: measured per-operation I/O against every bound the
+paper states (Theorems 4.5-4.7, 5.2, 5.3, and the ordinal-support costs).
+
+This is not a figure in the paper, but it is the paper's analytical
+backbone; the table pins each measured mean next to its claimed bound so a
+regression in any code path shows up as a broken shape.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import BBox, BoxConfig, NaiveScheme, WBox, WBoxO
+from repro.workloads import two_level_pairing
+
+from benchmarks.conftest import SCALE, fmt, record_table
+
+CONFIG = BoxConfig(block_bytes=1024)
+OPERATIONS = 400
+
+
+def built(scheme):
+    n_children = SCALE["base"] // 4
+    lids = scheme.bulk_load(2 * (n_children + 1), two_level_pairing(n_children))
+    return scheme, lids
+
+
+def measure(scheme, lids, operation: str) -> float:
+    rng = random.Random(11)
+    total = 0
+    count = 0
+    pool = list(lids)
+    for _ in range(OPERATIONS):
+        if operation == "lookup":
+            with scheme.store.measured() as op:
+                scheme.lookup(rng.choice(pool))
+        elif operation == "insert":
+            with scheme.store.measured() as op:
+                new = scheme.insert_before(rng.choice(pool))
+            pool.append(new)
+        elif operation == "delete":
+            victim = pool.pop(rng.randrange(len(pool)))
+            with scheme.store.measured() as op:
+                scheme.delete(victim)
+        else:
+            raise ValueError(operation)
+        total += op.total
+        count += 1
+    return total / count
+
+
+SCHEMES = [
+    ("W-BOX", lambda: WBox(CONFIG), "lookup O(1); ins O(log_B N); del O(1)"),
+    ("W-BOX ordinal", lambda: WBox(CONFIG, ordinal=True), "del becomes O(log_B N)"),
+    ("W-BOX-O", lambda: WBoxO(CONFIG), "ins O(D + log_B N)"),
+    ("B-BOX", lambda: BBox(CONFIG), "lookup O(log_B N); ins/del O(1) am."),
+    ("B-BOX-O", lambda: BBox(CONFIG, ordinal=True), "updates O(log_B N)"),
+    ("naive-16", lambda: NaiveScheme(16, CONFIG), "lookup 1; updates spiky"),
+]
+
+
+@pytest.mark.parametrize("name", [name for name, _, _ in SCHEMES])
+def test_update_summary_rows(benchmark, name):
+    factory = dict((n, f) for n, f, _ in SCHEMES)[name]
+
+    def run():
+        scheme, lids = built(factory())
+        return (
+            measure(scheme, lids, "lookup"),
+            measure(scheme, lids, "insert"),
+            measure(scheme, lids, "delete"),
+        )
+
+    lookup, insert, delete = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(lookup=lookup, insert=insert, delete=delete)
+
+
+def test_update_summary_table(benchmark):
+    def compute():
+        rows = []
+        outcome = {}
+        for name, factory, bound in SCHEMES:
+            scheme, lids = built(factory())
+            lookup = measure(scheme, lids, "lookup")
+            insert = measure(scheme, lids, "insert")
+            delete = measure(scheme, lids, "delete")
+            outcome[name] = (lookup, insert, delete)
+            rows.append([name, fmt(lookup), fmt(insert), fmt(delete), bound])
+        return rows, outcome
+
+    rows, outcome = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "table_update_summary",
+        "Theorem summary: measured mean block I/Os per operation "
+        f"(~{SCALE['base'] // 2} base elements, random single-label ops)",
+        ["scheme", "lookup", "insert", "delete", "paper bound"],
+        rows,
+    )
+
+    height_bound = 2 + math.ceil(math.log(SCALE['base'], 10))
+    # Theorem 4.5: W-BOX lookup is exactly 2 I/Os (LIDF + leaf).
+    assert outcome["W-BOX"][0] == 2.0
+    # Theorem 4.6: W-BOX deletes are O(1) — and cheaper than its inserts.
+    assert outcome["W-BOX"][2] < outcome["W-BOX"][1]
+    # Ordinal support makes W-BOX deletes pay the path (Section 4).
+    assert outcome["W-BOX ordinal"][2] > outcome["W-BOX"][2]
+    # Theorem 5.2/5.3: B-BOX lookups pay the height; updates stay near
+    # constant and its deletes cost no more than W-BOX-ordinal's.
+    assert 2.0 < outcome["B-BOX"][0] <= height_bound + 2
+    assert outcome["B-BOX"][1] < 10
+    # B-BOX-O updates go to the root: strictly costlier than B-BOX's.
+    assert outcome["B-BOX-O"][1] > outcome["B-BOX"][1]
+    assert outcome["B-BOX-O"][2] > outcome["B-BOX"][2]
+    # naive: 1-I/O lookups, cheap-until-relabel updates.
+    assert outcome["naive-16"][0] == 1.0

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Persistence: label once, reuse across sessions.
+
+The LIDF's promise is that a LID handed to the rest of a database never
+changes.  That promise only matters if the labeled structure survives the
+process — this example labels an XMark-shaped document, stores the LIDs in
+a toy "inverted index" keyed by tag name, saves the structure, reloads it
+in a (simulated) later session, and runs the index against the reloaded
+structure without re-labeling anything.
+
+Run:  python examples/persistence.py
+"""
+
+import os
+import tempfile
+from collections import defaultdict
+
+from repro import BBox, BoxConfig, LabeledDocument
+from repro.persist import load_scheme, save_scheme
+from repro.xml import xmark_document
+from repro.xml.model import element_count
+
+CONFIG = BoxConfig(block_bytes=1024)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Session 1: label the document, build an index of LIDs, save.
+    # ------------------------------------------------------------------
+    site = xmark_document(n_items=25, seed=17)
+    doc = LabeledDocument(BBox(CONFIG), site)
+    print(f"labeled {element_count(site)} elements "
+          f"({doc.scheme.label_count()} labels, height {doc.scheme.height})")
+
+    # A database would store LIDs wherever it needs element references;
+    # here: tag name -> list of (start LID, end LID).
+    index: dict[str, list[tuple[int, int]]] = defaultdict(list)
+    for element in doc.elements():
+        index[element.name].append((doc.start_lid(element), doc.end_lid(element)))
+
+    path = os.path.join(tempfile.mkdtemp(prefix="boxes-"), "labels.box")
+    save_scheme(doc.scheme, path)
+    size = os.path.getsize(path)
+    print(f"saved structure to {path} ({size} bytes, "
+          f"{size / doc.scheme.label_count():.1f} bytes/label)")
+
+    # ------------------------------------------------------------------
+    # Session 2: reload and answer containment questions from LIDs alone.
+    # ------------------------------------------------------------------
+    scheme = load_scheme(path)
+    scheme.check_invariants()
+    print(f"reloaded: {scheme.label_count()} labels, height {scheme.height}, "
+          "invariants OK")
+
+    # Which mails live inside which items?  Pure label arithmetic over the
+    # persisted LIDs; no XML tree needed anymore.
+    items = index["item"]
+    mails = index["mail"]
+    contained = 0
+    with scheme.store.measured() as op:
+        item_intervals = [
+            (scheme.lookup(start), scheme.lookup(end)) for start, end in items
+        ]
+        for mail_start, _ in mails:
+            mail_label = scheme.lookup(mail_start)
+            contained += sum(
+                1 for start, end in item_intervals if start < mail_label < end
+            )
+    print(f"{contained} of {len(mails)} mails are inside one of "
+          f"{len(items)} items ({op.total} block I/Os)")
+
+    # The structure stays fully editable: delete the first item's subtree.
+    first_item_start, first_item_end = items[0]
+    deleted = scheme.delete_range(first_item_start, first_item_end)
+    scheme.check_invariants()
+    print(f"deleted the first item's subtree: {len(deleted)} labels removed; "
+          f"{scheme.label_count()} remain")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The pre/post plane on dynamic labels.
+
+Section 3 of the paper notes its structures "also work for other
+definitions of order (e.g., one based on pre-order and post-order
+traversals)".  This example maintains both orders with two B-BOX-O
+instances and uses the classic pre/post *plane* (Grust's XPath
+accelerator): every element is a point (pre, post); an element's
+descendants occupy the lower-right quadrant anchored at it, its ancestors
+the upper-left — so XPath axes become 2-D window queries.
+
+Run:  python examples/prepost_plane.py
+"""
+
+from repro import BBox, BoxConfig
+from repro.core.prepost import PrePostDocument
+from repro.xml.model import Element
+from repro.xml.parser import parse
+
+CONFIG = BoxConfig(block_bytes=1024)
+
+DOCUMENT = """\
+<journal>
+  <volume n="1">
+    <article id="a1"><title/><author/><author/></article>
+    <article id="a2"><title/><author/></article>
+  </volume>
+  <volume n="2">
+    <article id="a3"><title/><review/></article>
+  </volume>
+</journal>"""
+
+
+def plot(doc: PrePostDocument) -> None:
+    """Draw the plane as ASCII: x = pre rank, y = post rank."""
+    points = {doc.pre_post(element): element for element in doc.root.iter()}
+    size = len(points)
+    print("    post")
+    for post in range(size - 1, -1, -1):
+        row = [f"{post:3d} "]
+        for pre in range(size):
+            element = points.get((pre, post))
+            row.append(element.name[0] if element else "·")
+        print(" ".join(row))
+    print("     " + " ".join(str(pre % 10) for pre in range(size)) + "  pre")
+
+
+def main() -> None:
+    doc = PrePostDocument(lambda: BBox(CONFIG, ordinal=True), parse(DOCUMENT))
+    print(f"{len(doc)} elements in the pre/post plane:\n")
+    plot(doc)
+
+    volumes = doc.root.find_all("volume")
+    articles = doc.root.find_all("article")
+    print("\nAxis checks (pure plane comparisons, no tree walks):")
+    print(f"  volume 1 contains a2? {doc.is_ancestor(volumes[0], articles[1])}")
+    print(f"  volume 2 contains a2? {doc.is_ancestor(volumes[1], articles[1])}")
+    print(f"  a1 precedes a3?       {doc.precedes(articles[0], articles[2])}")
+
+    print("\nDescendant counting as a quadrant query:")
+    for volume in volumes:
+        pre_v, post_v = doc.pre_post(volume)
+        count = sum(
+            1
+            for element in doc.root.iter()
+            if element is not volume
+            and doc.pre_post(element)[0] > pre_v
+            and doc.pre_post(element)[1] < post_v
+        )
+        print(f"  volume n={volume.attributes['n']}: {count} descendants "
+              f"(point ({pre_v}, {post_v}))")
+
+    # The plane stays exact under edits.
+    print("\nAppending an <erratum/> to volume 1 and re-checking:")
+    erratum = doc.append_child(Element("erratum"), volumes[0])
+    doc.verify()
+    pre_e, post_e = doc.pre_post(erratum)
+    print(f"  erratum lands at ({pre_e}, {post_e}); "
+          f"volume 1 contains it? {doc.is_ancestor(volumes[0], erratum)}")
+    plot(doc)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Quickstart: label an XML document, edit it, and query it.
+
+Demonstrates the core public API:
+
+* parse XML and bulk-load it into a labeling scheme;
+* read (start, end) labels and check ancestor/descendant relationships in
+  O(1) label comparisons;
+* insert and delete elements while labels stay consistent;
+* compare the I/O profiles of W-BOX (1-I/O lookups) and B-BOX (O(1)
+  amortized updates).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BBox, BoxConfig, LabeledDocument, WBox, parse, serialize
+from repro.xml.model import Element
+
+DOCUMENT = """\
+<site>
+  <regions>
+    <africa><item id="i0"/></africa>
+    <asia><item id="i1"/><item id="i2"/></asia>
+  </regions>
+  <people>
+    <person id="p0"><name>alice</name></person>
+    <person id="p1"><name>bob</name></person>
+  </people>
+</site>"""
+
+
+def show_labels(doc: LabeledDocument, title: str) -> None:
+    print(f"\n{title}")
+    for element in doc.root.iter():
+        start, end = doc.labels(element)
+        indent = "  " * element.depth()
+        identity = element.attributes.get("id", "")
+        print(f"  {indent}{element.name:10s} {identity:4s} ({start}, {end})")
+
+
+def main() -> None:
+    config = BoxConfig(block_bytes=1024)
+
+    # ------------------------------------------------------------------
+    # 1. Load a document into a W-BOX.
+    # ------------------------------------------------------------------
+    doc = LabeledDocument(WBox(config), parse(DOCUMENT))
+    show_labels(doc, "W-BOX labels after bulk load")
+
+    # ------------------------------------------------------------------
+    # 2. Ancestor checks are label comparisons, not tree walks.
+    # ------------------------------------------------------------------
+    regions = doc.root.find("regions")
+    item = doc.root.find_all("item")[1]
+    person = doc.root.find("person")
+    print("\nAncestor checks via label intervals:")
+    print(f"  regions contains item i1?  {doc.is_ancestor(regions, item)}")
+    print(f"  regions contains person?   {doc.is_ancestor(regions, person)}")
+
+    # ------------------------------------------------------------------
+    # 3. Edit the document: labels adapt, LIDs never change.
+    # ------------------------------------------------------------------
+    asia = doc.root.find("asia")
+    tracked_lid = doc.start_lid(item)  # immutable reference to item i1's start
+    for index in range(3):
+        doc.insert_before(Element("item", {"id": f"new{index}"}), item)
+    print("\nAfter squeezing three new items in front of i1:")
+    print(f"  item i1's LID is still {tracked_lid}; its label moved to "
+          f"{doc.scheme.lookup(tracked_lid)}")
+    show_labels(doc, "W-BOX labels after inserts")
+    doc.verify_order()  # labels really match document order
+
+    # ------------------------------------------------------------------
+    # 4. The same document on a B-BOX: labels are path vectors.
+    # ------------------------------------------------------------------
+    bdoc = LabeledDocument(BBox(config), parse(DOCUMENT))
+    bitem = bdoc.root.find_all("item")[1]
+    print("\nB-BOX labels are component tuples (root-to-leaf path ordinals):")
+    print(f"  item i1 -> {bdoc.labels(bitem)}")
+
+    with bdoc.scheme.store.measured() as op:
+        bdoc.scheme.lookup(bdoc.start_lid(bitem))
+    print(f"  one B-BOX lookup cost {op.total} block I/Os "
+          f"(height {bdoc.scheme.height} + LIDF)")
+
+    wdoc_scheme = doc.scheme
+    with wdoc_scheme.store.measured() as op:
+        wdoc_scheme.lookup(tracked_lid)
+    print(f"  one W-BOX lookup cost {op.total} block I/Os (constant)")
+
+    # ------------------------------------------------------------------
+    # 5. Serialize the edited document back to XML.
+    # ------------------------------------------------------------------
+    print("\nEdited document:")
+    print(serialize(doc.root, indent="  "))
+
+
+if __name__ == "__main__":
+    main()

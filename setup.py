@@ -1,0 +1,6 @@
+"""Shim for editable installs in offline environments without the wheel
+package (pip falls back to `setup.py develop` via --no-use-pep517)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,214 @@
+"""Command-line interface.
+
+Four subcommands, all built on the public API::
+
+    python -m repro label    doc.xml --scheme bbox --save labels.box
+    python -m repro query    doc.xml "//item[mailbox/mail]" --scheme wbox
+    python -m repro workload concentrated --scheme bbox --base 2000 --inserts 500
+    python -m repro inspect  labels.box
+
+``label`` parses and bulk-loads a document and reports structure statistics
+(optionally persisting the labeled structure); ``query`` evaluates an
+XPath-subset expression over a freshly labeled document and reports the
+block I/O it cost; ``workload`` runs one of the paper's insertion sequences
+and prints the cost summary; ``inspect`` reloads a saved structure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+from .config import BoxConfig
+from .core import BBox, LabeledDocument, NaiveScheme, OrdPath, WBox, WBoxO
+from .errors import ReproError
+from .persist import MAGIC, load_document, load_scheme, save_document
+from .query.xpath import evaluate
+from .workloads import run_concentrated, run_scattered, run_xmark_build
+from .workloads.metrics import summarize
+from .xml.model import element_count, tree_depth
+from .xml.parser import parse
+
+
+def make_scheme(name: str, config: BoxConfig) -> Any:
+    """Instantiate a scheme from its CLI name (``wbox``, ``wboxo``,
+    ``bbox``, ``bbox-o``, or ``naive-<k>``)."""
+    if name == "wbox":
+        return WBox(config)
+    if name == "wbox-ordinal":
+        return WBox(config, ordinal=True)
+    if name == "wboxo":
+        return WBoxO(config)
+    if name == "bbox":
+        return BBox(config)
+    if name == "bbox-o":
+        return BBox(config, ordinal=True)
+    if name == "ordpath":
+        return OrdPath(config)
+    if name.startswith("naive-"):
+        return NaiveScheme(int(name.split("-", 1)[1]), config)
+    raise ReproError(f"unknown scheme {name!r}")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scheme",
+        default="bbox",
+        help="wbox | wbox-ordinal | wboxo | bbox | bbox-o | ordpath | naive-<k> (default: bbox)",
+    )
+    parser.add_argument(
+        "--block-bytes",
+        type=int,
+        default=1024,
+        help="block size in bytes (default 1024)",
+    )
+
+
+def _is_saved_structure(path: str) -> bool:
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def _load_document(path: str, scheme: Any) -> LabeledDocument:
+    with open(path, "r", encoding="utf-8") as handle:
+        root = parse(handle.read())
+    return LabeledDocument(scheme, root)
+
+
+def cmd_label(args: argparse.Namespace) -> int:
+    config = BoxConfig(block_bytes=args.block_bytes)
+    scheme = make_scheme(args.scheme, config)
+    before = scheme.stats.snapshot()
+    doc = _load_document(args.document, scheme)
+    load_io = (scheme.stats.snapshot() - before).total
+    info = scheme.describe()
+    print(f"document: {args.document}")
+    print(f"  elements:     {element_count(doc.root)}")
+    print(f"  depth:        {tree_depth(doc.root)}")
+    print(f"  scheme:       {info['scheme']}")
+    print(f"  labels:       {info['labels']}")
+    print(f"  blocks:       {info['blocks']}")
+    print(f"  label bits:   {info['label_bits']}")
+    if hasattr(scheme, "height"):
+        print(f"  tree height:  {scheme.height}")
+    print(f"  bulk-load IO: {load_io} block I/Os")
+    if args.save:
+        save_document(doc, args.save)
+        print(f"  saved to:     {args.save} (reload with 'query'/'inspect')")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    if _is_saved_structure(args.document):
+        # A previously saved labeled document: no re-labeling needed.
+        doc = load_document(args.document)
+    else:
+        config = BoxConfig(block_bytes=args.block_bytes)
+        scheme = make_scheme(args.scheme, config)
+        doc = _load_document(args.document, scheme)
+    scheme = doc.scheme
+    before = scheme.stats.snapshot()
+    matches = evaluate(doc, args.expression)
+    query_io = (scheme.stats.snapshot() - before).total
+    print(f"{args.expression}: {len(matches)} match(es), {query_io} block I/Os")
+    limit = args.limit if args.limit > 0 else len(matches)
+    for element in matches[:limit]:
+        attributes = " ".join(f'{k}="{v}"' for k, v in element.attributes.items())
+        start, end = doc.labels(element)
+        text = f" {attributes}" if attributes else ""
+        print(f"  <{element.name}{text}>  labels=({start}, {end})")
+    if len(matches) > limit:
+        print(f"  ... and {len(matches) - limit} more")
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    config = BoxConfig(block_bytes=args.block_bytes)
+    scheme = make_scheme(args.scheme, config)
+    if args.sequence == "concentrated":
+        result = run_concentrated(scheme, args.base, args.inserts)
+    elif args.sequence == "scattered":
+        result = run_scattered(scheme, args.base, args.inserts)
+    else:
+        result = run_xmark_build(scheme, max(1, args.base // 30))
+    summary = summarize(result.costs)
+    print(f"workload: {result.workload}, scheme: {result.scheme}")
+    print(f"  measured inserts: {summary['n']}")
+    print(f"  mean I/O:         {summary['mean']:.2f}")
+    print(f"  p50 / p90 / p99:  {summary['p50']} / {summary['p90']} / {summary['p99']}")
+    print(f"  max:              {summary['max']}")
+    print(f"  total I/O:        {summary['total']}")
+    if hasattr(scheme, "relabel_count"):
+        print(f"  relabels:         {scheme.relabel_count}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    scheme = load_scheme(args.file)
+    info = scheme.describe()
+    print(f"file: {args.file}")
+    for key, value in info.items():
+        print(f"  {key}: {value}")
+    if hasattr(scheme, "height"):
+        print(f"  height: {scheme.height}")
+    if hasattr(scheme, "check_invariants"):
+        scheme.check_invariants()
+        print("  invariants: OK")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BOXes: order-based labeling for dynamic XML data (ICDE 2005)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    label = subparsers.add_parser("label", help="label an XML document")
+    label.add_argument("document", help="XML file to label")
+    label.add_argument("--save", help="persist the labeled structure to this file")
+    _add_common(label)
+    label.set_defaults(handler=cmd_label)
+
+    query = subparsers.add_parser("query", help="evaluate an XPath-subset expression")
+    query.add_argument(
+        "document", help="XML file to label and query, or a saved .box file"
+    )
+    query.add_argument("expression", help='e.g. "//item[mailbox/mail]/name"')
+    query.add_argument("--limit", type=int, default=10, help="matches to print (0 = all)")
+    _add_common(query)
+    query.set_defaults(handler=cmd_query)
+
+    workload = subparsers.add_parser("workload", help="run a paper workload")
+    workload.add_argument("sequence", choices=["concentrated", "scattered", "xmark"])
+    workload.add_argument("--base", type=int, default=2000, help="base document elements")
+    workload.add_argument("--inserts", type=int, default=500, help="elements to insert")
+    _add_common(workload)
+    workload.set_defaults(handler=cmd_workload)
+
+    inspect = subparsers.add_parser("inspect", help="inspect a saved structure")
+    inspect.add_argument("file", help="file written by 'label --save'")
+    inspect.set_defaults(handler=cmd_inspect)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

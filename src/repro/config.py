@@ -1,0 +1,279 @@
+"""Configuration of block geometry and derived tree parameters.
+
+The paper measures everything in units of disk blocks.  A block holds one
+tree node (or a run of fixed-size LIDF records), so node capacities —
+maximum fan-out ``b`` for W-BOX, the branching/leaf parameters ``a`` and
+``k`` of the weight-balanced B-tree, and the fan-out of B-BOX — all derive
+from the block size in bits and the widths of the individual fields.
+
+The paper's notation (Section 3): ``N`` is the number of labels, ``B`` is
+the number of minimum-sized (``log N``-bit) labels a block can hold.  We fix
+concrete field widths instead of the asymptotic ``log N`` so capacities are
+deterministic; the defaults use 32-bit fields and 8 KB blocks exactly as the
+paper's experiments do.
+
+For unit tests, the capacity fields can be *overridden* directly so that
+splits, merges and root growth trigger within a handful of insertions; the
+override values still have to satisfy the structural minimums the paper's
+lemmas require (``a > 6`` for the weight-balanced split argument, footnote 1
+of Section 4).
+
+:class:`BoxConfig` instances are immutable and hashable, safe to share
+between structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigError
+
+#: Default block size used in the paper's experiments (Section 7).
+DEFAULT_BLOCK_BYTES = 8192
+
+#: Machine word size the paper's "Other findings" discussion refers to.
+MACHINE_WORD_BITS = 32
+
+#: Smallest W-BOX branching parameter the split argument supports: the
+#: footnote to Section 4 requires ``a > 6`` so a parent can always absorb
+#: the extra child produced by a split.
+MIN_BRANCHING = 7
+
+
+@dataclass(frozen=True)
+class BoxConfig:
+    """Block geometry and field widths for every structure in the package.
+
+    Parameters
+    ----------
+    block_bytes:
+        Size of one disk block.  The paper uses 8 KB; the scaled-down
+        benchmarks use 1 KB so trees reach the same heights (3) at
+        Python-friendly document sizes.
+    label_bits:
+        Width of a materialized label value field (W-BOX-O cached end
+        values, naive-k values).  Defaults to one machine word.
+    lid_bits:
+        Width of an immutable label ID.
+    pointer_bits:
+        Width of a block pointer.
+    weight_bits / size_bits:
+        Widths of the per-child weight and (ordinal-support) size fields in
+        W-BOX / B-BOX internal entries.
+    node_header_bits:
+        Per-node overhead: node type, level, entry count, back-link slot,
+        range bounds, etc.  One generous header covers all node types.
+    wbox_fanout_override / wbox_leaf_capacity_override /
+    bbox_fanout_override / bbox_leaf_capacity_override /
+    lidf_records_override:
+        Test-only escape hatches that replace the block-derived capacities
+        with small values.  ``wbox_leaf_capacity_override`` must be odd (the
+        capacity is ``2k - 1``).
+    """
+
+    block_bytes: int = DEFAULT_BLOCK_BYTES
+    label_bits: int = MACHINE_WORD_BITS
+    lid_bits: int = MACHINE_WORD_BITS
+    pointer_bits: int = MACHINE_WORD_BITS
+    weight_bits: int = MACHINE_WORD_BITS
+    size_bits: int = MACHINE_WORD_BITS
+    node_header_bits: int = 256
+    wbox_fanout_override: int | None = None
+    wbox_leaf_capacity_override: int | None = None
+    bbox_fanout_override: int | None = None
+    bbox_leaf_capacity_override: int | None = None
+    lidf_records_override: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "block_bytes",
+            "label_bits",
+            "lid_bits",
+            "pointer_bits",
+            "weight_bits",
+            "size_bits",
+            "node_header_bits",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigError(f"{name} must be a positive integer, got {value!r}")
+        if self.wbox_branching < MIN_BRANCHING:
+            raise ConfigError(
+                "W-BOX branching parameter a must be > 6 (Section 4, footnote 1); "
+                f"got a={self.wbox_branching} from max fan-out b={self.wbox_max_fanout}"
+            )
+        if self.wbox_leaf_capacity < 3 or self.wbox_leaf_capacity % 2 == 0:
+            raise ConfigError(
+                "W-BOX leaf capacity must be an odd value 2k-1 >= 3; "
+                f"got {self.wbox_leaf_capacity}"
+            )
+        if self.bbox_fanout < 4:
+            raise ConfigError(f"B-BOX fan-out must be >= 4, got {self.bbox_fanout}")
+        if self.bbox_leaf_capacity < 4:
+            raise ConfigError(
+                f"B-BOX leaf capacity must be >= 4, got {self.bbox_leaf_capacity}"
+            )
+        if self.lidf_records_per_block < 1:
+            raise ConfigError("LIDF block must hold at least one record")
+
+    # ------------------------------------------------------------------
+    # raw geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def block_bits(self) -> int:
+        """Total number of bits in one block."""
+        return self.block_bytes * 8
+
+    @property
+    def payload_bits(self) -> int:
+        """Bits available to entries once the node header is paid for."""
+        return self.block_bits - self.node_header_bits
+
+    # ------------------------------------------------------------------
+    # W-BOX parameters (Section 4)
+    # ------------------------------------------------------------------
+
+    @property
+    def wbox_internal_entry_bits(self) -> int:
+        """One internal W-BOX entry: child pointer, subrange slot number,
+        weight, and size (ordinal support).  The slot number replaces the
+        separator key of a plain B-tree and is at most ``log b`` bits; we
+        round it up to a byte."""
+        return self.pointer_bits + 8 + self.weight_bits + self.size_bits
+
+    @property
+    def wbox_max_fanout(self) -> int:
+        """``b``: the maximum internal fan-out dictated by the block size."""
+        if self.wbox_fanout_override is not None:
+            return self.wbox_fanout_override
+        return self.payload_bits // self.wbox_internal_entry_bits
+
+    @property
+    def wbox_branching(self) -> int:
+        """``a``: the branching parameter, the maximum value satisfying
+        Lemma 4.1's fan-out bound ``2a + 3 + ceil(8 / (a - 2)) <= b``.  For
+        ``a >= 10`` this is the paper's ``a = b/2 - 2``; for smaller
+        fan-outs (test configs) the exact inequality decides."""
+        fanout = self.wbox_max_fanout
+        a = max(3, fanout // 2 - 2)
+        while a > 3 and 2 * a + 3 + -(-8 // (a - 2)) > fanout:
+            a -= 1
+        return a
+
+    @property
+    def wbox_min_fanout(self) -> int:
+        """``floor(a / 2)``: minimum fan-out of a non-root internal node
+        implied by the weight constraints (Lemma 4.1)."""
+        return self.wbox_branching // 2
+
+    @property
+    def wbox_leaf_record_bits(self) -> int:
+        """One basic W-BOX leaf record: the LID plus a deleted flag.  Labels
+        are implicit (leaf range origin + position), per the within-leaf
+        ordinal requirement of Section 6."""
+        return self.lid_bits + 1
+
+    @property
+    def wbox_pair_record_bits(self) -> int:
+        """One W-BOX-O leaf record: LID, partner block pointer, cached end
+        label value, deleted + start/end flags."""
+        return self.lid_bits + self.pointer_bits + self.label_bits + 2
+
+    @property
+    def wbox_leaf_capacity(self) -> int:
+        """``2k - 1``: maximum records in a basic W-BOX leaf."""
+        if self.wbox_leaf_capacity_override is not None:
+            return self.wbox_leaf_capacity_override
+        capacity = self.payload_bits // self.wbox_leaf_record_bits
+        return capacity if capacity % 2 == 1 else capacity - 1
+
+    @property
+    def wbox_pair_leaf_capacity(self) -> int:
+        """Maximum records in a W-BOX-O leaf (wider records)."""
+        if self.wbox_leaf_capacity_override is not None:
+            return self.wbox_leaf_capacity_override
+        capacity = self.payload_bits // self.wbox_pair_record_bits
+        return capacity if capacity % 2 == 1 else capacity - 1
+
+    @property
+    def wbox_leaf_parameter(self) -> int:
+        """``k``: chosen so that ``2k - 1`` is the leaf capacity."""
+        return (self.wbox_leaf_capacity + 1) // 2
+
+    # ------------------------------------------------------------------
+    # B-BOX parameters (Section 5)
+    # ------------------------------------------------------------------
+
+    @property
+    def bbox_leaf_record_bits(self) -> int:
+        """One B-BOX leaf record: just the LID."""
+        return self.lid_bits
+
+    @property
+    def bbox_internal_entry_bits(self) -> int:
+        """One internal B-BOX entry: child pointer plus size field (the size
+        field is present only with ordinal support, but reserving it keeps
+        the two variants' geometry identical, as Figure 4 draws them)."""
+        return self.pointer_bits + self.size_bits
+
+    @property
+    def bbox_leaf_capacity(self) -> int:
+        """Maximum records per B-BOX leaf (paper: ``B - 1``)."""
+        if self.bbox_leaf_capacity_override is not None:
+            return self.bbox_leaf_capacity_override
+        return self.payload_bits // self.bbox_leaf_record_bits
+
+    @property
+    def bbox_fanout(self) -> int:
+        """Maximum children per internal B-BOX node (paper: ``B - 1``)."""
+        if self.bbox_fanout_override is not None:
+            return self.bbox_fanout_override
+        return self.payload_bits // self.bbox_internal_entry_bits
+
+    # ------------------------------------------------------------------
+    # LIDF parameters (Section 3)
+    # ------------------------------------------------------------------
+
+    @property
+    def lidf_record_bits(self) -> int:
+        """One LIDF record.  For the BOXes it stores a block pointer; for
+        naive-k it stores the label value and gap.  We size it for the larger
+        of the two so every scheme shares one heap-file geometry.  One extra
+        bit marks the slot live/free."""
+        return max(self.pointer_bits, 2 * self.label_bits) + 1
+
+    @property
+    def lidf_records_per_block(self) -> int:
+        """Fixed-size records packed per LIDF block."""
+        if self.lidf_records_override is not None:
+            return self.lidf_records_override
+        return self.payload_bits // self.lidf_record_bits
+
+    # ------------------------------------------------------------------
+    # paper's abstract block parameter
+    # ------------------------------------------------------------------
+
+    def theoretical_block_parameter(self, n_labels: int) -> int:
+        """The paper's ``B``: block bits divided by ``log N`` (the minimum
+        label length for ``n_labels`` labels)."""
+        if n_labels < 2:
+            return self.block_bits
+        return self.block_bits // max(1, (n_labels - 1).bit_length())
+
+
+#: Configuration used by the scaled-down benchmarks: 1 KB blocks keep split
+#: frequency and tree height (3) comparable to the paper's 8 KB / 2M-element
+#: setup at Python-friendly document sizes.
+BENCH_CONFIG = BoxConfig(block_bytes=1024)
+
+#: Tiny capacities used by the test suite so splits, merges and root growth
+#: all trigger within a few dozen insertions.  ``a = 8``, ``k = 4``.
+TINY_CONFIG = BoxConfig(
+    block_bytes=1024,
+    wbox_fanout_override=20,
+    wbox_leaf_capacity_override=7,
+    bbox_fanout_override=6,
+    bbox_leaf_capacity_override=6,
+    lidf_records_override=8,
+)

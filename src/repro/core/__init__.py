@@ -1,0 +1,30 @@
+"""Core labeling schemes: W-BOX, B-BOX, their variants, and the naive-k
+baseline, plus the LID indirection and caching/logging layers."""
+
+from .interface import LabelingScheme, LabelKind
+from .naive import NaiveScheme
+from .ordpath import OrdPath
+from .listorder import OrderList
+from .prepost import PrePostDocument
+from .wbox.tree import WBox
+from .wbox.pairs import WBoxO
+from .bbox.tree import BBox
+from .document import LabeledDocument
+from .cachelog import CachedLabelStore, ModificationLog, RangeShift, Invalidate
+
+__all__ = [
+    "LabelingScheme",
+    "LabelKind",
+    "NaiveScheme",
+    "OrdPath",
+    "OrderList",
+    "PrePostDocument",
+    "WBox",
+    "WBoxO",
+    "BBox",
+    "LabeledDocument",
+    "CachedLabelStore",
+    "ModificationLog",
+    "RangeShift",
+    "Invalidate",
+]

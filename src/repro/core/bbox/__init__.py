@@ -1,0 +1,5 @@
+"""B-BOX: back-linked keyless B-tree for ordering XML (Section 5)."""
+
+from .tree import BBox
+
+__all__ = ["BBox"]

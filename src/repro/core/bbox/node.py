@@ -1,0 +1,49 @@
+"""B-BOX node layout.
+
+A B-BOX node stores **no keys**: a leaf is an ordered list of LIDs, an
+internal node an ordered list of child pointers.  Every node except the root
+carries a *back-link* to its parent (``parent == 0`` marks the root), which
+is what lets a label be reconstructed bottom-up — the label of a record is
+the vector of child ordinals along its root-to-leaf path, ending with the
+record's position in the leaf (Figure 4).
+
+With ordinal support, internal nodes also keep a ``sizes`` list parallel to
+``entries``: ``sizes[i]`` is the number of records in the subtree under
+``entries[i]``.
+"""
+
+from __future__ import annotations
+
+
+class BNode:
+    """One B-BOX node (leaf or internal), stored as one block payload."""
+
+    __slots__ = ("leaf", "parent", "entries", "sizes")
+
+    def __init__(
+        self,
+        leaf: bool,
+        parent: int = 0,
+        entries: list[int] | None = None,
+        sizes: list[int] | None = None,
+    ) -> None:
+        self.leaf = leaf
+        self.parent = parent
+        self.entries: list[int] = entries if entries is not None else []
+        #: Parallel subtree sizes (internal nodes, ordinal mode only).
+        self.sizes: list[int] | None = sizes
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent == 0
+
+    def index_of(self, entry: int) -> int:
+        """Position of ``entry`` (a LID or child block id) in this node."""
+        return self.entries.index(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.leaf else "internal"
+        return f"BNode({kind}, parent={self.parent}, n={len(self.entries)})"

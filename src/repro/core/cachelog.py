@@ -1,0 +1,266 @@
+"""Reducing the cost of indirection (Section 6 of the paper).
+
+Dynamic labels force a level of indirection — a LID dereference plus a BOX
+lookup — on every label read.  Section 6 removes most of that cost with a
+combination of *caching* and *logging*:
+
+* every reference to a label is augmented with a cached value and a
+  ``last_cached`` timestamp (:class:`LabelRef`);
+* the scheme logs the *effect* of each of the last ``k`` modifications on
+  existing labels — either a succinct range update (``[l, hi]: +1``,
+  :class:`RangeShift`) or, rarely, an invalidated range
+  (:class:`Invalidate`);
+* a lookup whose cached value is newer than the oldest logged modification
+  *replays* the logged effects on the cached value and returns without any
+  I/O.
+
+The paper's *basic caching approach* (a single last-modified timestamp) is
+the ``capacity=0`` special case of :class:`ModificationLog`.
+
+Effects are channelled: ``"label"`` effects apply to regular labels,
+``"ordinal"`` effects to ordinal labels (the paper logs ordinal updates as
+``[l, ∞): ±1``).
+
+Labels here are either ints (W-BOX, naive-k) or component tuples (B-BOX);
+range bounds compare with the same operators.  A tuple bound may be a
+*prefix*: a label "starting with" the bound counts as inside the range.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import CacheError
+from .interface import Label, LabelingScheme
+
+#: Effect channels.
+LABEL_CHANNEL = "label"
+ORDINAL_CHANNEL = "ordinal"
+
+
+def _at_least(label: Label, bound: Label) -> bool:
+    """``label >= bound``, treating a tuple bound as a prefix lower bound."""
+    if isinstance(label, tuple) and isinstance(bound, tuple):
+        return label[: len(bound)] >= bound
+    return label >= bound
+
+
+def _at_most(label: Label, bound: Label) -> bool:
+    """``label <= bound``, treating a tuple bound as a prefix upper bound."""
+    if isinstance(label, tuple) and isinstance(bound, tuple):
+        return label[: len(bound)] <= bound
+    return label <= bound
+
+
+@dataclass(frozen=True)
+class RangeShift:
+    """All existing labels in ``[lo, hi]`` move by ``delta``.
+
+    ``hi=None`` means unbounded (the ordinal log entries ``[l, ∞): ±1``).
+    For tuple labels the shift applies to the **last component** — a
+    single-leaf B-BOX update only renumbers positions within that leaf.
+    """
+
+    timestamp: int
+    lo: Label
+    hi: Label | None
+    delta: int
+    channel: str = LABEL_CHANNEL
+
+    def apply(self, label: Label) -> Label | None:
+        """The label's new value, or the unchanged label if unaffected.
+        Never returns None (present for interface symmetry)."""
+        if not _at_least(label, self.lo):
+            return label
+        if self.hi is not None and not _at_most(label, self.hi):
+            return label
+        if isinstance(label, tuple):
+            return label[:-1] + (label[-1] + self.delta,)
+        return label + self.delta
+
+    @property
+    def invalidates(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Invalidate:
+    """Cached labels in ``[lo, hi]`` can no longer be repaired by replay.
+
+    Emitted when an update reorganized more than one leaf (splits, merges,
+    redistributions): the paper notes these are rare — "on average only one
+    in Θ(B) updates affects more than one leaf".  ``lo=None`` with
+    ``hi=None`` invalidates every label (height changes, rebuilds, bulk
+    operations).
+    """
+
+    timestamp: int
+    lo: Label | None
+    hi: Label | None
+    channel: str = LABEL_CHANNEL
+
+    def hits(self, label: Label) -> bool:
+        """Whether ``label`` falls in the invalidated range."""
+        if self.lo is not None and not _at_least(label, self.lo):
+            return False
+        if self.hi is not None and not _at_most(label, self.hi):
+            return False
+        return True
+
+    @property
+    def invalidates(self) -> bool:
+        return True
+
+
+Effect = RangeShift | Invalidate
+
+
+def invalidate_all(timestamp: int, channel: str = LABEL_CHANNEL) -> Invalidate:
+    """An effect that invalidates every cached label on ``channel``."""
+    return Invalidate(timestamp, None, None, channel)
+
+
+@dataclass
+class LabelRef:
+    """An augmented reference: LID + cached value + last-cached timestamp.
+
+    This is what a database would store wherever it today stores a raw
+    label; ``value`` and ``last_cached`` are refreshed in place by
+    :meth:`CachedLabelStore.get`.
+    """
+
+    lid: int
+    value: Label | None = None
+    last_cached: int = -1
+    channel: str = LABEL_CHANNEL
+
+
+class ModificationLog:
+    """FIFO log of the last ``capacity`` modification effects.
+
+    ``capacity=0`` degenerates to the paper's *basic caching approach*: the
+    log remembers nothing, so any modification after ``last_cached`` forces
+    a full lookup — exactly the single last-modified-timestamp behaviour.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise CacheError("log capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: deque[Effect] = deque()
+        #: Timestamp of the newest modification no longer in the log; a
+        #: cached value older than this cannot be repaired.
+        self.dropped_through = 0
+        #: Timestamp of the newest modification seen (the document's
+        #: last-modified timestamp).
+        self.last_modified = 0
+
+    def record(self, effect: Effect) -> None:
+        """Append one effect, evicting the oldest beyond capacity."""
+        self.last_modified = max(self.last_modified, effect.timestamp)
+        if self.capacity == 0:
+            self.dropped_through = self.last_modified
+            return
+        self._entries.append(effect)
+        while len(self._entries) > self.capacity:
+            dropped = self._entries.popleft()
+            self.dropped_through = max(self.dropped_through, dropped.timestamp)
+
+    def replay(self, label: Label, last_cached: int, channel: str = LABEL_CHANNEL) -> Label | None:
+        """Bring a cached ``label`` (valid as of ``last_cached``) up to date.
+
+        Returns the repaired label, or ``None`` when the cache cannot be
+        used — either the history needed has been dropped from the log, or
+        a logged effect invalidated a range containing the label.
+        """
+        if last_cached >= self.last_modified:
+            return label  # nothing happened since; cache is fresh
+        if last_cached < self.dropped_through:
+            return None  # history lost
+        for effect in self._entries:
+            if effect.timestamp <= last_cached or effect.channel != channel:
+                continue
+            if effect.invalidates:
+                if effect.hits(label):
+                    return None
+            else:
+                label = effect.apply(label)
+        return label
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss accounting for :class:`CachedLabelStore`."""
+
+    fresh_hits: int = 0  # cache newer than every modification
+    replayed_hits: int = 0  # repaired by replaying logged effects
+    misses: int = 0  # full lookups paid
+
+    @property
+    def lookups(self) -> int:
+        return self.fresh_hits + self.replayed_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return 0.0 if total == 0 else (total - self.misses) / total
+
+
+class CachedLabelStore:
+    """Front-end that serves label reads through the cache + log.
+
+    Attach one to a scheme and read labels through :meth:`get`::
+
+        cached = CachedLabelStore(scheme, log_capacity=64)
+        ref = cached.reference(lid)
+        ...
+        value = cached.get(ref)   # free if cache is usable
+
+    The store registers itself as a log listener on the scheme, so every
+    update the scheme performs is captured automatically.
+    """
+
+    def __init__(self, scheme: LabelingScheme, log_capacity: int = 0) -> None:
+        self.scheme = scheme
+        self.log = ModificationLog(log_capacity)
+        self.counters = CacheCounters()
+        scheme.add_log_listener(self.log.record)
+
+    def close(self) -> None:
+        """Detach from the scheme's log stream."""
+        self.scheme.remove_log_listener(self.log.record)
+
+    def reference(self, lid: int, channel: str = LABEL_CHANNEL) -> LabelRef:
+        """Create an augmented reference for ``lid`` with a warm cache."""
+        ref = LabelRef(lid, channel=channel)
+        self._refresh(ref)
+        return ref
+
+    def get(self, ref: LabelRef) -> Label:
+        """Current label behind ``ref``, via cache, replay, or full lookup."""
+        if ref.value is not None:
+            if ref.last_cached >= self.log.last_modified:
+                self.counters.fresh_hits += 1
+                ref.last_cached = self.scheme.clock
+                return ref.value
+            repaired = self.log.replay(ref.value, ref.last_cached, ref.channel)
+            if repaired is not None:
+                self.counters.replayed_hits += 1
+                ref.value = repaired
+                ref.last_cached = self.scheme.clock
+                return repaired
+        self.counters.misses += 1
+        return self._refresh(ref)
+
+    def _refresh(self, ref: LabelRef) -> Label:
+        if ref.channel == ORDINAL_CHANNEL:
+            value = self.scheme.ordinal_lookup(ref.lid)
+        else:
+            value = self.scheme.lookup(ref.lid)
+        ref.value = value
+        ref.last_cached = self.scheme.clock
+        return value

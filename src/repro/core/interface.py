@@ -1,0 +1,238 @@
+"""The labeling-scheme interface (Section 3 of the paper).
+
+A *labeling scheme* assigns every start and end tag an integer (or, for
+B-BOX, a component-vector) label whose ordering matches document order.
+Labels are referenced through *immutable label IDs* (LIDs): records in the
+LIDF heap file that can be duplicated freely in a database because they
+never change, while the label value behind them may.
+
+Supported operations (paper, Section 3):
+
+* ``lookup(lid)`` — the current label value behind ``lid``.
+* ``insert_element_before(lid)`` — insert a new element immediately before
+  the tag identified by ``lid``; returns the new element's (start, end)
+  LIDs.  Implemented, as in the paper, with two low-level
+  ``insert_before`` calls.
+* ``delete(lid)`` — remove one label; deleting an element means deleting
+  both of its labels (children are implicitly promoted).
+* bulk loading and subtree insert/delete.
+
+Every scheme owns (or shares) a :class:`~repro.storage.BlockStore` and a
+:class:`~repro.storage.HeapFile` LIDF, and counts its I/Os there.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import Enum
+from typing import Any, Callable
+
+from ..config import BoxConfig
+from ..errors import OrdinalUnsupportedError
+from ..storage import BlockStore, HeapFile, IOStats
+
+#: A label: an int for W-BOX / naive-k, a tuple of ints for B-BOX.
+Label = Any
+
+#: Callback type for modification-log listeners (see core.cachelog).
+LogListener = Callable[[Any], None]
+
+
+class LabelKind(Enum):
+    """Whether a LID names a start or an end label."""
+
+    START = 0
+    END = 1
+
+
+class LabelingScheme(ABC):
+    """Abstract base for every dynamic labeling scheme in this package."""
+
+    #: Short scheme name used in benchmark tables, e.g. ``"W-BOX"``.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        config: BoxConfig | None = None,
+        store: BlockStore | None = None,
+        lidf: HeapFile | None = None,
+    ) -> None:
+        self.config = config if config is not None else BoxConfig()
+        self.store = store if store is not None else BlockStore(self.config)
+        self.lidf = lidf if lidf is not None else HeapFile(self.store, self.config)
+        self._log_listeners: list[LogListener] = []
+        #: Logical modification clock; bumped once per label-changing
+        #: operation (the caching layer's timestamps come from here).
+        self.clock = 0
+
+    # ------------------------------------------------------------------
+    # required low-level operations
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def lookup(self, lid: int) -> Label:
+        """Return the current label value identified by ``lid``."""
+
+    @abstractmethod
+    def insert_before(self, lid_old: int) -> int:
+        """Insert a new label immediately before the one identified by
+        ``lid_old``; returns the new label's LID."""
+
+    @abstractmethod
+    def delete(self, lid: int) -> None:
+        """Remove the label identified by ``lid`` and free its LIDF record."""
+
+    @abstractmethod
+    def bulk_load(self, n_labels: int, pairing: "list[int] | None" = None) -> list[int]:
+        """Load ``n_labels`` fresh labels in document order into an empty
+        structure; returns their LIDs in that order.
+
+        The caller supplies only the count because document order is all a
+        labeling scheme needs — a single scan of the document produces the
+        records in exactly their intended order (Section 4).  ``pairing``
+        optionally maps each tag position to its partner tag's position
+        (start <-> end of the same element); only W-BOX-O requires it.
+        """
+
+    @abstractmethod
+    def label_count(self) -> int:
+        """Number of live labels currently maintained."""
+
+    # ------------------------------------------------------------------
+    # optional operations with default implementations
+    # ------------------------------------------------------------------
+
+    def compare(self, lid1: int, lid2: int) -> int:
+        """Document-order comparison of two labels: -1, 0, or +1.
+
+        The default materializes both labels; B-BOX overrides this with the
+        cheaper lowest-common-ancestor walk.
+        """
+        label1, label2 = self.lookup(lid1), self.lookup(lid2)
+        return (label1 > label2) - (label1 < label2)
+
+    def lookup_pair(self, start_lid: int, end_lid: int) -> tuple[Label, Label]:
+        """Return (start, end) labels of one element.
+
+        W-BOX-O overrides this to answer from the start record alone.
+        """
+        return self.lookup(start_lid), self.lookup(end_lid)
+
+    def ordinal_lookup(self, lid: int) -> int:
+        """The *ordinal* label: the exact 0-based position of the tag in the
+        document.  Only available on schemes built with ordinal support."""
+        raise OrdinalUnsupportedError(f"{self.name} was built without ordinal support")
+
+    @property
+    def supports_ordinal(self) -> bool:
+        """Whether :meth:`ordinal_lookup` works on this instance."""
+        return False
+
+    def insert_subtree_before(
+        self, lid_old: int, n_labels: int, pairing: "list[int] | None" = None
+    ) -> list[int]:
+        """Insert ``n_labels`` new labels (a whole XML subtree's tags, in
+        document order) immediately before ``lid_old``; returns their LIDs.
+
+        The default falls back to repeated :meth:`insert_before`; W-BOX and
+        B-BOX override it with their bulk subtree-insert algorithms.
+        ``pairing`` maps each new tag position to its partner's position
+        within the inserted run (needed by W-BOX-O only).
+        """
+        del pairing
+        lids: list[int] = []
+        anchor = lid_old
+        for _ in range(n_labels):
+            anchor = self.insert_before(anchor)
+            lids.append(anchor)
+        # Repeated insert-before(anchor) builds the run back-to-front.
+        lids.reverse()
+        return lids
+
+    def delete_range(self, first_lid: int, last_lid: int) -> list[int]:
+        """Delete every label from ``first_lid``'s through ``last_lid``'s
+        position inclusive (a subtree's contiguous label range); returns the
+        deleted LIDs in document order.
+
+        The default falls back to per-label deletes and therefore needs the
+        caller to pass a range it can enumerate by repeated comparison;
+        schemes override this with their bulk subtree-delete algorithms.
+        """
+        raise NotImplementedError(f"{self.name} does not implement delete_range")
+
+    # ------------------------------------------------------------------
+    # element-level convenience (the paper's insert-element-before)
+    # ------------------------------------------------------------------
+
+    def insert_element_before(self, lid: int) -> tuple[int, int]:
+        """Insert a new element immediately before the tag behind ``lid``.
+
+        If ``lid`` is a start label, the new element becomes that element's
+        previous sibling; if an end label, the new element becomes the last
+        child.  Implemented exactly as the paper specifies: allocate two
+        LIDF records, then ``insert_before(lid2, lid)`` followed by
+        ``insert_before(lid1, lid2)``.
+        """
+        with self.store.operation():
+            end_lid = self.insert_before(lid)
+            start_lid = self.insert_before(end_lid)
+        return start_lid, end_lid
+
+    def delete_element(self, start_lid: int, end_lid: int) -> None:
+        """Delete an element's two labels; its children are implicitly
+        promoted to the deleted element's parent."""
+        with self.store.operation():
+            self.delete(start_lid)
+            self.delete(end_lid)
+
+    # ------------------------------------------------------------------
+    # bookkeeping shared by all schemes
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> IOStats:
+        """The shared I/O counters."""
+        return self.store.stats
+
+    def add_log_listener(self, listener: LogListener) -> None:
+        """Subscribe a modification-log listener (see
+        :class:`repro.core.cachelog.ModificationLog`).  Listeners receive
+        effect objects describing how each update changed existing labels."""
+        self._log_listeners.append(listener)
+
+    def remove_log_listener(self, listener: LogListener) -> None:
+        """Unsubscribe a previously added listener."""
+        self._log_listeners.remove(listener)
+
+    def _emit(self, effect: Any) -> None:
+        """Deliver one update effect to all listeners."""
+        for listener in self._log_listeners:
+            listener(effect)
+
+    def _tick(self) -> int:
+        """Advance and return the modification clock."""
+        self.clock += 1
+        return self.clock
+
+    # ------------------------------------------------------------------
+    # reporting helpers
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def label_bit_length(self) -> int:
+        """Bits required to represent the largest label value currently
+        assignable (the paper's first metric, "length of a label in bits")."""
+
+    def space_blocks(self) -> int:
+        """Total blocks used by the structure and its LIDF."""
+        return self.store.block_count
+
+    def describe(self) -> dict[str, Any]:
+        """A small diagnostic summary (name, labels, blocks, bits)."""
+        return {
+            "scheme": self.name,
+            "labels": self.label_count(),
+            "blocks": self.space_blocks(),
+            "label_bits": self.label_bit_length(),
+        }
+

@@ -1,0 +1,6 @@
+"""W-BOX: weight-balanced B-tree for ordering XML (Section 4)."""
+
+from .tree import WBox
+from .pairs import WBoxO
+
+__all__ = ["WBox", "WBoxO"]

@@ -1,0 +1,257 @@
+"""W-BOX-O: the W-BOX variant optimized for start/end label pairs
+(Section 4, "Further optimization for start/end pairs").
+
+Query processing very often wants *both* labels of an element.  In W-BOX-O
+every leaf record carries, besides its LID, a pointer to the block holding
+its partner record, and a **start** record additionally caches the current
+value of its element's **end** label.  :meth:`WBoxO.lookup_pair` therefore
+answers from the start record alone — two I/Os including the LIDF hop,
+versus four for the basic W-BOX.
+
+The price is maintenance:
+
+* when records move between blocks (leaf splits, rebuilds), the partners'
+  block pointers must be repaired — ``O(B)`` per split, amortized ``O(1)``;
+* when a range of labels is relabeled, start records *outside* the range
+  whose end partners are *inside* must refresh their cached end values.
+  Those elements all contain the range's left endpoint, so they lie on one
+  root-to-leaf path of the XML tree and number at most ``D``, the document
+  depth — giving the ``O(D + log_B N)`` amortized insert of Theorem 4.7.
+
+Implementation: the tree code reports record moves and leaf relabelings
+through the ``_relocate_records`` / ``_leaf_relabeled`` hooks; this class
+journals them during an operation and repairs partner state once, when the
+outermost operation finishes (a *fixup session*).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from ...config import BoxConfig
+from ...errors import LabelingError, UnknownLIDError
+from ...storage import BlockStore, HeapFile
+from .node import WNode
+from .tree import WBox
+
+
+class PairRecord:
+    """A W-BOX-O leaf record.
+
+    ``partner_lid`` / ``partner_block`` locate the record of the same
+    element's other tag; ``end_value`` caches the end label (maintained on
+    start records only).  Fresh records are unwired until the element-level
+    operation that created them installs the pairing.
+    """
+
+    __slots__ = ("lid", "is_start", "partner_lid", "partner_block", "end_value")
+
+    def __init__(self, lid: int) -> None:
+        self.lid = lid
+        self.is_start = False
+        self.partner_lid: int | None = None
+        self.partner_block = 0
+        self.end_value: int | None = None
+
+    def __repr__(self) -> str:
+        kind = "start" if self.is_start else "end"
+        return f"PairRecord(lid={self.lid}, {kind}, partner={self.partner_lid})"
+
+
+class WBoxO(WBox):
+    """W-BOX optimized for reading start/end labels in pairs."""
+
+    name = "W-BOX-O"
+
+    def __init__(
+        self,
+        config: BoxConfig | None = None,
+        store: BlockStore | None = None,
+        lidf: HeapFile | None = None,
+        ordinal: bool = False,
+    ) -> None:
+        self._session_depth = 0
+        self._pending_moves: dict[int, tuple[PairRecord, int]] = {}
+        self._pending_relabeled: dict[int, None] = {}
+        super().__init__(config, store, lidf, ordinal)
+
+    # ------------------------------------------------------------------
+    # record format hooks
+    # ------------------------------------------------------------------
+
+    def _leaf_capacity(self) -> int:
+        return self.config.wbox_pair_leaf_capacity
+
+    def _make_record(self, lid: int) -> PairRecord:
+        return PairRecord(lid)
+
+    def _record_lid(self, record: PairRecord) -> int:
+        return record.lid
+
+    def _find_record(self, leaf: WNode, lid: int) -> int:
+        for position, record in enumerate(leaf.entries):
+            if record.lid == lid:
+                return position
+        raise UnknownLIDError(f"LID {lid} not found in its leaf")
+
+    def _relocate_records(self, records: list[PairRecord], new_block: int) -> None:
+        super()._relocate_records(records, new_block)
+        for record in records:
+            self._pending_moves[record.lid] = (record, new_block)
+        self._pending_relabeled[new_block] = None
+
+    def _leaf_relabeled(self, leaf_id: int, leaf: WNode) -> None:
+        self._pending_relabeled[leaf_id] = None
+
+    # ------------------------------------------------------------------
+    # fixup sessions
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _fixup_session(self) -> Iterator[None]:
+        """Collect partner-maintenance work for one outermost operation and
+        apply it exactly once at the end."""
+        self._session_depth += 1
+        try:
+            yield
+        finally:
+            self._session_depth -= 1
+            if self._session_depth == 0:
+                try:
+                    self._run_fixups()
+                finally:
+                    self._pending_moves = {}
+                    self._pending_relabeled = {}
+
+    def _run_fixups(self) -> None:
+        moves = self._pending_moves
+        # Phase 1: repair partner block pointers for every moved record.
+        for lid, (record, new_block) in moves.items():
+            partner_lid = record.partner_lid
+            if partner_lid is None:
+                continue  # not yet wired (fresh record)
+            if partner_lid in moves:
+                partner_location = moves[partner_lid][1]
+            else:
+                partner_location = record.partner_block
+            record.partner_block = partner_location
+            if not self.store.exists(partner_location):
+                continue  # partner deleted along with its block
+            partner_leaf = self.store.read(partner_location)
+            if not isinstance(partner_leaf, WNode) or not partner_leaf.is_leaf:
+                continue  # partner deleted; its block was reused elsewhere
+            try:
+                position = self._find_record(partner_leaf, partner_lid)
+            except UnknownLIDError:
+                continue  # partner record was deleted
+            partner_leaf.entries[position].partner_block = new_block
+            self.store.write(partner_location)
+        # Phase 2: refresh cached end values for every relabeled leaf.  End
+        # records inside the relabeled set whose start partners live outside
+        # are the D-bounded cost of Theorem 4.7.
+        for leaf_id in self._pending_relabeled:
+            if not self.store.exists(leaf_id):
+                continue  # merged away during a rebuild
+            leaf = self.store.read(leaf_id)
+            if not isinstance(leaf, WNode) or not leaf.is_leaf:
+                continue
+            for position, record in enumerate(leaf.entries):
+                if record.is_start or record.partner_lid is None:
+                    continue
+                if not self.store.exists(record.partner_block):
+                    continue
+                partner_leaf = self.store.read(record.partner_block)
+                if not isinstance(partner_leaf, WNode) or not partner_leaf.is_leaf:
+                    continue  # partner deleted; its block was reused elsewhere
+                try:
+                    partner_position = self._find_record(partner_leaf, record.partner_lid)
+                except UnknownLIDError:
+                    continue
+                partner = partner_leaf.entries[partner_position]
+                partner.end_value = leaf.range_lo + position
+                self.store.write(record.partner_block)
+
+    # ------------------------------------------------------------------
+    # wrapped mutating operations
+    # ------------------------------------------------------------------
+
+    def insert_before(self, lid_old: int) -> int:
+        with self.store.operation(), self._fixup_session():
+            return super().insert_before(lid_old)
+
+    def delete(self, lid: int) -> None:
+        with self.store.operation(), self._fixup_session():
+            super().delete(lid)
+
+    def delete_range(self, first_lid: int, last_lid: int) -> list[int]:
+        with self.store.operation(), self._fixup_session():
+            return super().delete_range(first_lid, last_lid)
+
+    def insert_element_before(self, lid: int) -> tuple[int, int]:
+        """Insert an element and wire the new records' partner state."""
+        with self.store.operation(), self._fixup_session():
+            end_lid = self.insert_before(lid)
+            start_lid = self.insert_before(end_lid)
+            self._wire_pair(start_lid, end_lid)
+            return start_lid, end_lid
+
+    def bulk_load(self, n_labels: int, pairing: Sequence[int] | None = None) -> list[int]:
+        if pairing is None:
+            raise LabelingError("W-BOX-O bulk_load requires the tag pairing")
+        with self.store.operation(), self._fixup_session():
+            lids = super().bulk_load(n_labels)
+            self._wire_pairing(lids, pairing)
+            return lids
+
+    def insert_subtree_before(
+        self, lid_old: int, n_labels: int, pairing: Sequence[int] | None = None
+    ) -> list[int]:
+        if pairing is None:
+            raise LabelingError("W-BOX-O insert_subtree_before requires the tag pairing")
+        with self.store.operation(), self._fixup_session():
+            lids = super().insert_subtree_before(lid_old, n_labels)
+            self._wire_pairing(lids, pairing)
+            return lids
+
+    # ------------------------------------------------------------------
+    # pair wiring and pair lookup
+    # ------------------------------------------------------------------
+
+    def _locate(self, lid: int) -> tuple[int, WNode, int]:
+        """(leaf block id, leaf, position) for ``lid``."""
+        leaf_id = self.lidf.read(lid)
+        leaf = self.store.read(leaf_id)
+        return leaf_id, leaf, self._find_record(leaf, lid)
+
+    def _wire_pair(self, start_lid: int, end_lid: int) -> None:
+        start_block, start_leaf, start_position = self._locate(start_lid)
+        end_block, end_leaf, end_position = self._locate(end_lid)
+        start_record = start_leaf.entries[start_position]
+        end_record = end_leaf.entries[end_position]
+        start_record.is_start = True
+        start_record.partner_lid = end_lid
+        start_record.partner_block = end_block
+        start_record.end_value = end_leaf.range_lo + end_position
+        end_record.is_start = False
+        end_record.partner_lid = start_lid
+        end_record.partner_block = start_block
+        self.store.write(start_block)
+        self.store.write(end_block)
+
+    def _wire_pairing(self, lids: Sequence[int], pairing: Sequence[int]) -> None:
+        if len(pairing) != len(lids):
+            raise LabelingError("pairing length must match the number of labels")
+        for index, partner_index in enumerate(pairing):
+            if index < partner_index:
+                self._wire_pair(lids[index], lids[partner_index])
+
+    def lookup_pair(self, start_lid: int, end_lid: int) -> tuple[int, int]:
+        """Both labels of an element from its start record alone: one LIDF
+        I/O plus one leaf I/O."""
+        with self.store.operation():
+            _, leaf, position = self._locate(start_lid)
+            record = leaf.entries[position]
+            if not record.is_start or record.end_value is None:
+                return super().lookup_pair(start_lid, end_lid)
+            return leaf.range_lo + position, record.end_value

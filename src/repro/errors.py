@@ -1,0 +1,73 @@
+"""Exception hierarchy for the BOXes reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent (e.g. a block too
+    small to hold a single record)."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer failures."""
+
+
+class BlockNotFoundError(StorageError):
+    """A block id was read or written that is not currently allocated."""
+
+
+class BlockOverflowError(StorageError):
+    """An encoded node does not fit within the configured block size."""
+
+
+class RecordNotFoundError(StorageError):
+    """A heap-file record (LID) does not exist or has been reclaimed."""
+
+
+class XMLError(ReproError):
+    """Base class for XML substrate failures."""
+
+
+class XMLParseError(XMLError):
+    """The input text is not well-formed (for the supported XML subset).
+
+    Carries the byte offset and a human-readable reason.
+    """
+
+    def __init__(self, message: str, offset: int) -> None:
+        super().__init__(f"{message} (at offset {offset})")
+        self.offset = offset
+
+
+class LabelingError(ReproError):
+    """Base class for labeling-scheme failures."""
+
+
+class UnknownLIDError(LabelingError):
+    """An operation referenced a LID the scheme does not know about."""
+
+
+class InvariantViolation(LabelingError):
+    """An internal structural invariant was found broken.
+
+    Raised by the ``check_invariants`` debugging entry points; seeing this in
+    production indicates a bug in the tree maintenance code.
+    """
+
+
+class OrdinalUnsupportedError(LabelingError):
+    """Ordinal labels were requested from a scheme built without ordinal
+    (size-field) support."""
+
+
+class CacheError(ReproError):
+    """Failures in the caching/logging layer of Section 6."""

@@ -1,0 +1,482 @@
+"""Persistence: save a labeling structure to a file and load it back.
+
+The in-memory structures are exact images of their on-disk layouts (the
+capacities come from :class:`~repro.config.BoxConfig` and
+:mod:`repro.storage.codec` proves maximally full nodes fit their blocks),
+so serializing them is a straightforward walk over the block store.  The
+file format here is a compact varint-encoded container:
+
+* a magic string and a JSON header (scheme class, config, counters, LIDF
+  directory, block-store allocation state);
+* one record per block: block id, a kind tag, and the payload fields.
+
+Varints keep the format correct even for values that outgrow fixed-width
+fields (naive-k label values with large k, W-BOX range origins after many
+root splits).
+
+Supported schemes: W-BOX, W-BOX-O, B-BOX (each with any flags) and
+naive-k.  Round trip::
+
+    save_scheme(scheme, "labels.box")
+    scheme = load_scheme("labels.box")
+
+The reloaded scheme has fresh I/O counters; LIDs remain valid (that is the
+whole point of the LIDF).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, BinaryIO
+
+from .config import BoxConfig
+from .core.bbox.node import BNode
+from .core.bbox.tree import BBox
+from .core.naive import NaiveScheme
+from .core.ordpath import OrdPath
+from .core.wbox.node import WEntry, WNode
+from .core.wbox.pairs import PairRecord, WBoxO
+from .core.wbox.tree import WBox
+from .errors import ReproError
+from .storage import BlockStore, HeapFile
+
+MAGIC = b"BOXS0001"
+
+# Block payload kind tags.
+_K_WLEAF = 1
+_K_WINT = 2
+_K_WPAIRLEAF = 3
+_K_BLEAF = 4
+_K_BINT = 5
+_K_LIDF = 6
+
+# LIDF slot tags.
+_S_EMPTY = 0
+_S_INT = 1
+_S_PAIR = 2
+_S_SEQ = 3  # arbitrary-length signed component vector (ORDPATH labels)
+
+
+class PersistError(ReproError):
+    """The file is not a valid saved structure, or the scheme is not
+    serializable."""
+
+
+# ----------------------------------------------------------------------
+# varint primitives (unsigned LEB128; signed values are zigzag-encoded)
+# ----------------------------------------------------------------------
+
+
+def write_uvarint(stream: BinaryIO, value: int) -> None:
+    if value < 0:
+        raise PersistError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            stream.write(bytes((byte | 0x80,)))
+        else:
+            stream.write(bytes((byte,)))
+            return
+
+
+def read_uvarint(stream: BinaryIO) -> int:
+    shift = 0
+    value = 0
+    while True:
+        raw = stream.read(1)
+        if not raw:
+            raise PersistError("truncated varint")
+        byte = raw[0]
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value
+        shift += 7
+
+
+def write_svarint(stream: BinaryIO, value: int) -> None:
+    write_uvarint(stream, (value << 1) ^ (value >> 63) if value < 0 else value << 1)
+
+
+def read_svarint(stream: BinaryIO) -> int:
+    raw = read_uvarint(stream)
+    return (raw >> 1) ^ -(raw & 1)
+
+
+# ----------------------------------------------------------------------
+# block payload encoders
+# ----------------------------------------------------------------------
+
+
+def _encode_payload(stream: BinaryIO, payload: Any) -> None:
+    if isinstance(payload, WNode):
+        _encode_wnode(stream, payload)
+    elif isinstance(payload, BNode):
+        _encode_bnode(stream, payload)
+    elif isinstance(payload, list):
+        _encode_lidf_block(stream, payload)
+    else:
+        raise PersistError(f"unsupported block payload {type(payload).__name__}")
+
+
+def _encode_wnode(stream: BinaryIO, node: WNode) -> None:
+    if node.is_leaf:
+        pair_leaf = bool(node.entries) and isinstance(node.entries[0], PairRecord)
+        write_uvarint(stream, _K_WPAIRLEAF if pair_leaf else _K_WLEAF)
+        write_uvarint(stream, node.range_lo or 0)
+        write_uvarint(stream, node.range_len)
+        write_uvarint(stream, node.weight)
+        write_uvarint(stream, len(node.entries))
+        for record in node.entries:
+            if pair_leaf:
+                write_uvarint(stream, record.lid)
+                write_uvarint(stream, 1 if record.is_start else 0)
+                write_uvarint(stream, 0 if record.partner_lid is None else record.partner_lid + 1)
+                write_uvarint(stream, record.partner_block)
+                write_uvarint(stream, 0 if record.end_value is None else record.end_value + 1)
+            else:
+                write_uvarint(stream, record)
+        return
+    write_uvarint(stream, _K_WINT)
+    write_uvarint(stream, node.level)
+    write_uvarint(stream, node.range_lo or 0)
+    write_uvarint(stream, node.range_len)
+    write_uvarint(stream, node.weight)
+    write_uvarint(stream, len(node.entries))
+    for entry in node.entries:
+        write_uvarint(stream, entry.child)
+        write_uvarint(stream, entry.slot)
+        write_uvarint(stream, entry.weight)
+        write_uvarint(stream, entry.size)
+
+
+def _encode_bnode(stream: BinaryIO, node: BNode) -> None:
+    write_uvarint(stream, _K_BLEAF if node.leaf else _K_BINT)
+    write_uvarint(stream, node.parent)
+    write_uvarint(stream, len(node.entries))
+    for entry in node.entries:
+        write_uvarint(stream, entry)
+    if not node.leaf:
+        if node.sizes is None:
+            write_uvarint(stream, 0)
+        else:
+            write_uvarint(stream, 1)
+            for size in node.sizes:
+                write_uvarint(stream, size)
+
+
+def _encode_lidf_block(stream: BinaryIO, records: list) -> None:
+    write_uvarint(stream, _K_LIDF)
+    write_uvarint(stream, len(records))
+    for record in records:
+        if record is None:
+            write_uvarint(stream, _S_EMPTY)
+        elif isinstance(record, int):
+            write_uvarint(stream, _S_INT)
+            write_uvarint(stream, record)
+        elif (
+            isinstance(record, tuple)
+            and len(record) == 2
+            and all(isinstance(x, int) and x >= 0 for x in record)
+        ):
+            write_uvarint(stream, _S_PAIR)
+            write_uvarint(stream, record[0])
+            write_uvarint(stream, record[1])
+        elif isinstance(record, tuple) and all(isinstance(x, int) for x in record):
+            write_uvarint(stream, _S_SEQ)
+            write_uvarint(stream, len(record))
+            for component in record:
+                write_svarint(stream, component)
+        else:
+            raise PersistError(f"unsupported LIDF record {record!r}")
+
+
+def _decode_payload(stream: BinaryIO) -> Any:
+    kind = read_uvarint(stream)
+    if kind in (_K_WLEAF, _K_WPAIRLEAF):
+        range_lo = read_uvarint(stream)
+        range_len = read_uvarint(stream)
+        weight = read_uvarint(stream)
+        count = read_uvarint(stream)
+        entries: list = []
+        for _ in range(count):
+            if kind == _K_WPAIRLEAF:
+                record = PairRecord(read_uvarint(stream))
+                record.is_start = bool(read_uvarint(stream))
+                partner = read_uvarint(stream)
+                record.partner_lid = None if partner == 0 else partner - 1
+                record.partner_block = read_uvarint(stream)
+                end_value = read_uvarint(stream)
+                record.end_value = None if end_value == 0 else end_value - 1
+                entries.append(record)
+            else:
+                entries.append(read_uvarint(stream))
+        return WNode(0, range_lo, range_len, weight, entries)
+    if kind == _K_WINT:
+        level = read_uvarint(stream)
+        range_lo = read_uvarint(stream)
+        range_len = read_uvarint(stream)
+        weight = read_uvarint(stream)
+        count = read_uvarint(stream)
+        entries = [
+            WEntry(
+                read_uvarint(stream),
+                read_uvarint(stream),
+                read_uvarint(stream),
+                read_uvarint(stream),
+            )
+            for _ in range(count)
+        ]
+        return WNode(level, range_lo, range_len, weight, entries)
+    if kind in (_K_BLEAF, _K_BINT):
+        parent = read_uvarint(stream)
+        count = read_uvarint(stream)
+        entries = [read_uvarint(stream) for _ in range(count)]
+        sizes = None
+        if kind == _K_BINT and read_uvarint(stream):
+            sizes = [read_uvarint(stream) for _ in range(count)]
+        return BNode(leaf=kind == _K_BLEAF, parent=parent, entries=entries, sizes=sizes)
+    if kind == _K_LIDF:
+        count = read_uvarint(stream)
+        records: list = []
+        for _ in range(count):
+            tag = read_uvarint(stream)
+            if tag == _S_EMPTY:
+                records.append(None)
+            elif tag == _S_INT:
+                records.append(read_uvarint(stream))
+            elif tag == _S_PAIR:
+                records.append((read_uvarint(stream), read_uvarint(stream)))
+            else:
+                length = read_uvarint(stream)
+                records.append(tuple(read_svarint(stream) for _ in range(length)))
+        return records
+    raise PersistError(f"unknown block kind {kind}")
+
+
+# ----------------------------------------------------------------------
+# scheme metadata
+# ----------------------------------------------------------------------
+
+_SCHEME_CLASSES = {
+    "WBox": WBox,
+    "WBoxO": WBoxO,
+    "BBox": BBox,
+    "NaiveScheme": NaiveScheme,
+    "OrdPath": OrdPath,
+}
+
+
+def _scheme_metadata(scheme: Any) -> dict:
+    meta: dict[str, Any] = {"clock": scheme.clock}
+    if isinstance(scheme, WBox):  # includes WBoxO
+        meta.update(
+            root_id=scheme.root_id,
+            height=scheme.height,
+            root_weight=scheme.root_weight,
+            live=scheme._live,
+            deletions=scheme._deletions,
+            ordinal=scheme.ordinal,
+            balance=scheme.balance,
+        )
+    elif isinstance(scheme, BBox):
+        meta.update(
+            root_id=scheme.root_id,
+            height=scheme.height,
+            live=scheme._live,
+            ordinal=scheme.ordinal,
+            min_fill_divisor=scheme.min_fill_divisor,
+        )
+    elif isinstance(scheme, NaiveScheme):
+        meta.update(
+            gap_bits=scheme.gap_bits,
+            relabel_count=scheme.relabel_count,
+            order=[[value, lid] for value, lid in scheme._order],
+        )
+    elif isinstance(scheme, OrdPath):
+        meta.update(order=[[list(label), lid] for label, lid in scheme._order])
+    else:
+        raise PersistError(f"cannot persist scheme type {type(scheme).__name__}")
+    return meta
+
+
+def _config_fields(config: BoxConfig) -> dict:
+    import dataclasses
+
+    return {f.name: getattr(config, f.name) for f in dataclasses.fields(config)}
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+
+
+def save_scheme(scheme: Any, path: str) -> None:
+    """Serialize ``scheme`` (structure, LIDF, counters) to ``path``."""
+    type_name = type(scheme).__name__
+    if type_name not in _SCHEME_CLASSES:
+        raise PersistError(f"cannot persist scheme type {type_name}")
+    store: BlockStore = scheme.store
+    lidf: HeapFile = scheme.lidf
+    header = {
+        "scheme": type_name,
+        "config": _config_fields(scheme.config),
+        "meta": _scheme_metadata(scheme),
+        "lidf": {
+            "block_ids": lidf._block_ids,
+            "free": sorted(lidf._free),
+            "tail": lidf._tail,
+            "live": lidf._live,
+        },
+        "store": {"next_id": store._next_id, "free_ids": sorted(store._free_ids)},
+    }
+    body = io.BytesIO()
+    block_ids = sorted(store.block_ids())
+    write_uvarint(body, len(block_ids))
+    for block_id in block_ids:
+        write_uvarint(body, block_id)
+        _encode_payload(body, store.peek(block_id))
+    header_bytes = json.dumps(header).encode("utf-8")
+    with open(path, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(len(header_bytes).to_bytes(8, "big"))
+        handle.write(header_bytes)
+        handle.write(body.getvalue())
+
+
+def save_document(document: Any, path: str) -> None:
+    """Serialize a whole :class:`~repro.core.document.LabeledDocument`:
+    the labeling structure plus the XML tree and the element↔LID binding.
+
+    The binding is stored as the LID of every tag in document order, so the
+    reload can re-walk the (re-parsed) tree and reattach each element to
+    its labels — which is what makes a saved file *queryable*, not just
+    inspectable.
+    """
+    from .core.document import LabeledDocument
+    from .xml.model import TagKind, document_tags
+    from .xml.writer import serialize
+
+    if not isinstance(document, LabeledDocument):
+        raise PersistError("save_document expects a LabeledDocument")
+    if document.root is None:
+        raise PersistError("cannot save an empty document")
+    save_scheme(document.scheme, path)
+    lids = []
+    for tag in document_tags(document.root):
+        if tag.kind is TagKind.START:
+            lids.append(document.start_lid(tag.element))
+        else:
+            lids.append(document.end_lid(tag.element))
+    xml_bytes = serialize(document.root).encode("utf-8")
+    with open(path, "ab") as handle:
+        handle.write(b"DOCSECT1")
+        handle.write(len(xml_bytes).to_bytes(8, "big"))
+        handle.write(xml_bytes)
+        body = io.BytesIO()
+        write_uvarint(body, len(lids))
+        for lid in lids:
+            write_uvarint(body, lid)
+        handle.write(body.getvalue())
+
+
+def load_document(path: str) -> Any:
+    """Load a file written by :func:`save_document` back into a fully
+    bound :class:`~repro.core.document.LabeledDocument`."""
+    from .core.document import LabeledDocument
+    from .xml.model import TagKind, document_tags
+    from .xml.parser import parse
+
+    scheme, remainder = _load_scheme_and_rest(path)
+    if remainder[:8] != b"DOCSECT1":
+        raise PersistError(f"{path} has no document section (saved with save_scheme?)")
+    xml_length = int.from_bytes(remainder[8:16], "big")
+    xml_text = remainder[16 : 16 + xml_length].decode("utf-8")
+    body = io.BytesIO(remainder[16 + xml_length :])
+    count = read_uvarint(body)
+    lids = [read_uvarint(body) for _ in range(count)]
+
+    root = parse(xml_text)
+    document = LabeledDocument(scheme)  # bind without bulk loading
+    document.root = root
+    for tag, lid in zip(document_tags(root), lids):
+        if tag.kind is TagKind.START:
+            document._start_lids[tag.element] = lid
+        else:
+            document._end_lids[tag.element] = lid
+    if len(document._start_lids) * 2 != count:
+        raise PersistError("document section is inconsistent")
+    return document
+
+
+def load_scheme(path: str) -> Any:
+    """Load a scheme previously written by :func:`save_scheme` (files from
+    :func:`save_document` also work; the document section is ignored).
+
+    The returned scheme has fresh I/O counters; every LID saved remains
+    valid against it.
+    """
+    scheme, _ = _load_scheme_and_rest(path)
+    return scheme
+
+
+def _load_scheme_and_rest(path: str) -> tuple[Any, bytes]:
+    with open(path, "rb") as handle:
+        if handle.read(len(MAGIC)) != MAGIC:
+            raise PersistError(f"{path} is not a saved BOX structure")
+        header_length = int.from_bytes(handle.read(8), "big")
+        header = json.loads(handle.read(header_length).decode("utf-8"))
+        blocks: dict[int, Any] = {}
+        count = read_uvarint(handle)
+        for _ in range(count):
+            block_id = read_uvarint(handle)
+            blocks[block_id] = _decode_payload(handle)
+        remainder = handle.read()
+
+    config = BoxConfig(**header["config"])
+    cls = _SCHEME_CLASSES[header["scheme"]]
+    meta = header["meta"]
+    if cls is OrdPath:
+        scheme = OrdPath(config)
+    elif cls is NaiveScheme:
+        scheme = NaiveScheme(meta["gap_bits"], config)
+    elif cls is BBox:
+        scheme = BBox(config, ordinal=meta["ordinal"], min_fill_divisor=meta["min_fill_divisor"])
+    elif cls is WBoxO:
+        scheme = WBoxO(config, ordinal=meta["ordinal"])
+    else:
+        scheme = WBox(config, ordinal=meta["ordinal"], balance=meta["balance"])
+
+    store: BlockStore = scheme.store
+    store._blocks = blocks
+    store._next_id = header["store"]["next_id"]
+    store._free_ids = list(header["store"]["free_ids"])
+    store.stats.reset()
+
+    lidf: HeapFile = scheme.lidf
+    lidf._block_ids = list(header["lidf"]["block_ids"])
+    lidf._free = list(header["lidf"]["free"])
+    import heapq
+
+    heapq.heapify(lidf._free)
+    lidf._tail = header["lidf"]["tail"]
+    lidf._live = header["lidf"]["live"]
+
+    scheme.clock = meta["clock"]
+    if isinstance(scheme, WBox):
+        scheme.root_id = meta["root_id"]
+        scheme.height = meta["height"]
+        scheme.root_weight = meta["root_weight"]
+        scheme._live = meta["live"]
+        scheme._deletions = meta["deletions"]
+    elif isinstance(scheme, BBox):
+        scheme.root_id = meta["root_id"]
+        scheme.height = meta["height"]
+        scheme._live = meta["live"]
+    elif isinstance(scheme, OrdPath):
+        scheme._order = [(tuple(label), lid) for label, lid in meta["order"]]
+    elif isinstance(scheme, NaiveScheme):
+        scheme.relabel_count = meta["relabel_count"]
+        scheme._order = [(value, lid) for value, lid in meta["order"]]
+    return scheme, remainder

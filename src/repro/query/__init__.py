@@ -1,0 +1,34 @@
+"""Label-based XML query operators.
+
+Order-based labels exist to make these fast: ancestor/descendant checks are
+two label comparisons, containment (structural) joins are a stack-based
+merge over label-sorted inputs, and twig matching composes containment
+joins.  Everything here consumes labels through a
+:class:`~repro.core.document.LabeledDocument` (optionally via the Section 6
+caching layer), so every label fetch is I/O-accounted.
+"""
+
+from .axes import LabelInterval, contains, precedes, label_interval
+from .containment import (
+    containment_count,
+    containment_join,
+    containment_join_by_name,
+    containment_semijoin,
+)
+from .twig import TwigNode, twig_match
+from .xpath import XPathError, evaluate as xpath
+
+__all__ = [
+    "LabelInterval",
+    "contains",
+    "precedes",
+    "label_interval",
+    "containment_join",
+    "containment_join_by_name",
+    "containment_semijoin",
+    "containment_count",
+    "TwigNode",
+    "twig_match",
+    "xpath",
+    "XPathError",
+]

@@ -1,0 +1,91 @@
+"""Axis predicates over order-based labels.
+
+The core use of the labeling (Section 3): element ``e1`` is an ancestor of
+``e2`` iff ``l<(e1) < l<(e2)`` and ``l>(e2) < l>(e1)`` — evaluated on label
+values alone, no tree navigation.  Labels may be ints (W-BOX, naive) or
+component tuples (B-BOX); both compare with ``<``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.cachelog import CachedLabelStore, LabelRef
+from ..core.document import LabeledDocument
+from ..xml.model import Element
+
+Label = Any
+
+
+@dataclass(frozen=True)
+class LabelInterval:
+    """An element's (start, end) label pair."""
+
+    start: Label
+    end: Label
+
+    def contains(self, other: "LabelInterval") -> bool:
+        """Whether this element is a proper ancestor of ``other``."""
+        return self.start < other.start and other.end < self.end
+
+    def precedes(self, other: "LabelInterval") -> bool:
+        """Whether this element ends before ``other`` starts (the
+        ``following`` axis)."""
+        return self.end < other.start
+
+
+def contains(ancestor: LabelInterval, descendant: LabelInterval) -> bool:
+    """Ancestor/descendant test on label intervals."""
+    return ancestor.contains(descendant)
+
+
+def precedes(first: LabelInterval, second: LabelInterval) -> bool:
+    """Document-order (following axis) test on label intervals."""
+    return first.precedes(second)
+
+
+def label_interval(doc: LabeledDocument, element: Element) -> LabelInterval:
+    """Fetch an element's label interval through its scheme."""
+    start, end = doc.labels(element)
+    return LabelInterval(start, end)
+
+
+class CachedIntervalFetcher:
+    """Fetches label intervals through the Section 6 caching layer.
+
+    Creates one :class:`LabelRef` per tag on first use and replays the
+    modification log on later fetches, so repeated query evaluation over a
+    quiescent (or slowly changing) document costs almost no I/O.
+    """
+
+    def __init__(self, doc: LabeledDocument, log_capacity: int = 0) -> None:
+        self.doc = doc
+        self.cache = CachedLabelStore(doc.scheme, log_capacity)
+        self._refs: dict[Element, tuple[LabelRef, LabelRef]] = {}
+
+    def __call__(self, element: Element) -> LabelInterval:
+        refs = self._refs.get(element)
+        if refs is None:
+            refs = (
+                self.cache.reference(self.doc.start_lid(element)),
+                self.cache.reference(self.doc.end_lid(element)),
+            )
+            self._refs[element] = refs
+        return LabelInterval(self.cache.get(refs[0]), self.cache.get(refs[1]))
+
+    @property
+    def counters(self):
+        """Cache hit/miss counters (see :class:`CacheCounters`)."""
+        return self.cache.counters
+
+    def close(self) -> None:
+        self.cache.close()
+
+
+IntervalFetcher = Callable[[Element], LabelInterval]
+
+
+def default_fetcher(doc: LabeledDocument) -> IntervalFetcher:
+    """A plain (uncached) interval fetcher for ``doc``."""
+    return lambda element: label_interval(doc, element)

@@ -1,0 +1,12 @@
+"""I/O-counting block storage substrate.
+
+This package replaces the paper's TPIE layer: it provides fixed-size blocks,
+an I/O counter, per-operation scratch buffering (the paper's measurement
+methodology), an optional LRU cache, and the LIDF heap file of Section 3.
+"""
+
+from .stats import IOStats, OperationCost
+from .blockstore import BlockStore
+from .heapfile import HeapFile
+
+__all__ = ["IOStats", "OperationCost", "BlockStore", "HeapFile"]

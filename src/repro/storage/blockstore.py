@@ -1,0 +1,259 @@
+"""Block store with I/O counting and per-operation buffering.
+
+The store models a disk of fixed-size blocks.  Payloads are Python objects
+(tree nodes, LIDF record arrays); the store never serializes them in the hot
+path — capacities are enforced by the structures themselves from
+:class:`~repro.config.BoxConfig`, and :mod:`repro.storage.codec` proves the
+node layouts actually fit the configured block size.
+
+Measurement methodology (matches Section 7 of the paper):
+
+* By default there is **no cross-operation caching**.  During a single
+  logical operation, however, "a small number of memory blocks are available
+  for buffering blocks that need to be immediately revisited; they are always
+  evicted from the memory as soon as the operation completes."  We implement
+  exactly that: inside a :meth:`operation` context the first read of each
+  block costs one I/O and later reads are free; each block dirtied during the
+  operation costs one write when the operation completes.
+* An optional LRU cache (``cache_capacity > 0``) reproduces the paper's
+  "caching turned on" remark — reads served from the cache are free (the
+  root then tends to be cached at all times); writes are write-through and
+  still counted.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from ..config import BoxConfig
+from ..errors import BlockNotFoundError, StorageError
+from .stats import IOStats, OperationCost
+
+
+class BlockStore:
+    """A counted collection of fixed-size blocks.
+
+    Parameters
+    ----------
+    config:
+        Block geometry (used by clients; the store itself only needs it for
+        reporting).
+    stats:
+        Shared :class:`IOStats`; a fresh one is created when omitted.
+    cache_capacity:
+        Number of blocks kept in a persistent LRU cache across operations.
+        ``0`` (the default) reproduces the paper's caching-off measurements.
+    """
+
+    def __init__(
+        self,
+        config: BoxConfig,
+        stats: IOStats | None = None,
+        cache_capacity: int = 0,
+    ) -> None:
+        self.config = config
+        self.stats = stats if stats is not None else IOStats()
+        self._blocks: dict[int, Any] = {}
+        self._next_id = 1  # block id 0 is reserved as "null pointer"
+        self._free_ids: list[int] = []
+        self._op_depth = 0
+        self._op_read: set[int] = set()
+        self._op_dirty: set[int] = set()
+        self._cache_capacity = cache_capacity
+        self._lru: OrderedDict[int, None] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def allocate(self, payload: Any = None) -> int:
+        """Allocate a new block and return its id.
+
+        Allocation itself is bookkeeping, not an I/O; the block is counted
+        as written (once) when the current operation completes, like any
+        other dirtied block.
+        """
+        block_id = self._free_ids.pop() if self._free_ids else self._next_id
+        if block_id == self._next_id:
+            self._next_id += 1
+        self._blocks[block_id] = payload
+        self.stats.allocs += 1
+        self._mark_dirty(block_id)
+        return block_id
+
+    def free(self, block_id: int) -> None:
+        """Release a block; its id may be recycled by later allocations."""
+        self._require(block_id)
+        del self._blocks[block_id]
+        self._free_ids.append(block_id)
+        self.stats.frees += 1
+        self._op_read.discard(block_id)
+        self._op_dirty.discard(block_id)
+        self._lru.pop(block_id, None)
+
+    def exists(self, block_id: int) -> bool:
+        """Whether ``block_id`` is currently allocated."""
+        return block_id in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def block_count(self) -> int:
+        """Number of currently allocated blocks."""
+        return len(self._blocks)
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+
+    def read(self, block_id: int) -> Any:
+        """Fetch a block's payload, counting one read I/O unless the block
+        is already buffered by the current operation or the LRU cache."""
+        self._require(block_id)
+        if self._op_depth > 0 and (block_id in self._op_read or block_id in self._op_dirty):
+            pass  # buffered within this operation: free
+        elif block_id in self._lru:
+            self.stats.cache_hits += 1
+            self._lru.move_to_end(block_id)
+        else:
+            self.stats.reads += 1
+            self._cache_insert(block_id)
+        if self._op_depth > 0:
+            self._op_read.add(block_id)
+        return self._blocks[block_id]
+
+    def write(self, block_id: int, payload: Any = ...) -> None:
+        """Mark a block dirty (optionally replacing its payload).
+
+        Payloads are mutable Python objects, so the common pattern is to
+        mutate the object returned by :meth:`read` and then call
+        ``write(block_id)`` to record the I/O.  Within an operation each
+        dirty block is counted once, at operation end; outside an operation
+        every call counts one write immediately.
+        """
+        self._require(block_id)
+        if payload is not ...:
+            self._blocks[block_id] = payload
+        self._mark_dirty(block_id)
+
+    def peek(self, block_id: int) -> Any:
+        """Read a payload *without* counting an I/O.
+
+        For assertions, invariant checkers and test oracles only — never
+        used by the data-structure code on measured paths.
+        """
+        self._require(block_id)
+        return self._blocks[block_id]
+
+    def block_ids(self) -> Iterator[int]:
+        """All currently allocated block ids (uncounted; diagnostics only)."""
+        return iter(tuple(self._blocks))
+
+    # ------------------------------------------------------------------
+    # operation scoping
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def operation(self) -> Iterator[IOStats]:
+        """Scope one logical operation.
+
+        Within the context, repeated reads of the same block are free and
+        each dirtied block costs exactly one write.  Contexts nest; buffers
+        flush when the outermost context exits.  Yields the shared stats
+        object so callers can snapshot around the context.
+        """
+        self._op_depth += 1
+        try:
+            yield self.stats
+        finally:
+            self._op_depth -= 1
+            if self._op_depth == 0:
+                self._flush()
+
+    def measured(self) -> "_MeasuredOperation":
+        """Like :meth:`operation` but the context value reports the cost of
+        just this operation once it exits::
+
+            with store.measured() as cost:
+                ...do work...
+            print(cost.reads, cost.writes)
+        """
+        return _MeasuredOperation(self)
+
+    @property
+    def in_operation(self) -> bool:
+        """Whether an operation context is currently open."""
+        return self._op_depth > 0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _require(self, block_id: int) -> None:
+        if block_id not in self._blocks:
+            raise BlockNotFoundError(f"block {block_id} is not allocated")
+
+    def _mark_dirty(self, block_id: int) -> None:
+        if self._op_depth > 0:
+            self._op_dirty.add(block_id)
+        else:
+            self.stats.writes += 1
+            self._cache_insert(block_id)
+
+    def _flush(self) -> None:
+        self.stats.writes += len(self._op_dirty)
+        for block_id in self._op_dirty:
+            self._cache_insert(block_id)
+        self._op_dirty.clear()
+        self._op_read.clear()
+
+    def _cache_insert(self, block_id: int) -> None:
+        if self._cache_capacity <= 0:
+            return
+        self._lru[block_id] = None
+        self._lru.move_to_end(block_id)
+        while len(self._lru) > self._cache_capacity:
+            self._lru.popitem(last=False)
+
+
+class _MeasuredOperation:
+    """Context manager that exposes the I/O delta of one operation."""
+
+    def __init__(self, store: BlockStore) -> None:
+        self._store = store
+        self._before: OperationCost | None = None
+        self._cost: OperationCost | None = None
+
+    def __enter__(self) -> "_MeasuredOperation":
+        self._before = self._store.stats.snapshot()
+        self._store._op_depth += 1
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._store._op_depth -= 1
+        if self._store._op_depth == 0:
+            self._store._flush()
+        assert self._before is not None
+        self._cost = self._store.stats.snapshot() - self._before
+
+    @property
+    def cost(self) -> OperationCost:
+        """The operation's cost; valid only after the context exits."""
+        if self._cost is None:
+            raise StorageError("operation cost is available only after the context exits")
+        return self._cost
+
+    @property
+    def reads(self) -> int:
+        return self.cost.reads
+
+    @property
+    def writes(self) -> int:
+        return self.cost.writes
+
+    @property
+    def total(self) -> int:
+        return self.cost.total

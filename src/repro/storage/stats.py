@@ -1,0 +1,70 @@
+"""I/O accounting.
+
+Every block read and write performed through a :class:`~repro.storage.blockstore.BlockStore`
+is tallied here.  The benchmarks reproduce the paper's figures from these
+counters: performance "is measured by the number of I/Os" (Section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OperationCost:
+    """Immutable snapshot of the I/O cost of one logical operation."""
+
+    reads: int
+    writes: int
+
+    @property
+    def total(self) -> int:
+        """Combined read + write block I/Os."""
+        return self.reads + self.writes
+
+    def __add__(self, other: "OperationCost") -> "OperationCost":
+        return OperationCost(self.reads + other.reads, self.writes + other.writes)
+
+    def __sub__(self, other: "OperationCost") -> "OperationCost":
+        return OperationCost(self.reads - other.reads, self.writes - other.writes)
+
+
+class IOStats:
+    """Mutable running totals of block I/Os and block lifecycle events.
+
+    The counters accumulate forever; callers that want per-operation or
+    per-phase costs take a :meth:`snapshot` before and subtract after, or
+    use :meth:`BlockStore.operation` which returns the delta directly.
+    """
+
+    __slots__ = ("reads", "writes", "allocs", "frees", "cache_hits")
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.allocs = 0
+        self.frees = 0
+        self.cache_hits = 0
+
+    def snapshot(self) -> OperationCost:
+        """Current totals as an immutable value."""
+        return OperationCost(self.reads, self.writes)
+
+    def reset(self) -> None:
+        """Zero every counter (useful between benchmark phases)."""
+        self.reads = 0
+        self.writes = 0
+        self.allocs = 0
+        self.frees = 0
+        self.cache_hits = 0
+
+    @property
+    def total_io(self) -> int:
+        """Combined read + write block I/Os since the last reset."""
+        return self.reads + self.writes
+
+    def __repr__(self) -> str:
+        return (
+            f"IOStats(reads={self.reads}, writes={self.writes}, "
+            f"allocs={self.allocs}, frees={self.frees}, cache_hits={self.cache_hits})"
+        )

@@ -1,0 +1,23 @@
+"""The paper's experimental workloads (Section 7) and cost metrics."""
+
+from .sequences import (
+    run_churn,
+    run_concentrated,
+    run_scattered,
+    run_xmark_build,
+    two_level_pairing,
+    WorkloadResult,
+)
+from .metrics import amortized_cost, ccdf, summarize
+
+__all__ = [
+    "run_churn",
+    "run_concentrated",
+    "run_scattered",
+    "run_xmark_build",
+    "two_level_pairing",
+    "WorkloadResult",
+    "amortized_cost",
+    "ccdf",
+    "summarize",
+]

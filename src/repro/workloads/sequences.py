@@ -1,0 +1,225 @@
+"""The three insertion sequences of Section 7.
+
+* **Concentrated** — bulk load a two-level document, then insert a two-level
+  subtree one element at a time, each pair of insertions "squeezed" into the
+  center of the growing sibling list.  This is the adversary that breaks the
+  naive scheme and stresses every labeling scheme's worst case.
+* **Scattered** — the contrast case: the same number of inserts spread
+  evenly across the base document.
+* **XMark build** — an XMark-shaped document built element-at-a-time in
+  document order of start tags (end labels are inserted together with start
+  labels, without knowing subtree sizes in advance — this is *not* the same
+  as bulk loading).  Measurements start after a priming prefix.
+
+Each runner drives a fresh scheme and records the I/O cost of every element
+insertion (two label insertions, as in the paper's figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.document import tag_pairing
+from ..core.interface import LabelingScheme
+from ..xml.model import Element, Tag, TagKind, document_tags
+from ..xml.xmark import xmark_document
+
+
+@dataclass
+class WorkloadResult:
+    """Per-element-insertion I/O costs for one scheme on one workload."""
+
+    scheme: str
+    workload: str
+    costs: list[int] = field(default_factory=list)
+    #: I/Os spent on the initial bulk load (not part of ``costs``).
+    bulk_load_io: int = 0
+    #: Labels present after the run.
+    final_labels: int = 0
+
+    @property
+    def total(self) -> int:
+        return sum(self.costs)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.costs) if self.costs else 0.0
+
+
+def two_level_pairing(n_children: int) -> list[int]:
+    """Tag pairing for a two-level document with ``n_children`` children:
+    tags are ``root_start, (c_start, c_end) * n, root_end``."""
+    n_tags = 2 * (n_children + 1)
+    pairing = [0] * n_tags
+    pairing[0] = n_tags - 1
+    pairing[n_tags - 1] = 0
+    for child in range(n_children):
+        start = 1 + 2 * child
+        pairing[start] = start + 1
+        pairing[start + 1] = start
+    return pairing
+
+
+def _bulk_load_two_level(scheme: LabelingScheme, n_children: int) -> list[int]:
+    return scheme.bulk_load(2 * (n_children + 1), two_level_pairing(n_children))
+
+
+def run_concentrated(
+    scheme: LabelingScheme, base_elements: int, insert_elements: int
+) -> WorkloadResult:
+    """The concentrated (adversarial) insertion sequence.
+
+    ``base_elements`` counts the two-level base document's child elements;
+    ``insert_elements`` elements are then squeezed pairwise into the center
+    of a new subtree under the root.
+    """
+    result = WorkloadResult(scheme.name, "concentrated")
+    before = scheme.stats.snapshot()
+    lids = _bulk_load_two_level(scheme, base_elements)
+    result.bulk_load_io = (scheme.stats.snapshot() - before).total
+
+    root_end = lids[-1]
+    with scheme.store.measured() as op:
+        _, subtree_end = scheme.insert_element_before(root_end)
+    result.costs.append(op.total)
+    # Every insert goes immediately before the anchor; a right-side element
+    # becomes the new anchor, so consecutive pairs squeeze into the center.
+    anchor = subtree_end
+    for index in range(1, insert_elements):
+        with scheme.store.measured() as op:
+            start_lid, _ = scheme.insert_element_before(anchor)
+        result.costs.append(op.total)
+        if index % 2 == 0:
+            anchor = start_lid
+    result.final_labels = scheme.label_count()
+    return result
+
+
+def run_scattered(
+    scheme: LabelingScheme, base_elements: int, insert_elements: int
+) -> WorkloadResult:
+    """The scattered insertion sequence: inserts spread evenly over the
+    base document's children (each new element becomes a previous sibling
+    of an evenly spaced existing child)."""
+    if insert_elements > base_elements:
+        raise ValueError("scattered inserts must not outnumber base children")
+    result = WorkloadResult(scheme.name, "scattered")
+    before = scheme.stats.snapshot()
+    lids = _bulk_load_two_level(scheme, base_elements)
+    result.bulk_load_io = (scheme.stats.snapshot() - before).total
+
+    step = base_elements / insert_elements
+    for index in range(insert_elements):
+        child = int(index * step)
+        child_start = lids[1 + 2 * child]
+        with scheme.store.measured() as op:
+            scheme.insert_element_before(child_start)
+        result.costs.append(op.total)
+    result.final_labels = scheme.label_count()
+    return result
+
+
+def run_xmark_build(
+    scheme: LabelingScheme,
+    n_items: int,
+    prime_fraction: float = 0.6,
+    seed: int = 1,
+    document: Element | None = None,
+) -> WorkloadResult:
+    """Build an XMark-shaped document element-at-a-time.
+
+    Elements are added in document order of their start tags: each new
+    element is appended as the (current) last child of its parent, i.e.
+    inserted immediately before the parent's end tag.  The first
+    ``prime_fraction`` of insertions "prime" the structures and are not
+    measured, mirroring the paper (it measures after the first 200,000 of
+    336,242 elements).
+    """
+    if not 0 <= prime_fraction < 1:
+        raise ValueError("prime_fraction must be in [0, 1)")
+    result = WorkloadResult(scheme.name, "xmark")
+    root = document if document is not None else xmark_document(n_items, seed=seed)
+    elements = list(root.iter())  # pre-order = document order of start tags
+    prime_count = int(len(elements) * prime_fraction)
+
+    # The root seeds the structure (bulk load of its two tags).
+    end_lids: dict[Element, int] = {}
+    root_lids = scheme.bulk_load(2, [1, 0])
+    end_lids[root] = root_lids[1]
+    for index, element in enumerate(elements[1:], start=1):
+        parent = element.parent
+        assert parent is not None
+        with scheme.store.measured() as op:
+            _, end_lid = scheme.insert_element_before(end_lids[parent])
+        end_lids[element] = end_lid
+        if index >= prime_count:
+            result.costs.append(op.total)
+    result.final_labels = scheme.label_count()
+    return result
+
+
+def run_churn(
+    scheme: LabelingScheme,
+    base_elements: int,
+    operations: int,
+    delete_fraction: float = 0.5,
+    seed: int = 1,
+) -> WorkloadResult:
+    """A mixed insert/delete stream over a two-level base document.
+
+    Not one of the paper's three plotted sequences, but the workload its
+    deletion analysis speaks to: Theorem 4.6's O(1) amortized W-BOX delete
+    (global rebuilding) and Theorem 5.3's O(1) amortized mixed updates for
+    B-BOX.  Each element operation's I/O is recorded (inserts create a new
+    element before a random live element; deletes remove a random
+    previously-inserted or base element).
+    """
+    import random
+
+    if not 0 <= delete_fraction < 1:
+        raise ValueError("delete_fraction must be in [0, 1)")
+    result = WorkloadResult(scheme.name, "churn")
+    before = scheme.stats.snapshot()
+    lids = _bulk_load_two_level(scheme, base_elements)
+    result.bulk_load_io = (scheme.stats.snapshot() - before).total
+
+    rng = random.Random(seed)
+    # Track elements as (start_lid, end_lid); children of the two-level doc.
+    elements = [(lids[1 + 2 * i], lids[2 + 2 * i]) for i in range(base_elements)]
+    for _ in range(operations):
+        if rng.random() < delete_fraction and len(elements) > base_elements // 4:
+            start_lid, end_lid = elements.pop(rng.randrange(len(elements)))
+            with scheme.store.measured() as op:
+                scheme.delete_element(start_lid, end_lid)
+        else:
+            anchor_start, _ = elements[rng.randrange(len(elements))]
+            with scheme.store.measured() as op:
+                pair = scheme.insert_element_before(anchor_start)
+            elements.append(pair)
+        result.costs.append(op.total)
+    result.final_labels = scheme.label_count()
+    return result
+
+
+def subtree_tags_and_pairing(root: Element) -> tuple[list[Tag], list[int]]:
+    """Tags (document order) and pairing for a subtree — the inputs bulk
+    subtree insertion needs."""
+    tags = list(document_tags(root))
+    return tags, tag_pairing(tags)
+
+
+def element_insert_order(root: Element) -> list[Element]:
+    """Elements of ``root`` in the order the XMark build inserts them."""
+    return list(root.iter())
+
+
+__all__ = [
+    "WorkloadResult",
+    "two_level_pairing",
+    "run_concentrated",
+    "run_scattered",
+    "run_xmark_build",
+    "subtree_tags_and_pairing",
+    "element_insert_order",
+    "TagKind",
+]

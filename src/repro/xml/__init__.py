@@ -1,0 +1,28 @@
+"""XML substrate: tree model, parser, writer, and document generators."""
+
+from .model import Element, Tag, TagKind, document_tags, element_count, tree_depth
+from .parser import parse
+from .writer import serialize
+from .generator import (
+    dblp_document,
+    random_document,
+    treebank_document,
+    two_level_document,
+)
+from .xmark import xmark_document
+
+__all__ = [
+    "Element",
+    "Tag",
+    "TagKind",
+    "document_tags",
+    "element_count",
+    "tree_depth",
+    "parse",
+    "serialize",
+    "two_level_document",
+    "random_document",
+    "dblp_document",
+    "treebank_document",
+    "xmark_document",
+]

@@ -1,0 +1,186 @@
+"""In-memory XML tree model.
+
+The paper models an XML document as "a tree of elements", each with a start
+and an end tag; the labeling schemes label the *tags* in document order
+(Section 3).  This module provides that model plus the document-order tag
+stream the schemes consume.
+
+Elements are plain mutable objects — the labeling structures never hold
+references to them; the binding between elements and their LIDs lives in
+:class:`repro.core.document.LabeledDocument`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+
+class TagKind(Enum):
+    """Whether a tag opens or closes its element."""
+
+    START = "start"
+    END = "end"
+
+
+class Element:
+    """One XML element: tag name, attributes, text, ordered children.
+
+    ``text`` is the character data immediately after the start tag;
+    ``tail`` is the character data immediately after the end tag (the same
+    convention as the standard library's ElementTree, which makes mixed
+    content representable without a separate text-node class).
+    """
+
+    __slots__ = ("name", "attributes", "text", "tail", "children", "parent")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: dict[str, str] | None = None,
+        text: str = "",
+    ) -> None:
+        self.name = name
+        self.attributes: dict[str, str] = attributes if attributes is not None else {}
+        self.text = text
+        self.tail = ""
+        self.children: list[Element] = []
+        self.parent: Element | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def append(self, child: "Element") -> "Element":
+        """Add ``child`` as the last child; returns the child for chaining."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def insert(self, index: int, child: "Element") -> "Element":
+        """Insert ``child`` at position ``index`` among the children."""
+        child.parent = self
+        self.children.insert(index, child)
+        return child
+
+    def remove(self, child: "Element") -> None:
+        """Detach ``child`` (raises ValueError if it is not a child)."""
+        self.children.remove(child)
+        child.parent = None
+
+    def make_child(self, name: str, text: str = "", **attributes: str) -> "Element":
+        """Create, append and return a new child element."""
+        return self.append(Element(name, dict(attributes), text))
+
+    # ------------------------------------------------------------------
+    # navigation
+    # ------------------------------------------------------------------
+
+    def iter(self) -> Iterator["Element"]:
+        """Pre-order traversal of this element and all descendants."""
+        stack = [self]
+        while stack:
+            element = stack.pop()
+            yield element
+            stack.extend(reversed(element.children))
+
+    def find(self, name: str) -> "Element | None":
+        """First descendant (or self) with the given tag name, else None."""
+        for element in self.iter():
+            if element.name == name:
+                return element
+        return None
+
+    def find_all(self, name: str) -> list["Element"]:
+        """All descendants (and self) with the given tag name, in document order."""
+        return [element for element in self.iter() if element.name == name]
+
+    def ancestors(self) -> Iterator["Element"]:
+        """Proper ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def is_ancestor_of(self, other: "Element") -> bool:
+        """Structural ancestor check (walks parent pointers; the labeled
+        schemes answer this in O(1) label comparisons instead)."""
+        return any(ancestor is self for ancestor in other.ancestors())
+
+    def depth(self) -> int:
+        """Number of proper ancestors (the root has depth 0)."""
+        return sum(1 for _ in self.ancestors())
+
+    def __repr__(self) -> str:
+        return f"<Element {self.name!r} children={len(self.children)}>"
+
+
+@dataclass(frozen=True)
+class Tag:
+    """One occurrence of a tag in the document: an element plus a kind."""
+
+    element: Element = field(hash=False, compare=False)
+    kind: TagKind
+
+    @property
+    def name(self) -> str:
+        return self.element.name
+
+    def __repr__(self) -> str:
+        marker = "" if self.kind is TagKind.START else "/"
+        return f"<{marker}{self.element.name}>"
+
+
+def document_tags(root: Element) -> Iterator[Tag]:
+    """Yield every tag of the tree rooted at ``root`` in document order.
+
+    This is the order the labeling schemes must preserve: an element's start
+    tag precedes all tags of its descendants, and its end tag succeeds all of
+    them (Section 3).
+    """
+    stack: list[tuple[Element, bool]] = [(root, False)]
+    while stack:
+        element, closing = stack.pop()
+        if closing:
+            yield Tag(element, TagKind.END)
+            continue
+        yield Tag(element, TagKind.START)
+        stack.append((element, True))
+        for child in reversed(element.children):
+            stack.append((child, False))
+
+
+def element_count(root: Element) -> int:
+    """Number of elements in the tree (tags / 2)."""
+    return sum(1 for _ in root.iter())
+
+
+def tree_depth(root: Element) -> int:
+    """Depth ``D`` of the document tree (a lone root has depth 1).
+
+    This is the quantity in the W-BOX-O bound of Theorem 4.7.
+    """
+    best = 0
+    stack = [(root, 1)]
+    while stack:
+        element, depth = stack.pop()
+        if depth > best:
+            best = depth
+        for child in element.children:
+            stack.append((child, depth + 1))
+    return best
+
+
+def validate_tag_order(tags: list[Tag]) -> bool:
+    """Check that a tag sequence is properly nested (each END matches the
+    most recent unclosed START).  Used by tests on generated documents."""
+    stack: list[Element] = []
+    for tag in tags:
+        if tag.kind is TagKind.START:
+            stack.append(tag.element)
+        else:
+            if not stack or stack[-1] is not tag.element:
+                return False
+            stack.pop()
+    return not stack

@@ -1,0 +1,72 @@
+"""Serialize :class:`~repro.xml.model.Element` trees back to XML text.
+
+Round-trips with :mod:`repro.xml.parser` for the supported subset; the test
+suite asserts ``parse(serialize(tree))`` reproduces the tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .model import Element
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def escape_text(data: str) -> str:
+    """Escape character data for element content."""
+    for char, entity in _TEXT_ESCAPES.items():
+        data = data.replace(char, entity)
+    return data
+
+
+def escape_attribute(data: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    for char, entity in _ATTR_ESCAPES.items():
+        data = data.replace(char, entity)
+    return data
+
+
+def _fragments(element: Element, indent: str | None, depth: int) -> Iterator[str]:
+    pad = "" if indent is None else "\n" + indent * depth
+    attrs = "".join(
+        f' {name}="{escape_attribute(value)}"' for name, value in element.attributes.items()
+    )
+    if not element.children and not element.text:
+        yield f"{pad}<{element.name}{attrs}/>"
+    else:
+        yield f"{pad}<{element.name}{attrs}>"
+        if element.text:
+            yield escape_text(element.text)
+        for child in element.children:
+            yield from _fragments(child, indent, depth + 1)
+            if child.tail:
+                yield escape_text(child.tail)
+        if element.children and indent is not None and not element.text:
+            yield "\n" + indent * depth
+        yield f"</{element.name}>"
+
+
+def serialize(root: Element, indent: str | None = None, declaration: bool = False) -> str:
+    """Serialize a tree to XML text.
+
+    Parameters
+    ----------
+    root:
+        The tree to serialize.
+    indent:
+        When given (e.g. ``"  "``), pretty-print with one element per line.
+        Pretty-printing inserts whitespace and is therefore only
+        parse-stable for trees without mixed content; the default compact
+        form round-trips exactly.
+    declaration:
+        Prefix the output with an XML declaration.
+    """
+    body = "".join(_fragments(root, indent, 0))
+    if indent is not None:
+        body = body.lstrip("\n")
+    if declaration:
+        separator = "\n" if indent is not None else ""
+        return '<?xml version="1.0" encoding="UTF-8"?>' + separator + body
+    return body

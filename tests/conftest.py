@@ -1,0 +1,119 @@
+"""Shared fixtures: tiny-capacity configs so structural events (splits,
+merges, root growth, rebuilds) happen within a few dozen operations, scheme
+factories, and a document-order oracle."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import BBox, LabeledDocument, NaiveScheme, OrdPath, TINY_CONFIG, WBox, WBoxO
+from repro.xml.model import Element, TagKind, document_tags
+
+
+def make_wbox(**kwargs):
+    return WBox(TINY_CONFIG, **kwargs)
+
+
+def make_wbox_ordinal(**kwargs):
+    return WBox(TINY_CONFIG, ordinal=True, **kwargs)
+
+
+def make_wboxo(**kwargs):
+    return WBoxO(TINY_CONFIG, **kwargs)
+
+
+def make_bbox(**kwargs):
+    return BBox(TINY_CONFIG, **kwargs)
+
+
+def make_bbox_ordinal(**kwargs):
+    return BBox(TINY_CONFIG, ordinal=True, **kwargs)
+
+
+def make_bbox_quarter(**kwargs):
+    return BBox(TINY_CONFIG, min_fill_divisor=4, **kwargs)
+
+
+def make_naive(**kwargs):
+    return NaiveScheme(4, TINY_CONFIG, **kwargs)
+
+
+def make_ordpath(**kwargs):
+    return OrdPath(TINY_CONFIG, **kwargs)
+
+
+SCHEME_FACTORIES = {
+    "wbox": make_wbox,
+    "wbox-ordinal": make_wbox_ordinal,
+    "wboxo": make_wboxo,
+    "bbox": make_bbox,
+    "bbox-ordinal": make_bbox_ordinal,
+    "bbox-quarter": make_bbox_quarter,
+    "naive-4": make_naive,
+    "ordpath": make_ordpath,
+}
+
+#: Schemes with tree structure (i.e. with check_invariants()).
+TREE_FACTORIES = {
+    key: factory
+    for key, factory in SCHEME_FACTORIES.items()
+    if key not in ("naive-4", "ordpath")
+}
+
+
+@pytest.fixture(params=sorted(SCHEME_FACTORIES))
+def any_scheme(request):
+    """A fresh instance of each labeling scheme."""
+    return SCHEME_FACTORIES[request.param]()
+
+
+@pytest.fixture(params=sorted(TREE_FACTORIES))
+def tree_scheme(request):
+    """A fresh instance of each BOX (tree) scheme."""
+    return TREE_FACTORIES[request.param]()
+
+
+def verify_document(doc: LabeledDocument) -> None:
+    """Full consistency check: label order matches document order, compare()
+    agrees with lookups, ordinals are exact positions, and (for trees) the
+    structural invariants hold."""
+    doc.verify_order()
+    if hasattr(doc.scheme, "check_invariants"):
+        doc.scheme.check_invariants()
+    if doc.root is None:
+        return
+    tags = list(document_tags(doc.root))
+    lids = [
+        doc.start_lid(tag.element) if tag.kind is TagKind.START else doc.end_lid(tag.element)
+        for tag in tags
+    ]
+    for previous, current in zip(lids, lids[1:]):
+        assert doc.scheme.compare(previous, current) < 0
+        assert doc.scheme.compare(current, previous) > 0
+        assert doc.scheme.compare(current, current) == 0
+    if doc.scheme.supports_ordinal:
+        for index, lid in enumerate(lids):
+            assert doc.scheme.ordinal_lookup(lid) == index
+
+
+def random_edit_session(doc: LabeledDocument, operations: int, seed: int) -> None:
+    """Apply a random mix of element inserts and deletes to ``doc``."""
+    rng = random.Random(seed)
+    elements = [el for el in doc.elements() if el is not doc.root]
+    counter = 0
+    for _ in range(operations):
+        action = rng.random()
+        if action < 0.6 or len(elements) < 5:
+            reference = rng.choice(elements) if elements else doc.root
+            new = Element(f"n{counter}")
+            counter += 1
+            if reference is doc.root or rng.random() < 0.5:
+                doc.append_child(new, reference if reference is not None else doc.root)
+            else:
+                doc.insert_before(new, reference)
+            elements.append(new)
+        else:
+            victim = elements.pop(rng.randrange(len(elements)))
+            doc.delete_element(victim)

@@ -1,0 +1,76 @@
+"""Coverage for the module-level axis predicates and the achievable
+label-width estimators used by the label-bits benchmark."""
+
+import pytest
+
+from repro import BBox, BoxConfig, LabeledDocument, TINY_CONFIG, WBox
+from repro.config import BENCH_CONFIG
+from repro.core.bits import bbox_bulk_label_bits, wbox_bulk_label_bits
+from repro.query.axes import LabelInterval, contains, label_interval, precedes
+from repro.xml.generator import two_level_document
+
+
+class TestAxisFunctions:
+    def test_contains_function(self):
+        outer, inner = LabelInterval(0, 9), LabelInterval(3, 4)
+        assert contains(outer, inner)
+        assert not contains(inner, outer)
+
+    def test_precedes_function(self):
+        first, second = LabelInterval(0, 2), LabelInterval(5, 7)
+        assert precedes(first, second)
+        assert not precedes(second, first)
+        # Overlapping (nested) intervals precede in neither direction.
+        outer, inner = LabelInterval(0, 9), LabelInterval(3, 4)
+        assert not precedes(outer, inner) and not precedes(inner, outer)
+
+    def test_label_interval_matches_scheme(self):
+        doc = LabeledDocument(WBox(TINY_CONFIG), two_level_document(5))
+        interval = label_interval(doc, doc.root)
+        start, end = doc.labels(doc.root)
+        assert (interval.start, interval.end) == (start, end)
+
+    def test_intervals_from_tuple_labels(self):
+        doc = LabeledDocument(BBox(TINY_CONFIG), two_level_document(5))
+        root_interval = label_interval(doc, doc.root)
+        child_interval = label_interval(doc, doc.root.children[2])
+        assert contains(root_interval, child_interval)
+
+
+class TestBulkLabelWidthEstimators:
+    def test_wbox_estimate_matches_fresh_bulk_load(self):
+        for n_labels in (50, 400, 2000):
+            scheme = WBox(BENCH_CONFIG)
+            scheme.bulk_load(n_labels)
+            assert scheme.label_bit_length() == wbox_bulk_label_bits(
+                n_labels, BENCH_CONFIG
+            )
+
+    def test_bbox_estimate_matches_fresh_bulk_load(self):
+        for n_labels in (50, 400, 2000):
+            scheme = BBox(BENCH_CONFIG)
+            scheme.bulk_load(n_labels)
+            assert scheme.label_bit_length() == bbox_bulk_label_bits(
+                n_labels, BENCH_CONFIG
+            )
+
+    def test_estimates_grow_logarithmically(self):
+        small = wbox_bulk_label_bits(10_000, BENCH_CONFIG)
+        large = wbox_bulk_label_bits(10_000_000, BENCH_CONFIG)
+        assert small < large <= small + 32
+
+    def test_degenerate_sizes(self):
+        assert wbox_bulk_label_bits(0, BENCH_CONFIG) >= 1
+        assert wbox_bulk_label_bits(1, BENCH_CONFIG) >= 1
+        assert bbox_bulk_label_bits(0, BENCH_CONFIG) >= 1
+        assert bbox_bulk_label_bits(1, BENCH_CONFIG) >= 1
+
+    def test_paper_scale_fits_machine_word(self):
+        # The projection the label-bits table relies on.
+        assert wbox_bulk_label_bits(4_000_000, BENCH_CONFIG) <= 32
+        assert bbox_bulk_label_bits(4_000_000, BENCH_CONFIG) <= 32
+
+    def test_eight_kb_blocks_also_fit(self):
+        config = BoxConfig()  # the paper's 8 KB blocks
+        assert wbox_bulk_label_bits(4_000_000, config) <= 32
+        assert bbox_bulk_label_bits(4_000_000, config) <= 32

@@ -1,0 +1,157 @@
+"""B-BOX basics: label reconstruction, comparison, insertion, cost model."""
+
+import pytest
+
+from repro import BBox, TINY_CONFIG
+from repro.errors import ConfigError, LabelingError
+
+
+@pytest.fixture
+def loaded():
+    scheme = BBox(TINY_CONFIG)
+    lids = scheme.bulk_load(40)
+    return scheme, lids
+
+
+class TestLabels:
+    def test_labels_are_component_tuples(self, loaded):
+        scheme, lids = loaded
+        label = scheme.lookup(lids[0])
+        assert isinstance(label, tuple)
+        assert all(isinstance(component, int) for component in label)
+
+    def test_all_labels_same_length(self, loaded):
+        # All leaves are at the same depth, so every label has exactly
+        # height+1 components — which is what makes tuple order document
+        # order.
+        scheme, lids = loaded
+        lengths = {len(scheme.lookup(lid)) for lid in lids}
+        assert lengths == {scheme.height + 1}
+
+    def test_labels_in_document_order(self, loaded):
+        scheme, lids = loaded
+        labels = [scheme.lookup(lid) for lid in lids]
+        assert labels == sorted(labels)
+        assert len(set(labels)) == len(labels)
+
+    def test_no_keys_stored_anywhere(self, loaded):
+        # A B-BOX node stores only LIDs / child pointers — no label values.
+        scheme, _ = loaded
+        for block_id in scheme.store.block_ids():
+            payload = scheme.store.peek(block_id)
+            if hasattr(payload, "entries"):
+                assert all(isinstance(entry, int) for entry in payload.entries)
+
+    def test_packed_labels_preserve_order(self, loaded):
+        scheme, lids = loaded
+        packed = [scheme.lookup_packed(lid) for lid in lids]
+        assert packed == sorted(packed)
+
+    def test_figure4_style_reconstruction(self):
+        # Build a tree tall enough for 3 components and verify the label
+        # equals the path ordinals.
+        scheme = BBox(TINY_CONFIG)
+        lids = scheme.bulk_load(100)
+        assert scheme.height == 2
+        label = scheme.lookup(lids[0])
+        assert label == (0, 0, 0)
+
+
+class TestLookupCost:
+    def test_lookup_is_logarithmic(self, loaded):
+        scheme, lids = loaded
+        with scheme.store.measured() as op:
+            scheme.lookup(lids[20])
+        # LIDF + one node per level.
+        assert op.reads == 1 + scheme.height + 1
+        assert op.writes == 0
+
+    def test_paper_height_claim(self):
+        # "W-BOX and B-BOX heights were usually 3, but sometimes 2": with
+        # tiny nodes we reach height 3 quickly.
+        scheme = BBox(TINY_CONFIG)
+        scheme.bulk_load(400)
+        assert scheme.height == 3
+
+
+class TestCompare:
+    def test_compare_matches_lookup_order(self, loaded):
+        scheme, lids = loaded
+        assert scheme.compare(lids[3], lids[30]) == -1
+        assert scheme.compare(lids[30], lids[3]) == 1
+        assert scheme.compare(lids[9], lids[9]) == 0
+
+    def test_same_leaf_compare_is_cheap(self, loaded):
+        scheme, lids = loaded
+        with scheme.store.measured() as op:
+            scheme.compare(lids[0], lids[1])
+        assert op.reads <= 3  # two LIDF records (often one block) + a leaf
+
+    def test_distant_compare_stops_at_lca(self, loaded):
+        scheme, lids = loaded
+        with scheme.store.measured() as near:
+            scheme.compare(lids[0], lids[1])
+        with scheme.store.measured() as far:
+            scheme.compare(lids[0], lids[-1])
+        assert near.total <= far.total
+
+    def test_compare_cheaper_than_two_lookups(self):
+        scheme = BBox(TINY_CONFIG)
+        lids = scheme.bulk_load(200)
+        with scheme.store.measured() as compare_op:
+            scheme.compare(lids[100], lids[101])
+        with scheme.store.measured() as lookups_op:
+            scheme.lookup(lids[100])
+            scheme.lookup(lids[101])
+        assert compare_op.total < lookups_op.total
+
+
+class TestInsert:
+    def test_insert_before_anchor(self, loaded):
+        scheme, lids = loaded
+        new = scheme.insert_before(lids[10])
+        assert scheme.lookup(lids[9]) < scheme.lookup(new) < scheme.lookup(lids[10])
+
+    def test_plain_insert_touches_only_leaf(self, loaded):
+        scheme, lids = loaded
+        # Find an insert that does not split: the leaf has spare room after
+        # an even bulk load? Force room with a delete first.
+        scheme.delete(lids[20])
+        with scheme.store.measured() as op:
+            scheme.insert_before(lids[21])
+        # LIDF read + LIDF alloc write + leaf write (+ leaf read).
+        assert op.total <= 5
+
+    def test_insert_element_pair_adjacent(self, loaded):
+        scheme, lids = loaded
+        start, end = scheme.insert_element_before(lids[15])
+        start_label, end_label = scheme.lookup(start), scheme.lookup(end)
+        assert start_label < end_label < scheme.lookup(lids[15])
+
+    def test_count_tracks_inserts(self, loaded):
+        scheme, lids = loaded
+        scheme.insert_before(lids[0])
+        assert scheme.label_count() == 41
+
+    def test_bulk_load_requires_empty(self, loaded):
+        with pytest.raises(LabelingError):
+            loaded[0].bulk_load(3)
+
+
+class TestConfigurationKnobs:
+    def test_invalid_divisor_rejected(self):
+        with pytest.raises(ConfigError):
+            BBox(TINY_CONFIG, min_fill_divisor=3)
+
+    def test_quarter_fill_lowers_minimum(self):
+        half = BBox(TINY_CONFIG, min_fill_divisor=2)
+        quarter = BBox(TINY_CONFIG, min_fill_divisor=4)
+        assert quarter.leaf_min <= half.leaf_min
+
+    def test_ordinal_variant_is_named_bbox_o(self):
+        assert BBox(TINY_CONFIG, ordinal=True).name == "B-BOX-O"
+        assert BBox(TINY_CONFIG).name == "B-BOX"
+
+    def test_label_bits_reported(self, loaded):
+        scheme, _ = loaded
+        assert scheme.label_bit_length() >= 1

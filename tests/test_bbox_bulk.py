@@ -1,0 +1,181 @@
+"""B-BOX bulk operations: bulk load, rip-based subtree insert, subtree
+delete."""
+
+import pytest
+
+from repro import BBox, TINY_CONFIG
+from repro.core.bbox.bulk import chunk_evenly, predicted_height
+from repro.errors import LabelingError
+
+
+@pytest.fixture
+def loaded():
+    scheme = BBox(TINY_CONFIG)
+    lids = scheme.bulk_load(120)
+    return scheme, lids
+
+
+def assert_order(scheme, ordered_lids):
+    labels = [scheme.lookup(lid) for lid in ordered_lids]
+    assert labels == sorted(labels)
+    assert len(set(labels)) == len(labels)
+
+
+class TestChunkEvenly:
+    def test_fewest_chunks(self):
+        assert len(chunk_evenly(list(range(13)), 6)) == 3
+
+    def test_even_sizes(self):
+        sizes = [len(chunk) for chunk in chunk_evenly(list(range(13)), 6)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_preserves_order(self):
+        chunks = chunk_evenly(list(range(10)), 4)
+        assert [x for chunk in chunks for x in chunk] == list(range(10))
+
+    def test_empty(self):
+        assert chunk_evenly([], 4) == []
+
+
+class TestBulkLoad:
+    def test_io_linear_in_blocks(self):
+        scheme = BBox(TINY_CONFIG)
+        with scheme.store.measured() as op:
+            scheme.bulk_load(600)
+        assert op.total < 600  # O(N/B), not O(N)
+
+    def test_predicted_height_matches(self):
+        for n in (1, 6, 7, 36, 37, 200, 600):
+            scheme = BBox(TINY_CONFIG)
+            scheme.bulk_load(n)
+            assert scheme.height == predicted_height(scheme, n)
+
+    def test_empty_load(self):
+        scheme = BBox(TINY_CONFIG)
+        assert scheme.bulk_load(0) == []
+
+
+class TestSubtreeInsertRip:
+    def test_rip_preserves_order(self, loaded):
+        scheme, lids = loaded
+        new = scheme.insert_subtree_before(lids[60], 18)
+        assert_order(scheme, lids[:60] + new + lids[60:])
+        scheme.check_invariants()
+
+    def test_rip_at_leaf_boundary(self, loaded):
+        scheme, lids = loaded
+        # Insert before the first record of some leaf: split_position == 0.
+        leaf_id = scheme.lidf.read(lids[0])
+        leaf = scheme.store.peek(leaf_id)
+        boundary_lid = lids[len(leaf.entries)]  # first record of second leaf
+        new = scheme.insert_subtree_before(boundary_lid, 12)
+        index = lids.index(boundary_lid)
+        assert_order(scheme, lids[:index] + new + lids[index:])
+        scheme.check_invariants()
+
+    def test_insert_taller_than_host_falls_back(self):
+        scheme = BBox(TINY_CONFIG)
+        lids = scheme.bulk_load(12)  # height 1
+        new = scheme.insert_subtree_before(lids[6], 300)  # needs height >= 2
+        assert_order(scheme, lids[:6] + new + lids[6:])
+        scheme.check_invariants()
+        assert scheme.label_count() == 312
+
+    def test_insert_into_single_leaf_host(self):
+        scheme = BBox(TINY_CONFIG)
+        lids = scheme.bulk_load(4)
+        new = scheme.insert_subtree_before(lids[2], 50)
+        assert_order(scheme, lids[:2] + new + lids[2:])
+        scheme.check_invariants()
+
+    def test_first_and_last_positions(self, loaded):
+        scheme, lids = loaded
+        first = scheme.insert_subtree_before(lids[0], 15)
+        last = scheme.insert_subtree_before(lids[-1], 15)
+        assert_order(scheme, first + lids[:-1] + last + lids[-1:])
+        scheme.check_invariants()
+
+    def test_zero_noop(self, loaded):
+        scheme, lids = loaded
+        assert scheme.insert_subtree_before(lids[0], 0) == []
+
+    def test_bulk_beats_element_at_a_time(self):
+        bulk = BBox(TINY_CONFIG)
+        lids = bulk.bulk_load(300)
+        with bulk.store.measured() as bulk_op:
+            bulk.insert_subtree_before(lids[150], 120)
+
+        element = BBox(TINY_CONFIG)
+        lids2 = element.bulk_load(300)
+        before = element.stats.snapshot()
+        anchor = lids2[150]
+        for _ in range(120):
+            anchor = element.insert_before(anchor)
+        element_total = (element.stats.snapshot() - before).total
+        assert bulk_op.total < element_total
+
+    def test_repeated_rips(self, loaded):
+        scheme, lids = loaded
+        order = list(lids)
+        for round_number in range(5):
+            anchor_index = 20 + round_number * 13
+            new = scheme.insert_subtree_before(order[anchor_index], 20)
+            order[anchor_index:anchor_index] = new
+            scheme.check_invariants()
+        assert_order(scheme, order)
+
+
+class TestDeleteRange:
+    def test_middle_range(self, loaded):
+        scheme, lids = loaded
+        deleted = scheme.delete_range(lids[30], lids[80])
+        assert deleted == lids[30:81]
+        assert_order(scheme, lids[:30] + lids[81:])
+        scheme.check_invariants()
+
+    def test_within_single_leaf(self, loaded):
+        scheme, lids = loaded
+        deleted = scheme.delete_range(lids[1], lids[2])
+        assert deleted == lids[1:3]
+        assert_order(scheme, lids[:1] + lids[3:])
+        scheme.check_invariants()
+
+    def test_prefix_and_suffix(self, loaded):
+        scheme, lids = loaded
+        scheme.delete_range(lids[0], lids[19])
+        scheme.delete_range(lids[100], lids[-1])
+        assert_order(scheme, lids[20:100])
+        scheme.check_invariants()
+
+    def test_whole_document(self, loaded):
+        scheme, lids = loaded
+        deleted = scheme.delete_range(lids[0], lids[-1])
+        assert len(deleted) == 120
+        assert scheme.label_count() == 0
+        scheme.check_invariants()
+
+    def test_lidf_freed(self, loaded):
+        scheme, lids = loaded
+        scheme.delete_range(lids[40], lids[59])
+        assert all(not scheme.lidf.exists(lid) for lid in lids[40:60])
+
+    def test_out_of_order_rejected(self, loaded):
+        scheme, lids = loaded
+        with pytest.raises(LabelingError):
+            scheme.delete_range(lids[50], lids[10])
+
+    def test_rip_insert_then_delete_round_trip(self, loaded):
+        scheme, lids = loaded
+        new = scheme.insert_subtree_before(lids[60], 40)
+        deleted = scheme.delete_range(new[0], new[-1])
+        assert deleted == new
+        assert_order(scheme, lids)
+        scheme.check_invariants()
+
+    def test_deep_range_across_subtrees(self):
+        scheme = BBox(TINY_CONFIG)
+        lids = scheme.bulk_load(400)  # height 3
+        deleted = scheme.delete_range(lids[50], lids[350])
+        assert deleted == lids[50:351]
+        assert_order(scheme, lids[:50] + lids[351:])
+        scheme.check_invariants()

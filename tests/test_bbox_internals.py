@@ -1,0 +1,169 @@
+"""Targeted tests for B-BOX's structural maintenance: back-link repair on
+splits, borrow directions, merge cascades, and label reconstruction under
+pathological shapes."""
+
+import pytest
+
+from repro import BBox, TINY_CONFIG
+
+
+def tree_nodes(scheme):
+    """{block id: node} for every node reachable from the root."""
+    nodes = {}
+    stack = [scheme.root_id]
+    while stack:
+        node_id = stack.pop()
+        node = scheme.store.peek(node_id)
+        nodes[node_id] = node
+        if not node.leaf:
+            stack.extend(node.entries)
+    return nodes
+
+
+class TestBackLinks:
+    def test_every_back_link_correct_after_churn(self):
+        scheme = BBox(TINY_CONFIG)
+        lids = list(scheme.bulk_load(60))
+        import random
+
+        rng = random.Random(77)
+        for _ in range(300):
+            if rng.random() < 0.45 and len(lids) > 12:
+                scheme.delete(lids.pop(rng.randrange(len(lids))))
+            else:
+                lids.append(scheme.insert_before(rng.choice(lids)))
+        nodes = tree_nodes(scheme)
+        for node_id, node in nodes.items():
+            if not node.leaf:
+                for child_id in node.entries:
+                    assert nodes[child_id].parent == node_id
+        assert nodes[scheme.root_id].parent == 0
+
+    def test_internal_split_rewrites_moved_back_links_only(self):
+        scheme = BBox(TINY_CONFIG)
+        lids = scheme.bulk_load(36)  # exactly fan-out^1 full leaves
+        anchor = lids[18]
+        # Drive until an internal split occurs (root has 6 children max).
+        heights = set()
+        for _ in range(80):
+            scheme.insert_before(anchor)
+            heights.add(scheme.height)
+        assert max(heights) >= 2
+        scheme.check_invariants()
+
+
+class TestBorrowDirections:
+    def borrow_setup(self):
+        scheme = BBox(TINY_CONFIG)
+        lids = scheme.bulk_load(18)  # three full leaves
+        return scheme, lids
+
+    def test_borrow_from_left(self):
+        scheme, lids = self.borrow_setup()
+        # Underflow the middle leaf (records 6..11): delete four of them.
+        for lid in lids[6:10]:
+            scheme.delete(lid)
+        scheme.check_invariants()
+        survivors = lids[:6] + lids[10:]
+        labels = [scheme.lookup(lid) for lid in survivors]
+        assert labels == sorted(labels)
+
+    def test_borrow_from_right_when_left_poor(self):
+        scheme, lids = self.borrow_setup()
+        # Drain the first leaf close to minimum, then underflow it: its
+        # only sibling direction is right.
+        for lid in lids[0:4]:
+            scheme.delete(lid)
+        scheme.check_invariants()
+        labels = [scheme.lookup(lid) for lid in lids[4:]]
+        assert labels == sorted(labels)
+
+    def test_merge_when_both_sides_at_minimum(self):
+        scheme, lids = self.borrow_setup()
+        # Bring all leaves to the minimum, then push one below it.
+        doomed = lids[0:3] + lids[6:9] + lids[12:15]
+        for lid in doomed:
+            scheme.delete(lid)
+        scheme.delete(lids[3])  # first leaf now underflows; siblings at min
+        scheme.check_invariants()
+        survivors = [lid for lid in lids if lid not in set(doomed) and lid != lids[3]]
+        labels = [scheme.lookup(lid) for lid in survivors]
+        assert labels == sorted(labels)
+
+
+class TestLabelReconstruction:
+    def test_components_are_child_ordinals(self):
+        scheme = BBox(TINY_CONFIG)
+        lids = scheme.bulk_load(36)
+        # Verify against a manual root-to-leaf walk for a few samples.
+        for lid in (lids[0], lids[17], lids[35]):
+            label = scheme.lookup(lid)
+            node = scheme.store.peek(scheme.root_id)
+            for component in label[:-1]:
+                node = scheme.store.peek(node.entries[component])
+            assert node.entries[label[-1]] == lid
+
+    def test_sibling_labels_differ_in_last_component_only(self):
+        scheme = BBox(TINY_CONFIG)
+        lids = scheme.bulk_load(36)
+        first, second = scheme.lookup(lids[0]), scheme.lookup(lids[1])
+        assert first[:-1] == second[:-1]
+        assert second[-1] == first[-1] + 1
+
+    def test_deep_tree_reconstruction(self):
+        scheme = BBox(TINY_CONFIG)
+        lids = scheme.bulk_load(1000)
+        assert scheme.height >= 3
+        labels = [scheme.lookup(lid) for lid in lids[::37]]
+        assert labels == sorted(labels)
+        assert all(len(label) == scheme.height + 1 for label in labels)
+
+
+class TestCompareWalk:
+    def test_lca_distance_controls_cost(self):
+        scheme = BBox(TINY_CONFIG)
+        lids = scheme.bulk_load(216)  # full three-level tree
+        # Same leaf: cheapest; same subtree: mid; far apart: priciest.
+        with scheme.store.measured() as same_leaf:
+            scheme.compare(lids[0], lids[1])
+        with scheme.store.measured() as far:
+            scheme.compare(lids[0], lids[215])
+        assert same_leaf.total < far.total
+
+    def test_compare_total_order_sample(self):
+        scheme = BBox(TINY_CONFIG)
+        lids = scheme.bulk_load(100)
+        import random
+
+        rng = random.Random(5)
+        for _ in range(100):
+            a, b = rng.randrange(100), rng.randrange(100)
+            expected = (a > b) - (a < b)
+            assert scheme.compare(lids[a], lids[b]) == expected
+
+
+class TestRootTransitions:
+    def test_height_round_trip(self):
+        scheme = BBox(TINY_CONFIG)
+        lids = list(scheme.bulk_load(6))
+        anchor = lids[3]
+        grown = []
+        for _ in range(300):
+            grown.append(scheme.insert_before(anchor))
+        peak = scheme.height
+        assert peak >= 2
+        for lid in grown:
+            scheme.delete(lid)
+        assert scheme.height < peak  # collapsed on the way down
+        scheme.check_invariants()
+        labels = [scheme.lookup(lid) for lid in lids]
+        assert labels == sorted(labels)
+
+    def test_empty_then_rebuild(self):
+        scheme = BBox(TINY_CONFIG)
+        lids = scheme.bulk_load(50)
+        scheme.delete_range(lids[0], lids[-1])
+        assert scheme.height == 0
+        fresh = scheme.bulk_load(50)
+        assert len(fresh) == 50
+        scheme.check_invariants()

@@ -1,0 +1,112 @@
+"""B-BOX-O: ordinal labeling via size fields."""
+
+import random
+
+import pytest
+
+from repro import BBox, TINY_CONFIG
+
+
+@pytest.fixture
+def scheme():
+    return BBox(TINY_CONFIG, ordinal=True)
+
+
+def assert_ordinals_exact(scheme, ordered_lids):
+    for index, lid in enumerate(ordered_lids):
+        assert scheme.ordinal_lookup(lid) == index
+
+
+class TestOrdinalLookup:
+    def test_after_bulk_load(self, scheme):
+        lids = scheme.bulk_load(60)
+        assert_ordinals_exact(scheme, lids)
+
+    def test_figure4_example_semantics(self, scheme):
+        # Ordinal = records left in leaf + size fields left on the path up.
+        lids = scheme.bulk_load(100)
+        assert scheme.ordinal_lookup(lids[57]) == 57
+
+    def test_after_random_inserts(self, scheme):
+        lids = scheme.bulk_load(20)
+        order = list(lids)
+        rng = random.Random(21)
+        for _ in range(80):
+            position = rng.randrange(len(order))
+            new = scheme.insert_before(order[position])
+            order.insert(position, new)
+        assert_ordinals_exact(scheme, order)
+        scheme.check_invariants()
+
+    def test_after_deletes_with_merges(self, scheme):
+        lids = scheme.bulk_load(80)
+        order = list(lids)
+        rng = random.Random(22)
+        for _ in range(50):
+            victim = order.pop(rng.randrange(len(order)))
+            scheme.delete(victim)
+        assert_ordinals_exact(scheme, order)
+        scheme.check_invariants()
+
+    def test_after_root_growth_and_collapse(self, scheme):
+        lids = scheme.bulk_load(10)
+        order = list(lids)
+        anchor = order[5]
+        for _ in range(200):
+            new = scheme.insert_before(anchor)
+            order.insert(order.index(anchor), new)
+        for victim in order[50:200]:
+            scheme.delete(victim)
+        del order[50:200]
+        assert_ordinals_exact(scheme, order)
+        scheme.check_invariants()
+
+
+class TestOrdinalCosts:
+    def test_every_update_reaches_root(self):
+        plain = BBox(TINY_CONFIG)
+        plain_lids = plain.bulk_load(300)
+        plain.delete(plain_lids[0])  # make room so insert will not split
+        with plain.store.measured() as cheap:
+            plain.insert_before(plain_lids[1])
+
+        ordinal = BBox(TINY_CONFIG, ordinal=True)
+        ordinal_lids = ordinal.bulk_load(300)
+        ordinal.delete(ordinal_lids[0])
+        with ordinal.store.measured() as costly:
+            ordinal.insert_before(ordinal_lids[1])
+        # B-BOX-O pays the root walk for size maintenance (Figure 5's gap
+        # between B-BOX and B-BOX-O).
+        assert costly.total > cheap.total
+
+    def test_ordinal_lookup_cost_logarithmic(self, scheme):
+        lids = scheme.bulk_load(300)
+        with scheme.store.measured() as op:
+            scheme.ordinal_lookup(lids[150])
+        assert op.reads <= 2 + scheme.height + 1
+
+
+class TestOrdinalBulkOps:
+    def test_subtree_insert(self, scheme):
+        lids = scheme.bulk_load(80)
+        new = scheme.insert_subtree_before(lids[40], 25)
+        assert_ordinals_exact(scheme, lids[:40] + new + lids[40:])
+        scheme.check_invariants()
+
+    def test_subtree_insert_fallback(self, scheme):
+        lids = scheme.bulk_load(10)
+        new = scheme.insert_subtree_before(lids[5], 200)
+        assert_ordinals_exact(scheme, lids[:5] + new + lids[5:])
+        scheme.check_invariants()
+
+    def test_delete_range(self, scheme):
+        lids = scheme.bulk_load(90)
+        scheme.delete_range(lids[20], lids[69])
+        assert_ordinals_exact(scheme, lids[:20] + lids[70:])
+        scheme.check_invariants()
+
+    def test_delete_range_single_leaf(self, scheme):
+        lids = scheme.bulk_load(90)
+        scheme.delete_range(lids[1], lids[2])
+        assert_ordinals_exact(scheme, lids[:1] + lids[3:])
+        scheme.check_invariants()

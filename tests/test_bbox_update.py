@@ -1,0 +1,152 @@
+"""B-BOX updates: splits with back-link/LIDF repointing, deletes with
+borrow/merge, root growth and collapse, amortized costs."""
+
+import random
+
+import pytest
+
+from repro import BBox, TINY_CONFIG
+from repro.errors import RecordNotFoundError
+
+
+@pytest.fixture
+def scheme():
+    return BBox(TINY_CONFIG)
+
+
+class TestSplits:
+    def test_leaf_split_repoints_lidf(self, scheme):
+        lids = scheme.bulk_load(6)  # exactly one full leaf
+        for _ in range(4):
+            scheme.insert_before(lids[3])
+        scheme.check_invariants()  # verifies LIDF pointers + back-links
+
+    def test_cascading_splits_grow_height(self, scheme):
+        lids = scheme.bulk_load(6)
+        for _ in range(300):
+            scheme.insert_before(lids[3])
+        assert scheme.height >= 2
+        scheme.check_invariants()
+
+    def test_internal_split_repoints_back_links(self, scheme):
+        lids = scheme.bulk_load(6)
+        anchor = lids[3]
+        for index in range(200):
+            new = scheme.insert_before(anchor)
+            if index % 2:
+                anchor = new
+        scheme.check_invariants()
+
+    def test_split_cost_bounded_by_fanout(self, scheme):
+        lids = scheme.bulk_load(400)
+        worst = 0
+        for _ in range(120):
+            with scheme.store.measured() as op:
+                scheme.insert_before(lids[200])
+            worst = max(worst, op.total)
+        # Worst case O(B log_B N): generous bound for tiny fanout 6.
+        assert worst <= 6 * (scheme.height + 2)
+        scheme.check_invariants()
+
+    def test_amortized_insert_is_constant(self, scheme):
+        lids = scheme.bulk_load(50)
+        before = scheme.stats.snapshot()
+        anchor = lids[25]
+        count = 500
+        for index in range(count):
+            new = scheme.insert_before(anchor)
+            if index % 2 == 0:
+                anchor = new
+        mean = (scheme.stats.snapshot() - before).total / count
+        assert mean < 8  # O(1) amortized
+
+
+class TestDeletes:
+    def test_delete_removes_label(self, scheme):
+        lids = scheme.bulk_load(30)
+        scheme.delete(lids[7])
+        with pytest.raises(RecordNotFoundError):
+            scheme.lookup(lids[7])
+        assert scheme.label_count() == 29
+        scheme.check_invariants()
+
+    def test_borrow_from_sibling(self, scheme):
+        lids = scheme.bulk_load(12)  # two leaves
+        # Underflow the first leaf (min 3 of 6).
+        scheme.delete(lids[0])
+        scheme.delete(lids[1])
+        scheme.delete(lids[2])
+        scheme.delete(lids[3])
+        scheme.check_invariants()
+        survivors = lids[4:]
+        labels = [scheme.lookup(lid) for lid in survivors]
+        assert labels == sorted(labels)
+
+    def test_merge_cascades(self, scheme):
+        lids = scheme.bulk_load(200)
+        rng = random.Random(9)
+        doomed = rng.sample(lids, 170)
+        for lid in doomed:
+            scheme.delete(lid)
+        scheme.check_invariants()
+        survivors = [lid for lid in lids if lid not in set(doomed)]
+        labels = [scheme.lookup(lid) for lid in survivors]
+        assert labels == sorted(labels)
+
+    def test_root_collapse_shrinks_height(self, scheme):
+        lids = scheme.bulk_load(100)
+        height_before = scheme.height
+        for lid in lids[:90]:
+            scheme.delete(lid)
+        assert scheme.height < height_before
+        scheme.check_invariants()
+
+    def test_delete_everything(self, scheme):
+        lids = scheme.bulk_load(50)
+        for lid in lids:
+            scheme.delete(lid)
+        assert scheme.label_count() == 0
+        scheme.check_invariants()
+
+    def test_reload_after_wipe(self, scheme):
+        for lid in scheme.bulk_load(20):
+            scheme.delete(lid)
+        lids = scheme.bulk_load(20)
+        assert [scheme.lookup(lid) for lid in lids] == sorted(
+            scheme.lookup(lid) for lid in lids
+        )
+
+
+class TestChurn:
+    def test_insert_delete_churn_half_fill(self, scheme):
+        self._churn(scheme)
+
+    def test_insert_delete_churn_quarter_fill(self):
+        self._churn(BBox(TINY_CONFIG, min_fill_divisor=4))
+
+    @staticmethod
+    def _churn(scheme):
+        lids = list(scheme.bulk_load(40))
+        rng = random.Random(13)
+        for _ in range(500):
+            if rng.random() < 0.5 and len(lids) > 10:
+                victim = lids.pop(rng.randrange(len(lids)))
+                scheme.delete(victim)
+            else:
+                lids.append(scheme.insert_before(rng.choice(lids)))
+        scheme.check_invariants()
+        labels = [scheme.lookup(lid) for lid in lids]
+        assert sorted(labels) == sorted(set(labels))
+
+    def test_quarter_fill_bounds_mixed_amortized_cost(self):
+        # Section 5: with min fan-out B/4 the insert-then-delete ping-pong
+        # at one leaf cannot thrash splits and merges.
+        scheme = BBox(TINY_CONFIG, min_fill_divisor=4)
+        lids = scheme.bulk_load(60)
+        before = scheme.stats.snapshot()
+        for _ in range(300):
+            new = scheme.insert_before(lids[30])
+            scheme.delete(new)
+        mean = (scheme.stats.snapshot() - before).total / 600
+        assert mean < 8
+        scheme.check_invariants()

@@ -1,0 +1,183 @@
+"""BlockStore: allocation, I/O counting, per-operation buffering, LRU."""
+
+import pytest
+
+from repro.config import TINY_CONFIG
+from repro.errors import BlockNotFoundError, StorageError
+from repro.storage import BlockStore
+
+
+@pytest.fixture
+def store():
+    return BlockStore(TINY_CONFIG)
+
+
+class TestLifecycle:
+    def test_allocate_returns_distinct_ids(self, store):
+        ids = {store.allocate(i) for i in range(10)}
+        assert len(ids) == 10
+        assert 0 not in ids  # 0 is the null pointer
+
+    def test_allocate_counts_one_write(self, store):
+        store.allocate("x")
+        assert store.stats.writes == 1
+        assert store.stats.allocs == 1
+
+    def test_free_then_reuse_id(self, store):
+        block = store.allocate("a")
+        store.free(block)
+        assert not store.exists(block)
+        assert store.allocate("b") == block
+
+    def test_free_unknown_block_raises(self, store):
+        with pytest.raises(BlockNotFoundError):
+            store.free(999)
+
+    def test_len_tracks_allocated(self, store):
+        blocks = [store.allocate(i) for i in range(5)]
+        store.free(blocks[0])
+        assert len(store) == store.block_count == 4
+
+
+class TestCounting:
+    def test_read_costs_one_io(self, store):
+        block = store.allocate("payload")
+        before = store.stats.reads
+        assert store.read(block) == "payload"
+        assert store.stats.reads == before + 1
+
+    def test_write_outside_operation_counts_immediately(self, store):
+        block = store.allocate("a")
+        writes = store.stats.writes
+        store.write(block, "b")
+        store.write(block, "c")
+        assert store.stats.writes == writes + 2
+
+    def test_peek_is_free(self, store):
+        block = store.allocate("a")
+        snapshot = store.stats.snapshot()
+        assert store.peek(block) == "a"
+        assert store.stats.snapshot() == snapshot
+
+    def test_read_missing_block_raises(self, store):
+        with pytest.raises(BlockNotFoundError):
+            store.read(12345)
+
+
+class TestOperationBuffering:
+    def test_repeated_reads_cost_once(self, store):
+        block = store.allocate("a")
+        with store.operation():
+            start = store.stats.reads
+            for _ in range(10):
+                store.read(block)
+            assert store.stats.reads == start + 1
+
+    def test_dirty_blocks_written_once_at_end(self, store):
+        block = store.allocate("a")
+        with store.operation():
+            writes = store.stats.writes
+            for _ in range(10):
+                store.write(block, "b")
+            assert store.stats.writes == writes  # deferred
+        assert store.stats.writes == writes + 1
+
+    def test_written_block_readable_for_free(self, store):
+        with store.operation():
+            block = store.allocate("a")
+            reads = store.stats.reads
+            store.read(block)  # just written in this op: buffered
+            assert store.stats.reads == reads
+
+    def test_nested_operations_flush_once(self, store):
+        block = store.allocate("a")
+        with store.operation():
+            with store.operation():
+                store.write(block)
+            writes = store.stats.writes
+            store.write(block)
+        assert store.stats.writes == writes + 1
+
+    def test_buffers_evicted_between_operations(self, store):
+        block = store.allocate("a")
+        with store.operation():
+            store.read(block)
+        reads = store.stats.reads
+        with store.operation():
+            store.read(block)
+        assert store.stats.reads == reads + 1
+
+    def test_measured_reports_cost(self, store):
+        blocks = [store.allocate(i) for i in range(3)]
+        with store.measured() as op:
+            for block in blocks:
+                store.read(block)
+            store.write(blocks[0])
+        assert op.reads == 3
+        assert op.writes == 1
+        assert op.total == 4
+
+    def test_measured_cost_unavailable_inside(self, store):
+        with store.measured() as op:
+            with pytest.raises(StorageError):
+                _ = op.cost
+
+    def test_freed_block_not_flushed(self, store):
+        with store.operation():
+            writes_before = store.stats.writes
+            block = store.allocate("temp")
+            store.free(block)
+        # The freed block must not be written at flush.
+        assert store.stats.writes == writes_before
+
+
+class TestLRUCache:
+    def test_cache_hit_is_free(self):
+        store = BlockStore(TINY_CONFIG, cache_capacity=4)
+        block = store.allocate("a")
+        store.read(block)
+        reads = store.stats.reads
+        store.read(block)
+        assert store.stats.reads == reads
+        assert store.stats.cache_hits >= 1
+
+    def test_eviction_beyond_capacity(self):
+        store = BlockStore(TINY_CONFIG, cache_capacity=2)
+        blocks = [store.allocate(i) for i in range(3)]
+        for block in blocks:
+            store.read(block)
+        reads = store.stats.reads
+        store.read(blocks[0])  # evicted by now: costs a read
+        assert store.stats.reads == reads + 1
+
+    def test_no_cache_by_default(self, store):
+        block = store.allocate("a")
+        store.read(block)
+        reads = store.stats.reads
+        store.read(block)
+        assert store.stats.reads == reads + 1
+
+    def test_freed_blocks_leave_cache(self):
+        store = BlockStore(TINY_CONFIG, cache_capacity=4)
+        block = store.allocate("a")
+        store.read(block)
+        store.free(block)
+        replacement = store.allocate("b")
+        if replacement == block:
+            assert store.read(replacement) == "b"
+
+
+class TestStatsReset:
+    def test_reset_zeroes_counters(self, store):
+        store.allocate("a")
+        store.stats.reset()
+        assert store.stats.reads == store.stats.writes == 0
+        assert store.stats.total_io == 0
+
+    def test_snapshot_arithmetic(self, store):
+        a = store.stats.snapshot()
+        store.allocate("x")
+        b = store.stats.snapshot()
+        delta = b - a
+        assert delta.writes == 1 and delta.reads == 0
+        assert (delta + delta).total == 2

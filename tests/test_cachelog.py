@@ -1,0 +1,193 @@
+"""Section 6: caching and logging — effects, replay, invalidation, the
+basic-caching degenerate case."""
+
+import pytest
+
+from repro import BBox, CachedLabelStore, ModificationLog, TINY_CONFIG, WBox
+from repro.core.cachelog import (
+    Invalidate,
+    ORDINAL_CHANNEL,
+    RangeShift,
+    invalidate_all,
+)
+from repro.errors import CacheError
+
+
+class TestRangeShift:
+    def test_int_shift_inside_range(self):
+        effect = RangeShift(1, 10, 20, +2)
+        assert effect.apply(15) == 17
+        assert effect.apply(10) == 12
+        assert effect.apply(20) == 22
+
+    def test_int_outside_range_untouched(self):
+        effect = RangeShift(1, 10, 20, +2)
+        assert effect.apply(9) == 9
+        assert effect.apply(21) == 21
+
+    def test_unbounded_range(self):
+        effect = RangeShift(1, 100, None, -1)
+        assert effect.apply(1_000_000) == 999_999
+        assert effect.apply(99) == 99
+
+    def test_tuple_shift_affects_last_component(self):
+        effect = RangeShift(1, (0, 2, 3), (0, 2, 5), +1)
+        assert effect.apply((0, 2, 4)) == (0, 2, 5)
+        assert effect.apply((0, 2, 6)) == (0, 2, 6)
+        assert effect.apply((0, 1, 4)) == (0, 1, 4)
+
+    def test_never_invalidates(self):
+        assert not RangeShift(1, 0, 1, 1).invalidates
+
+
+class TestInvalidate:
+    def test_int_range(self):
+        effect = Invalidate(1, 10, 20)
+        assert effect.hits(10) and effect.hits(20) and effect.hits(15)
+        assert not effect.hits(9) and not effect.hits(21)
+
+    def test_everything(self):
+        effect = invalidate_all(1)
+        assert effect.hits(0) and effect.hits((1, 2, 3))
+
+    def test_tuple_prefix_upper_bound(self):
+        # hi=(0,2) prefix-inclusive: everything under child 2 of child 0.
+        effect = Invalidate(1, (0, 2), (0, 2))
+        assert effect.hits((0, 2, 0)) and effect.hits((0, 2, 99))
+        assert not effect.hits((0, 1, 9))
+        assert not effect.hits((0, 3, 0))
+
+    def test_open_upper_bound(self):
+        effect = Invalidate(1, (1, 4), None)
+        assert effect.hits((1, 4, 0)) and effect.hits((2, 0, 0))
+        assert not effect.hits((1, 3, 9))
+
+
+class TestModificationLog:
+    def test_replay_applies_newer_effects_in_order(self):
+        log = ModificationLog(capacity=8)
+        log.record(RangeShift(1, 0, None, +1))
+        log.record(RangeShift(2, 0, None, +1))
+        log.record(RangeShift(3, 100, None, +1))
+        assert log.replay(50, last_cached=0) == 52
+        assert log.replay(50, last_cached=1) == 51
+        assert log.replay(50, last_cached=3) == 50
+
+    def test_dropped_history_forces_miss(self):
+        log = ModificationLog(capacity=2)
+        for timestamp in range(1, 6):
+            log.record(RangeShift(timestamp, 0, None, +1))
+        assert log.replay(10, last_cached=0) is None
+        assert log.replay(10, last_cached=3) == 12
+
+    def test_invalidation_forces_miss_only_when_hit(self):
+        log = ModificationLog(capacity=4)
+        log.record(Invalidate(1, 100, 200))
+        assert log.replay(150, last_cached=0) is None
+        assert log.replay(50, last_cached=0) == 50
+
+    def test_capacity_zero_is_basic_caching(self):
+        log = ModificationLog(capacity=0)
+        assert log.replay(5, last_cached=0) == 5  # nothing happened yet
+        log.record(RangeShift(1, 0, None, +1))
+        assert log.replay(5, last_cached=0) is None  # any update kills it
+        assert log.replay(5, last_cached=1) == 5  # cached after the update
+
+    def test_channels_are_separate(self):
+        log = ModificationLog(capacity=4)
+        log.record(RangeShift(1, 0, None, +5, ORDINAL_CHANNEL))
+        assert log.replay(10, last_cached=0) == 10  # label channel untouched
+        assert log.replay(10, last_cached=0, channel=ORDINAL_CHANNEL) == 15
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CacheError):
+            ModificationLog(capacity=-1)
+
+
+class TestCachedLabelStore:
+    def test_fresh_hit_costs_no_io(self):
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(20)
+        cache = CachedLabelStore(scheme, log_capacity=4)
+        ref = cache.reference(lids[5])
+        with scheme.store.measured() as op:
+            value = cache.get(ref)
+        assert op.total == 0
+        assert value == scheme.lookup(lids[5])
+        assert cache.counters.fresh_hits == 1
+
+    def test_replayed_hit_costs_no_io(self):
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(20)
+        scheme.delete(lids[9])  # leave slack so the next insert stays leaf-local
+        cache = CachedLabelStore(scheme, log_capacity=8)
+        ref = cache.reference(lids[10])
+        scheme.insert_before(lids[10])  # shifts the cached label, no split
+        with scheme.store.measured() as op:
+            value = cache.get(ref)
+        assert op.total == 0
+        assert value == scheme.lookup(lids[10])
+        assert cache.counters.replayed_hits == 1
+
+    def test_miss_pays_full_lookup_and_recaches(self):
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(20)
+        cache = CachedLabelStore(scheme, log_capacity=0)
+        ref = cache.reference(lids[10])
+        scheme.insert_before(lids[10])
+        assert cache.get(ref) == scheme.lookup(lids[10])
+        assert cache.counters.misses == 1
+        # Re-read without further updates: now a fresh hit.
+        cache.get(ref)
+        assert cache.counters.fresh_hits == 1
+
+    def test_k_entries_survive_k_modifications(self):
+        # "A log with k entries gives roughly a k-fold boost": a cached ref
+        # stays repairable through k subsequent single-leaf updates.
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(30)
+        scheme.delete(lids[24])  # slack: later churn reclaims, never splits
+        cache = CachedLabelStore(scheme, log_capacity=6)
+        ref = cache.reference(lids[2])
+        for _ in range(3):  # 3 churn rounds = 6 logged modifications
+            scheme.delete(scheme.insert_before(lids[25]))
+        value = cache.get(ref)
+        assert value == scheme.lookup(lids[2])
+        assert cache.counters.misses == 0
+        assert cache.counters.replayed_hits == 1
+
+    def test_bbox_replay(self):
+        scheme = BBox(TINY_CONFIG)
+        lids = scheme.bulk_load(30)
+        cache = CachedLabelStore(scheme, log_capacity=8)
+        ref = cache.reference(lids[12])
+        scheme.insert_before(lids[12])
+        assert cache.get(ref) == scheme.lookup(lids[12])
+
+    def test_ordinal_channel_reference(self):
+        scheme = BBox(TINY_CONFIG, ordinal=True)
+        lids = scheme.bulk_load(30)
+        cache = CachedLabelStore(scheme, log_capacity=8)
+        ref = cache.reference(lids[12], channel=ORDINAL_CHANNEL)
+        assert ref.value == 12
+        scheme.insert_before(lids[3])
+        assert cache.get(ref) == 13  # replayed ordinal shift
+        assert cache.counters.misses == 0
+
+    def test_close_detaches_listener(self):
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(10)
+        cache = CachedLabelStore(scheme, log_capacity=4)
+        cache.close()
+        scheme.insert_before(lids[5])
+        assert len(cache.log) == 0
+
+    def test_structure_invalidation_forces_refetch(self):
+        scheme = BBox(TINY_CONFIG)
+        lids = scheme.bulk_load(6)  # single full leaf
+        cache = CachedLabelStore(scheme, log_capacity=32)
+        ref = cache.reference(lids[5])
+        for _ in range(10):  # forces splits and a root change
+            scheme.insert_before(lids[3])
+        assert cache.get(ref) == scheme.lookup(lids[5])
+        assert cache.counters.misses >= 1

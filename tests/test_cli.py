@@ -1,0 +1,104 @@
+"""CLI: argument parsing and end-to-end subcommand behaviour."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_scheme
+from repro.config import TINY_CONFIG
+from repro.errors import ReproError
+from repro.xml.writer import serialize
+from repro.xml.xmark import xmark_document
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "site.xml"
+    path.write_text(serialize(xmark_document(4, seed=3)), encoding="utf-8")
+    return str(path)
+
+
+class TestSchemeFactory:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("wbox", "W-BOX"),
+            ("wboxo", "W-BOX-O"),
+            ("bbox", "B-BOX"),
+            ("bbox-o", "B-BOX-O"),
+            ("naive-8", "naive-8"),
+        ],
+    )
+    def test_names(self, name, expected):
+        assert make_scheme(name, TINY_CONFIG).name == expected
+
+    def test_ordinal_wbox(self):
+        scheme = make_scheme("wbox-ordinal", TINY_CONFIG)
+        assert scheme.supports_ordinal
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError):
+            make_scheme("btree", TINY_CONFIG)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_label_defaults(self):
+        args = build_parser().parse_args(["label", "doc.xml"])
+        assert args.scheme == "bbox" and args.block_bytes == 1024
+
+
+class TestLabelCommand:
+    def test_reports_statistics(self, xml_file, capsys):
+        assert main(["label", xml_file, "--scheme", "wbox"]) == 0
+        output = capsys.readouterr().out
+        assert "elements:" in output
+        assert "bulk-load IO:" in output
+        assert "W-BOX" in output
+
+    def test_save_and_inspect_round_trip(self, xml_file, tmp_path, capsys):
+        saved = str(tmp_path / "labels.box")
+        assert main(["label", xml_file, "--save", saved]) == 0
+        assert main(["inspect", saved]) == 0
+        output = capsys.readouterr().out
+        assert "invariants: OK" in output
+
+    def test_missing_file_is_an_error(self, capsys):
+        assert main(["label", "no-such-file.xml"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQueryCommand:
+    def test_counts_and_io(self, xml_file, capsys):
+        assert main(["query", xml_file, "//item"]) == 0
+        output = capsys.readouterr().out
+        assert "match(es)" in output
+        assert "block I/Os" in output
+
+    def test_predicate_query(self, xml_file, capsys):
+        assert main(["query", xml_file, "//item[mailbox/mail]/name", "--scheme", "wbox"]) == 0
+        assert "match(es)" in capsys.readouterr().out
+
+    def test_bad_expression_is_an_error(self, xml_file, capsys):
+        assert main(["query", xml_file, "///"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_limit_zero_prints_all(self, xml_file, capsys):
+        assert main(["query", xml_file, "//item", "--limit", "0"]) == 0
+        assert "... and" not in capsys.readouterr().out
+
+
+class TestWorkloadCommand:
+    @pytest.mark.parametrize("sequence", ["concentrated", "scattered", "xmark"])
+    def test_sequences_run(self, sequence, capsys):
+        code = main(
+            ["workload", sequence, "--base", "300", "--inserts", "60", "--scheme", "bbox"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mean I/O:" in output
+
+    def test_naive_reports_relabels(self, capsys):
+        main(["workload", "concentrated", "--base", "200", "--inserts", "40", "--scheme", "naive-2"])
+        assert "relabels:" in capsys.readouterr().out

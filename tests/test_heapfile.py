@@ -1,0 +1,145 @@
+"""HeapFile (LIDF): allocation, compactness, pair adjacency, scans."""
+
+import pytest
+
+from repro.config import TINY_CONFIG
+from repro.errors import RecordNotFoundError
+from repro.storage import BlockStore, HeapFile
+
+
+@pytest.fixture
+def lidf():
+    return HeapFile(BlockStore(TINY_CONFIG))
+
+
+RPB = TINY_CONFIG.lidf_records_per_block  # 8 in the tiny config
+
+
+class TestAllocation:
+    def test_lids_are_dense_from_zero(self, lidf):
+        assert [lidf.allocate(i) for i in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_read_returns_stored_value(self, lidf):
+        lid = lidf.allocate({"pointer": 42})
+        assert lidf.read(lid) == {"pointer": 42}
+
+    def test_write_overwrites(self, lidf):
+        lid = lidf.allocate(1)
+        lidf.write(lid, 2)
+        assert lidf.read(lid) == 2
+
+    def test_freed_lids_are_reused_lowest_first(self, lidf):
+        for i in range(6):
+            lidf.allocate(i)
+        lidf.free(4)
+        lidf.free(1)
+        assert lidf.allocate("x") == 1
+        assert lidf.allocate("y") == 4
+        assert lidf.allocate("z") == 6
+
+    def test_read_after_free_raises(self, lidf):
+        lid = lidf.allocate(1)
+        lidf.free(lid)
+        with pytest.raises(RecordNotFoundError):
+            lidf.read(lid)
+
+    def test_double_free_raises(self, lidf):
+        lid = lidf.allocate(1)
+        lidf.free(lid)
+        with pytest.raises(RecordNotFoundError):
+            lidf.free(lid)
+
+    def test_unknown_lid_raises(self, lidf):
+        with pytest.raises(RecordNotFoundError):
+            lidf.read(99)
+
+    def test_len_counts_live_records(self, lidf):
+        lids = [lidf.allocate(i) for i in range(4)]
+        lidf.free(lids[0])
+        assert len(lidf) == 3
+
+    def test_exists(self, lidf):
+        lid = lidf.allocate(1)
+        assert lidf.exists(lid)
+        assert not lidf.exists(lid + 1)
+        lidf.free(lid)
+        assert not lidf.exists(lid)
+
+
+class TestPairs:
+    def test_fresh_pair_is_adjacent(self, lidf):
+        first, second = lidf.allocate_pair("s", "e")
+        assert second == first + 1
+        assert first // RPB == second // RPB
+
+    def test_pair_reuses_adjacent_freed_slots(self, lidf):
+        for i in range(6):
+            lidf.allocate(i)
+        lidf.free(2)
+        lidf.free(3)
+        assert lidf.allocate_pair("a", "b") == (2, 3)
+
+    def test_pair_skips_block_straddling_slots(self, lidf):
+        for i in range(2 * RPB):
+            lidf.allocate(i)
+        lidf.free(RPB - 1)
+        lidf.free(RPB)
+        # Adjacent LIDs but in different blocks: not a pair.
+        pair = lidf.allocate_pair("a", "b")
+        assert pair == (2 * RPB, 2 * RPB + 1)
+
+    def test_pair_single_io_for_both_records(self, lidf):
+        first, second = lidf.allocate_pair("s", "e")
+        with lidf.store.measured() as op:
+            lidf.read(first)
+            lidf.read(second)
+        assert op.reads == 1  # the paper's "obvious optimization"
+
+
+class TestGeometry:
+    def test_block_growth(self, lidf):
+        for i in range(RPB + 1):
+            lidf.allocate(i)
+        assert lidf.block_count == 2
+
+    def test_record_io_costs_one_block(self, lidf):
+        lids = [lidf.allocate(i) for i in range(RPB * 2)]
+        with lidf.store.measured() as op:
+            lidf.read(lids[0])
+        assert op.reads == 1
+
+    def test_compactness_after_churn(self, lidf):
+        lids = [lidf.allocate(i) for i in range(RPB * 2)]
+        for lid in lids[: RPB // 2]:
+            lidf.free(lid)
+        for i in range(RPB // 2):
+            lidf.allocate(f"new{i}")
+        assert lidf.high_water_lid == RPB * 2  # no growth: slots reused
+
+
+class TestBulkAccess:
+    def test_scan_yields_live_in_order(self, lidf):
+        lids = [lidf.allocate(i * 10) for i in range(5)]
+        lidf.free(lids[2])
+        assert list(lidf.scan()) == [(0, 0), (1, 10), (3, 30), (4, 40)]
+
+    def test_scan_costs_one_read_per_block(self, lidf):
+        for i in range(3 * RPB):
+            lidf.allocate(i)
+        with lidf.store.measured() as op:
+            list(lidf.scan())
+        assert op.reads == 3
+
+    def test_rewrite_all_transforms_live_records(self, lidf):
+        for i in range(5):
+            lidf.allocate(i)
+        lidf.free(3)
+        lidf.rewrite_all(lambda lid, value: value * 2)
+        assert [value for _, value in lidf.scan()] == [0, 2, 4, 8]
+
+    def test_rewrite_all_costs_one_pass(self, lidf):
+        for i in range(2 * RPB):
+            lidf.allocate(i)
+        with lidf.store.measured() as op:
+            lidf.rewrite_all(lambda lid, value: value)
+        assert op.reads == 2 and op.writes == 2

@@ -1,0 +1,162 @@
+"""naive-k: gap labeling, adversarial relabeling, the k-insert break."""
+
+import pytest
+
+from repro import NaiveScheme, TINY_CONFIG
+from repro.errors import LabelingError
+
+
+@pytest.fixture
+def scheme():
+    return NaiveScheme(4, TINY_CONFIG)
+
+
+class TestBasics:
+    def test_bulk_load_equal_spacing(self, scheme):
+        lids = scheme.bulk_load(10)
+        labels = [scheme.lookup(lid) for lid in lids]
+        assert labels == [(index + 1) * 16 for index in range(10)]
+
+    def test_lookup_costs_one_io(self, scheme):
+        lids = scheme.bulk_load(20)
+        with scheme.store.measured() as op:
+            scheme.lookup(lids[7])
+        assert op.reads == 1 and op.writes == 0
+
+    def test_insert_splits_gap(self, scheme):
+        lids = scheme.bulk_load(4)
+        new = scheme.insert_before(lids[2])
+        assert scheme.lookup(lids[1]) < scheme.lookup(new) < scheme.lookup(lids[2])
+
+    def test_insert_without_relabel_is_cheap(self, scheme):
+        lids = scheme.bulk_load(20)
+        with scheme.store.measured() as op:
+            scheme.insert_before(lids[10])
+        assert op.total <= 4
+        assert scheme.relabel_count == 0
+
+    def test_name_carries_k(self):
+        assert NaiveScheme(64, TINY_CONFIG).name == "naive-64"
+
+    def test_rejects_zero_gap_bits(self):
+        with pytest.raises(LabelingError):
+            NaiveScheme(0, TINY_CONFIG)
+
+    def test_bulk_requires_empty(self, scheme):
+        scheme.bulk_load(3)
+        with pytest.raises(LabelingError):
+            scheme.bulk_load(3)
+
+
+class TestAdversary:
+    def test_k_plus_one_inserts_trigger_relabel(self):
+        # Starting from a gap of 2^k, k+1 adversarial inserts exhaust it
+        # (Section 1's adversary).
+        k = 4
+        scheme = NaiveScheme(k, TINY_CONFIG)
+        lids = scheme.bulk_load(8)
+        anchor = lids[4]
+        for _ in range(k):
+            scheme.insert_before(anchor)
+        assert scheme.relabel_count == 0
+        scheme.insert_before(anchor)
+        assert scheme.relabel_count == 1
+
+    def test_relabel_restores_gaps(self, scheme):
+        lids = scheme.bulk_load(8)
+        anchor = lids[4]
+        for _ in range(10):
+            scheme.insert_before(anchor)
+        labels = sorted(scheme.lookup(lid) for lid, _ in [(l, 0) for l in lids])
+        # After a relabel every label is a multiple of 2^k.
+        if scheme.relabel_count:
+            gaps_ok = all(
+                label % scheme.gap == 0
+                for label in [scheme.lookup(lids[0]), scheme.lookup(lids[-1])]
+            )
+            # Later inserts may have re-split gaps; at minimum order holds.
+            assert labels == sorted(labels)
+
+    def test_relabel_cost_scales_with_document(self):
+        small = NaiveScheme(1, TINY_CONFIG)
+        small_lids = small.bulk_load(40)
+        large = NaiveScheme(1, TINY_CONFIG)
+        large_lids = large.bulk_load(400)
+
+        def relabel_cost(scheme, anchor):
+            scheme.insert_before(anchor)  # gap 2 -> 1
+            with scheme.store.measured() as op:
+                scheme.insert_before(anchor)  # triggers relabel
+            assert scheme.relabel_count >= 1
+            return op.total
+
+        assert relabel_cost(large, large_lids[5]) > relabel_cost(small, small_lids[5])
+
+    def test_larger_k_relabels_less(self):
+        results = {}
+        for k in (1, 4, 8):
+            scheme = NaiveScheme(k, TINY_CONFIG)
+            lids = scheme.bulk_load(50)
+            anchor = lids[25]
+            for index in range(60):
+                new = scheme.insert_before(anchor)
+                if index % 2 == 0:
+                    anchor = new
+            results[k] = scheme.relabel_count
+        assert results[1] > results[4] > results[8]
+
+    def test_order_always_preserved(self):
+        scheme = NaiveScheme(2, TINY_CONFIG)
+        lids = list(scheme.bulk_load(20))
+        anchor = lids[10]
+        inserted = []
+        for _ in range(50):
+            anchor = scheme.insert_before(anchor)
+            inserted.append(anchor)
+        inserted.reverse()  # document order
+        order = lids[:10] + inserted + lids[10:]
+        labels = [scheme.lookup(lid) for lid in order]
+        assert labels == sorted(labels)
+
+
+class TestDeletes:
+    def test_delete_merges_gap(self, scheme):
+        lids = scheme.bulk_load(6)
+        scheme.delete(lids[3])
+        # The successor's gap absorbed the deleted label's gap.
+        _, gap = scheme.lidf.read(lids[4])
+        assert gap == 32
+
+    def test_delete_last_label(self, scheme):
+        lids = scheme.bulk_load(3)
+        scheme.delete(lids[-1])
+        assert scheme.label_count() == 2
+
+    def test_delete_unknown_rejected(self, scheme):
+        scheme.bulk_load(3)
+        from repro.errors import RecordNotFoundError
+
+        with pytest.raises((LabelingError, RecordNotFoundError)):
+            scheme.delete(999)
+
+    def test_delete_range(self, scheme):
+        lids = scheme.bulk_load(10)
+        deleted = scheme.delete_range(lids[3], lids[6])
+        assert deleted == lids[3:7]
+        labels = [scheme.lookup(lid) for lid in lids[:3] + lids[7:]]
+        assert labels == sorted(labels)
+
+
+class TestBits:
+    def test_bits_grow_with_k(self):
+        low = NaiveScheme(1, TINY_CONFIG)
+        low.bulk_load(32)
+        high = NaiveScheme(16, TINY_CONFIG)
+        high.bulk_load(32)
+        assert high.label_bit_length() > low.label_bit_length()
+
+    def test_bits_match_formula_after_load(self):
+        scheme = NaiveScheme(8, TINY_CONFIG)
+        scheme.bulk_load(64)
+        # max label = 64 * 2^8 = 2^14 exactly, which occupies 15 bits.
+        assert scheme.label_bit_length() == (64 * 256).bit_length() == 15

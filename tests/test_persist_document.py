@@ -1,0 +1,106 @@
+"""Document-level persistence: the whole LabeledDocument (structure + XML
+tree + element↔LID binding) round-trips, so saved files are queryable."""
+
+import pytest
+
+from repro import BBox, LabeledDocument, NaiveScheme, TINY_CONFIG, WBox, WBoxO
+from repro.persist import PersistError, load_document, load_scheme, save_document
+from repro.query import containment_join_by_name, xpath
+from repro.xml.model import Element
+from repro.xml.xmark import xmark_document
+
+from .conftest import random_edit_session, verify_document
+
+FACTORIES = {
+    "wbox": lambda: WBox(TINY_CONFIG),
+    "wboxo": lambda: WBoxO(TINY_CONFIG),
+    "bbox": lambda: BBox(TINY_CONFIG),
+    "naive": lambda: NaiveScheme(4, TINY_CONFIG),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+class TestRoundTrip:
+    def test_binding_survives(self, name, tmp_path):
+        doc = LabeledDocument(FACTORIES[name](), xmark_document(3, seed=5))
+        random_edit_session(doc, operations=60, seed=6)
+        path = str(tmp_path / "doc.box")
+        save_document(doc, path)
+        reloaded = load_document(path)
+        verify_document(reloaded)
+        assert len(reloaded) == len(doc)
+
+    def test_queries_equal(self, name, tmp_path):
+        doc = LabeledDocument(FACTORIES[name](), xmark_document(3, seed=5))
+        path = str(tmp_path / "doc.box")
+        save_document(doc, path)
+        reloaded = load_document(path)
+        before = containment_join_by_name(doc, "item", "mail")
+        after = containment_join_by_name(reloaded, "item", "mail")
+        assert len(before) == len(after)
+        assert len(xpath(reloaded, "//person")) == len(xpath(doc, "//person"))
+
+    def test_reloaded_document_is_editable(self, name, tmp_path):
+        doc = LabeledDocument(FACTORIES[name](), xmark_document(2, seed=7))
+        path = str(tmp_path / "doc.box")
+        save_document(doc, path)
+        reloaded = load_document(path)
+        people = reloaded.root.find("people")
+        reloaded.append_child(Element("person", {"id": "late"}), people)
+        verify_document(reloaded)
+        assert len(xpath(reloaded, '//person[@id="late"]')) == 1
+
+
+class TestCompatibility:
+    def test_scheme_only_load_ignores_document_section(self, tmp_path):
+        doc = LabeledDocument(WBox(TINY_CONFIG), xmark_document(2, seed=8))
+        path = str(tmp_path / "doc.box")
+        save_document(doc, path)
+        scheme = load_scheme(path)
+        assert scheme.label_count() == doc.scheme.label_count()
+
+    def test_scheme_only_file_has_no_document(self, tmp_path):
+        from repro.persist import save_scheme
+
+        scheme = WBox(TINY_CONFIG)
+        scheme.bulk_load(10)
+        path = str(tmp_path / "scheme.box")
+        save_scheme(scheme, path)
+        with pytest.raises(PersistError):
+            load_document(path)
+
+    def test_empty_document_rejected(self, tmp_path):
+        doc = LabeledDocument(WBox(TINY_CONFIG))
+        with pytest.raises(PersistError):
+            save_document(doc, str(tmp_path / "x.box"))
+
+    def test_non_document_rejected(self, tmp_path):
+        with pytest.raises(PersistError):
+            save_document(WBox(TINY_CONFIG), str(tmp_path / "x.box"))
+
+
+class TestCLIIntegration:
+    def test_label_save_then_query(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.xml.writer import serialize
+
+        xml_path = tmp_path / "site.xml"
+        xml_path.write_text(serialize(xmark_document(3, seed=9)), encoding="utf-8")
+        box_path = tmp_path / "site.box"
+        assert main(["label", str(xml_path), "--save", str(box_path)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(box_path), "//item"]) == 0
+        output = capsys.readouterr().out
+        assert "match(es)" in output
+
+    def test_inspect_document_file(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.xml.writer import serialize
+
+        xml_path = tmp_path / "site.xml"
+        xml_path.write_text(serialize(xmark_document(2, seed=10)), encoding="utf-8")
+        box_path = tmp_path / "site.box"
+        main(["label", str(xml_path), "--save", str(box_path), "--scheme", "bbox"])
+        capsys.readouterr()
+        assert main(["inspect", str(box_path)]) == 0
+        assert "invariants: OK" in capsys.readouterr().out

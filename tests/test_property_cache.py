@@ -1,0 +1,92 @@
+"""Property-based tests for Section 6: a cached label read through the
+modification log must ALWAYS equal a fresh lookup, under any interleaving of
+edits and reads and any log capacity."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro import CachedLabelStore, LabeledDocument
+from repro.core.cachelog import ORDINAL_CHANNEL
+from repro.xml.generator import two_level_document
+from repro.xml.model import Element
+
+from .conftest import SCHEME_FACTORIES
+
+#: Steps: (kind, position) — kind 0 insert, 1 delete, 2 cached read.
+STEP = st.tuples(st.integers(0, 2), st.integers(0, 10_000))
+
+RELAXED = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def run_cache_session(factory_name, capacity, steps, channel=None):
+    scheme = SCHEME_FACTORIES[factory_name]()
+    doc = LabeledDocument(scheme, two_level_document(10))
+    cache = CachedLabelStore(scheme, log_capacity=capacity)
+    kwargs = {"channel": channel} if channel else {}
+    refs = {
+        element: cache.reference(doc.start_lid(element), **kwargs)
+        for element in doc.elements()
+    }
+    elements = [element for element in doc.elements() if element is not doc.root]
+    counter = 0
+    for kind, position in steps:
+        if kind == 0 or len(elements) <= 3:
+            anchor = elements[position % len(elements)]
+            new = Element(f"c{counter}")
+            counter += 1
+            doc.insert_before(new, anchor)
+            elements.append(new)
+            refs[new] = cache.reference(doc.start_lid(new), **kwargs)
+        elif kind == 1:
+            victim = elements.pop(position % len(elements))
+            refs.pop(victim, None)
+            doc.delete_element(victim)
+        else:
+            element = elements[position % len(elements)]
+            cached = cache.get(refs[element])
+            if channel == ORDINAL_CHANNEL:
+                fresh = scheme.ordinal_lookup(doc.start_lid(element))
+            else:
+                fresh = scheme.lookup(doc.start_lid(element))
+            assert cached == fresh, (factory_name, capacity, cached, fresh)
+    # Final sweep: every surviving reference must agree with reality.
+    for element, ref in refs.items():
+        if element in elements or element is doc.root:
+            if channel == ORDINAL_CHANNEL:
+                assert cache.get(ref) == scheme.ordinal_lookup(doc.start_lid(element))
+            else:
+                assert cache.get(ref) == scheme.lookup(doc.start_lid(element))
+
+
+@given(steps=st.lists(STEP, min_size=1, max_size=30), capacity=st.integers(0, 40))
+@RELAXED
+def test_wbox_replay_equals_fresh_lookup(steps, capacity):
+    run_cache_session("wbox", capacity, steps)
+
+
+@given(steps=st.lists(STEP, min_size=1, max_size=30), capacity=st.integers(0, 40))
+@RELAXED
+def test_bbox_replay_equals_fresh_lookup(steps, capacity):
+    run_cache_session("bbox", capacity, steps)
+
+
+@given(steps=st.lists(STEP, min_size=1, max_size=30), capacity=st.integers(0, 40))
+@RELAXED
+def test_naive_replay_equals_fresh_lookup(steps, capacity):
+    run_cache_session("naive-4", capacity, steps)
+
+
+@given(steps=st.lists(STEP, min_size=1, max_size=25), capacity=st.integers(0, 40))
+@RELAXED
+def test_wbox_ordinal_channel_replay(steps, capacity):
+    run_cache_session("wbox-ordinal", capacity, steps, channel=ORDINAL_CHANNEL)
+
+
+@given(steps=st.lists(STEP, min_size=1, max_size=25), capacity=st.integers(0, 40))
+@RELAXED
+def test_bbox_ordinal_channel_replay(steps, capacity):
+    run_cache_session("bbox-ordinal", capacity, steps, channel=ORDINAL_CHANNEL)

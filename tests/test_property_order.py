@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis): for ANY sequence of element inserts
+and deletes, every scheme's labels must stay consistent with document order,
+ordinals must be exact positions, and the tree invariants must hold."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro import LabeledDocument
+from repro.xml.generator import two_level_document
+from repro.xml.model import Element
+
+from .conftest import SCHEME_FACTORIES, verify_document
+
+#: One edit step, interpreted against the current element list:
+#: (action, position) with action 0 -> insert-before, 1 -> append-child,
+#: 2 -> delete.
+EDIT = st.tuples(st.integers(0, 2), st.integers(0, 10_000))
+SESSION = st.lists(EDIT, min_size=1, max_size=40)
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def apply_session(doc: LabeledDocument, session) -> None:
+    elements = [element for element in doc.elements() if element is not doc.root]
+    counter = 0
+    for action, position in session:
+        if action == 2 and len(elements) > 2:
+            victim = elements.pop(position % len(elements))
+            doc.delete_element(victim)
+            continue
+        new = Element(f"h{counter}")
+        counter += 1
+        if elements and action == 0:
+            doc.insert_before(new, elements[position % len(elements)])
+        else:
+            target = elements[position % len(elements)] if elements else doc.root
+            doc.append_child(new, target if action == 1 else doc.root)
+        elements.append(new)
+
+
+def _run_for(factory_name: str, session) -> None:
+    doc = LabeledDocument(SCHEME_FACTORIES[factory_name](), two_level_document(8))
+    apply_session(doc, session)
+    verify_document(doc)
+
+
+@given(session=SESSION)
+@RELAXED
+def test_wbox_order_invariant(session):
+    _run_for("wbox", session)
+
+
+@given(session=SESSION)
+@RELAXED
+def test_wbox_ordinal_invariant(session):
+    _run_for("wbox-ordinal", session)
+
+
+@given(session=SESSION)
+@RELAXED
+def test_wboxo_order_invariant(session):
+    _run_for("wboxo", session)
+
+
+@given(session=SESSION)
+@RELAXED
+def test_bbox_order_invariant(session):
+    _run_for("bbox", session)
+
+
+@given(session=SESSION)
+@RELAXED
+def test_bbox_ordinal_invariant(session):
+    _run_for("bbox-ordinal", session)
+
+
+@given(session=SESSION)
+@RELAXED
+def test_bbox_quarter_fill_invariant(session):
+    _run_for("bbox-quarter", session)
+
+
+@given(session=SESSION)
+@RELAXED
+def test_naive_order_invariant(session):
+    _run_for("naive-4", session)
+
+
+@given(
+    session=SESSION,
+    subtree_size=st.integers(1, 30),
+    position=st.integers(0, 10_000),
+)
+@RELAXED
+def test_subtree_insert_then_delete_round_trip(session, subtree_size, position):
+    """Subtree insert followed by subtree delete restores a consistent
+    document on every tree scheme."""
+    from repro.xml.generator import random_document
+
+    for name in ("wbox", "bbox"):
+        doc = LabeledDocument(SCHEME_FACTORIES[name](), two_level_document(8))
+        apply_session(doc, session)
+        elements = [element for element in doc.elements() if element is not doc.root]
+        anchor = elements[position % len(elements)] if elements else None
+        subtree = random_document(subtree_size, seed=subtree_size)
+        if anchor is not None:
+            doc.insert_subtree_before(subtree, anchor)
+        else:
+            doc.append_subtree(subtree, doc.root)
+        verify_document(doc)
+        doc.delete_subtree(subtree)
+        verify_document(doc)

@@ -1,0 +1,100 @@
+"""Property-based persistence tests: after ANY edit session, a save/load
+round trip must reproduce every label, every ordinal, and every structural
+invariant."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro import LabeledDocument
+from repro.persist import load_scheme, save_scheme
+from repro.xml.generator import two_level_document
+from repro.xml.model import TagKind, document_tags
+
+from .conftest import SCHEME_FACTORIES
+from .test_property_order import EDIT, apply_session
+
+RELAXED = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def round_trip_check(factory_name: str, session, tmp_path_factory_dir: str) -> None:
+    doc = LabeledDocument(SCHEME_FACTORIES[factory_name](), two_level_document(6))
+    apply_session(doc, session)
+    scheme = doc.scheme
+    path = f"{tmp_path_factory_dir}/{factory_name}.box"
+    save_scheme(scheme, path)
+    reloaded = load_scheme(path)
+
+    if hasattr(reloaded, "check_invariants"):
+        reloaded.check_invariants()
+    assert reloaded.label_count() == scheme.label_count()
+    assert doc.root is not None
+    for tag in document_tags(doc.root):
+        lid = (
+            doc.start_lid(tag.element)
+            if tag.kind is TagKind.START
+            else doc.end_lid(tag.element)
+        )
+        assert reloaded.lookup(lid) == scheme.lookup(lid)
+        if scheme.supports_ordinal:
+            assert reloaded.ordinal_lookup(lid) == scheme.ordinal_lookup(lid)
+
+
+@given(session=st.lists(EDIT, min_size=1, max_size=25))
+@RELAXED
+def test_wbox_persist_round_trip(session, tmp_path_factory):
+    round_trip_check("wbox", session, str(tmp_path_factory.mktemp("persist")))
+
+
+@given(session=st.lists(EDIT, min_size=1, max_size=25))
+@RELAXED
+def test_wbox_ordinal_persist_round_trip(session, tmp_path_factory):
+    round_trip_check("wbox-ordinal", session, str(tmp_path_factory.mktemp("persist")))
+
+
+@given(session=st.lists(EDIT, min_size=1, max_size=25))
+@RELAXED
+def test_wboxo_persist_round_trip(session, tmp_path_factory):
+    round_trip_check("wboxo", session, str(tmp_path_factory.mktemp("persist")))
+
+
+@given(session=st.lists(EDIT, min_size=1, max_size=25))
+@RELAXED
+def test_bbox_persist_round_trip(session, tmp_path_factory):
+    round_trip_check("bbox", session, str(tmp_path_factory.mktemp("persist")))
+
+
+@given(session=st.lists(EDIT, min_size=1, max_size=25))
+@RELAXED
+def test_bbox_ordinal_persist_round_trip(session, tmp_path_factory):
+    round_trip_check("bbox-ordinal", session, str(tmp_path_factory.mktemp("persist")))
+
+
+@given(session=st.lists(EDIT, min_size=1, max_size=25))
+@RELAXED
+def test_naive_persist_round_trip(session, tmp_path_factory):
+    round_trip_check("naive-4", session, str(tmp_path_factory.mktemp("persist")))
+
+
+@given(session=st.lists(EDIT, min_size=1, max_size=20))
+@RELAXED
+def test_reloaded_scheme_keeps_editing_correctly(session, tmp_path_factory):
+    """Edits applied *after* a reload behave exactly like edits applied to
+    the original (continuation equivalence)."""
+    directory = str(tmp_path_factory.mktemp("persist"))
+    original_doc = LabeledDocument(SCHEME_FACTORIES["bbox"](), two_level_document(6))
+    apply_session(original_doc, session)
+    path = f"{directory}/continuation.box"
+    save_scheme(original_doc.scheme, path)
+    reloaded = load_scheme(path)
+
+    # Apply the same extra insert to both and compare the label outcome.
+    anchor = original_doc.start_lid(next(iter(original_doc.elements())))
+    original_pair = original_doc.scheme.insert_element_before(anchor)
+    reloaded_pair = reloaded.insert_element_before(anchor)
+    assert original_pair == reloaded_pair
+    assert reloaded.lookup(reloaded_pair[0]) == original_doc.scheme.lookup(original_pair[0])
+    reloaded.check_invariants()

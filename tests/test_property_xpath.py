@@ -1,0 +1,92 @@
+"""Property-based XPath tests: against random documents, the evaluator must
+agree with brute-force tree walks for randomly generated path expressions."""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro import LabeledDocument, TINY_CONFIG, WBox
+from repro.query.xpath import evaluate
+from repro.xml.generator import random_document
+from repro.xml.model import Element
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TAGS = ("a", "b", "c", "d", "e")
+
+
+def brute_force(root: Element, steps: list[tuple[str, str]]) -> list[Element]:
+    """Evaluate (axis, name) steps by tree walking."""
+    if steps[0][0] == "child":
+        context = [root] if steps[0][1] in ("*", root.name) else []
+    else:
+        context = [e for e in root.iter() if steps[0][1] in ("*", e.name)]
+    for axis, name in steps[1:]:
+        next_context = []
+        for element in context:
+            if axis == "child":
+                candidates = element.children
+            else:
+                candidates = [e for e in element.iter() if e is not element]
+            next_context.extend(
+                c for c in candidates if name in ("*", c.name)
+            )
+        context = next_context
+    unique = {id(e): e for e in context}
+    return list(unique.values())
+
+
+def render(steps: list[tuple[str, str]]) -> str:
+    return "".join(("/" if axis == "child" else "//") + name for axis, name in steps)
+
+
+STEP = st.tuples(st.sampled_from(["child", "descendant"]), st.sampled_from(TAGS + ("*",)))
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    size=st.integers(5, 60),
+    steps=st.lists(STEP, min_size=1, max_size=4),
+)
+@RELAXED
+def test_xpath_matches_brute_force(seed, size, steps):
+    root = random_document(size, seed=seed, tag_pool=TAGS)
+    doc = LabeledDocument(WBox(TINY_CONFIG), root)
+    expression = render(steps)
+    fast = evaluate(doc, expression)
+    slow = brute_force(root, steps)
+    assert {id(e) for e in fast} == {id(e) for e in slow}
+
+
+@given(seed=st.integers(0, 10_000), size=st.integers(5, 40))
+@RELAXED
+def test_descendant_star_returns_everything_but_order(seed, size):
+    root = random_document(size, seed=seed, tag_pool=TAGS)
+    doc = LabeledDocument(WBox(TINY_CONFIG), root)
+    everything = evaluate(doc, "//*")
+    assert len(everything) == size
+    # Results are in document order (label order).
+    by_document = list(root.iter())
+    assert [id(e) for e in everything] == [id(e) for e in by_document]
+
+
+@given(seed=st.integers(0, 10_000), size=st.integers(10, 50))
+@RELAXED
+def test_predicate_equivalence(seed, size):
+    """``//x[y]`` must equal the x's with a y descendant."""
+    root = random_document(size, seed=seed, tag_pool=TAGS)
+    doc = LabeledDocument(WBox(TINY_CONFIG), root)
+    rng = random.Random(seed)
+    outer, inner = rng.choice(TAGS), rng.choice(TAGS)
+    fast = evaluate(doc, f"//{outer}[.//{inner}]")
+    slow = [
+        e
+        for e in root.find_all(outer)
+        if any(d is not e and d.name == inner for d in e.iter())
+    ]
+    assert {id(e) for e in fast} == {id(e) for e in slow}

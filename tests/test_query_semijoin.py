@@ -1,0 +1,80 @@
+"""Semi-join and count operators over label intervals."""
+
+import pytest
+
+from repro import BBox, LabeledDocument, TINY_CONFIG, WBox
+from repro.query import containment_count, containment_semijoin
+from repro.xml.generator import random_document
+from repro.xml.xmark import xmark_document
+
+
+@pytest.fixture
+def doc():
+    return LabeledDocument(BBox(TINY_CONFIG), xmark_document(8, seed=4))
+
+
+class TestSemijoin:
+    def test_matches_brute_force(self, doc):
+        items = doc.root.find_all("item")
+        mails = doc.root.find_all("mail")
+        fast = containment_semijoin(doc, items, mails)
+        slow = [item for item in items if any(item.is_ancestor_of(m) for m in mails)]
+        assert {id(e) for e in fast} == {id(e) for e in slow}
+
+    def test_each_ancestor_reported_once(self, doc):
+        items = doc.root.find_all("item")
+        mails = doc.root.find_all("mail")
+        result = containment_semijoin(doc, items, mails)
+        assert len(result) == len({id(e) for e in result})
+
+    def test_empty_descendants(self, doc):
+        assert containment_semijoin(doc, doc.root.find_all("item"), []) == []
+
+    def test_random_documents(self):
+        for seed in range(4):
+            root = random_document(70, seed=seed)
+            doc = LabeledDocument(WBox(TINY_CONFIG), root)
+            a_list = root.find_all("a")
+            b_list = root.find_all("b")
+            fast = containment_semijoin(doc, a_list, b_list)
+            slow = [a for a in a_list if any(a.is_ancestor_of(b) for b in b_list)]
+            assert {id(e) for e in fast} == {id(e) for e in slow}
+
+
+class TestCount:
+    def test_matches_brute_force(self, doc):
+        items = doc.root.find_all("item")
+        mails = doc.root.find_all("mail")
+        counts = containment_count(doc, items, mails)
+        for item in items:
+            expected = sum(1 for mail in mails if item.is_ancestor_of(mail))
+            assert counts[item] == expected
+
+    def test_totals_match_join_size(self, doc):
+        from repro.query import containment_join
+
+        items = doc.root.find_all("item")
+        texts = doc.root.find_all("text")
+        counts = containment_count(doc, items, texts)
+        pairs = containment_join(doc, items, texts)
+        assert sum(counts.values()) == len(pairs)
+
+    def test_zero_counts_present(self, doc):
+        # Every requested ancestor appears, even with zero descendants.
+        people = doc.root.find_all("person")
+        mails = doc.root.find_all("mail")
+        counts = containment_count(doc, people, mails)
+        assert set(counts) == set(people)
+        assert all(count == 0 for count in counts.values())
+
+    def test_nested_same_tag(self):
+        from repro.xml.model import Element
+
+        root = Element("a")
+        middle = root.make_child("a")
+        middle.make_child("d")
+        root.make_child("d")
+        doc = LabeledDocument(WBox(TINY_CONFIG), root)
+        counts = containment_count(doc, [root, middle], root.find_all("d"))
+        assert counts[root] == 2
+        assert counts[middle] == 1

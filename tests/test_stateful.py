@@ -1,0 +1,156 @@
+"""Hypothesis stateful machine: a LabeledDocument driven through arbitrary
+interleavings of every editing operation, continuously checked against the
+XML model (the ground truth for document order)."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, precondition, rule
+
+from repro import BBox, LabeledDocument, TINY_CONFIG, WBox, WBoxO
+from repro.xml.generator import random_document, two_level_document
+from repro.xml.model import Element
+
+from .conftest import verify_document
+
+MACHINE_SETTINGS = settings(
+    max_examples=12,
+    stateful_step_count=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class DocumentMachine(RuleBasedStateMachine):
+    """One machine per scheme; subclasses pick the factory."""
+
+    scheme_factory = staticmethod(lambda: WBox(TINY_CONFIG))
+
+    @initialize()
+    def build(self):
+        self.doc = LabeledDocument(self.scheme_factory(), two_level_document(6))
+        self.counter = 0
+        self.subtrees = []
+
+    # -- helpers --------------------------------------------------------
+
+    def _elements(self):
+        return [e for e in self.doc.elements() if e is not self.doc.root]
+
+    def _pick(self, index):
+        elements = self._elements()
+        return elements[index % len(elements)] if elements else None
+
+    def _live_subtrees(self):
+        """Deleting a subtree also kills tracked subtrees nested in it:
+        drop the stale ones."""
+        self.subtrees = [s for s in self.subtrees if s in self.doc._start_lids]
+        return self.subtrees
+
+    # -- rules ----------------------------------------------------------
+
+    @rule(index=st.integers(0, 10_000))
+    def insert_sibling(self, index):
+        target = self._pick(index)
+        new = Element(f"m{self.counter}")
+        self.counter += 1
+        if target is None:
+            self.doc.append_child(new, self.doc.root)
+        else:
+            self.doc.insert_before(new, target)
+
+    @rule(index=st.integers(0, 10_000))
+    def append_child(self, index):
+        target = self._pick(index)
+        new = Element(f"c{self.counter}")
+        self.counter += 1
+        self.doc.append_child(new, target if target is not None else self.doc.root)
+
+    @rule(index=st.integers(0, 10_000))
+    def delete_element(self, index):
+        elements = self._elements()
+        if len(elements) <= 2:
+            return
+        victim = elements[index % len(elements)]
+        if victim in self.subtrees:
+            self.subtrees.remove(victim)
+        self.doc.delete_element(victim)
+
+    @rule(index=st.integers(0, 10_000), size=st.integers(1, 12))
+    def insert_subtree(self, index, size):
+        target = self._pick(index)
+        subtree = random_document(size, seed=size + self.counter)
+        self.counter += 1
+        self.doc.append_subtree(subtree, target if target is not None else self.doc.root)
+        self.subtrees.append(subtree)
+
+    @precondition(lambda self: self.subtrees)
+    @rule(index=st.integers(0, 10_000))
+    def delete_subtree(self, index):
+        live = self._live_subtrees()
+        if not live:
+            return
+        subtree = live.pop(index % len(live))
+        self.doc.delete_subtree(subtree)
+
+    @precondition(lambda self: self.subtrees)
+    @rule(index=st.integers(0, 10_000), target_index=st.integers(0, 10_000))
+    def move_subtree(self, index, target_index):
+        live = self._live_subtrees()
+        if not live:
+            return
+        subtree = live[index % len(live)]
+        candidates = [
+            e
+            for e in self._elements()
+            if e is not subtree and not subtree.is_ancestor_of(e)
+        ]
+        if not candidates:
+            return
+        self.doc.move_subtree_into(subtree, candidates[target_index % len(candidates)])
+
+    # -- invariants ------------------------------------------------------
+
+    @invariant()
+    def order_matches_model(self):
+        if hasattr(self, "doc"):
+            verify_document(self.doc)
+
+
+class WBoxMachine(DocumentMachine):
+    scheme_factory = staticmethod(lambda: WBox(TINY_CONFIG))
+
+
+class WBoxOrdinalMachine(DocumentMachine):
+    scheme_factory = staticmethod(lambda: WBox(TINY_CONFIG, ordinal=True))
+
+
+class WBoxOMachine(DocumentMachine):
+    scheme_factory = staticmethod(lambda: WBoxO(TINY_CONFIG))
+
+
+class BBoxMachine(DocumentMachine):
+    scheme_factory = staticmethod(lambda: BBox(TINY_CONFIG))
+
+
+class BBoxOrdinalMachine(DocumentMachine):
+    scheme_factory = staticmethod(lambda: BBox(TINY_CONFIG, ordinal=True))
+
+
+TestWBoxMachine = WBoxMachine.TestCase
+TestWBoxOrdinalMachine = WBoxOrdinalMachine.TestCase
+TestWBoxOMachine = WBoxOMachine.TestCase
+TestBBoxMachine = BBoxMachine.TestCase
+TestBBoxOrdinalMachine = BBoxOrdinalMachine.TestCase
+
+def _apply_settings() -> None:
+    for case in (
+        TestWBoxMachine,
+        TestWBoxOrdinalMachine,
+        TestWBoxOMachine,
+        TestBBoxMachine,
+        TestBBoxOrdinalMachine,
+    ):
+        case.settings = MACHINE_SETTINGS
+
+
+_apply_settings()

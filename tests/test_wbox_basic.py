@@ -1,0 +1,156 @@
+"""W-BOX basics: lookups, single insertions, I/O cost guarantees."""
+
+import pytest
+
+from repro import TINY_CONFIG, WBox
+from repro.errors import LabelingError
+
+
+@pytest.fixture
+def wbox():
+    return WBox(TINY_CONFIG)
+
+
+@pytest.fixture
+def loaded():
+    scheme = WBox(TINY_CONFIG)
+    lids = scheme.bulk_load(40)
+    return scheme, lids
+
+
+class TestBulkLoadBasics:
+    def test_labels_strictly_increasing(self, loaded):
+        scheme, lids = loaded
+        labels = [scheme.lookup(lid) for lid in lids]
+        assert labels == sorted(labels)
+        assert len(set(labels)) == len(labels)
+
+    def test_label_count(self, loaded):
+        scheme, lids = loaded
+        assert scheme.label_count() == 40
+
+    def test_bulk_load_requires_empty(self, loaded):
+        scheme, _ = loaded
+        with pytest.raises(LabelingError):
+            scheme.bulk_load(5)
+
+    def test_empty_bulk_load(self, wbox):
+        assert wbox.bulk_load(0) == []
+        assert wbox.label_count() == 0
+
+    def test_single_label(self, wbox):
+        (lid,) = wbox.bulk_load(1)
+        assert wbox.lookup(lid) >= 0
+        wbox.check_invariants()
+
+    def test_invariants_after_load(self, loaded):
+        loaded[0].check_invariants()
+
+    def test_bulk_load_io_is_linear_in_blocks(self):
+        scheme = WBox(TINY_CONFIG)
+        with scheme.store.measured() as op:
+            scheme.bulk_load(400)
+        # O(N/B): far fewer I/Os than labels.
+        assert op.total < 400
+
+    def test_within_leaf_labels_are_ordinal(self, loaded):
+        # Section 6 requirement: the i-th record of a leaf has the i-th
+        # value of the leaf's range.
+        scheme, lids = loaded
+        leaf_id = scheme.lidf.read(lids[0])
+        leaf = scheme.store.peek(leaf_id)
+        labels = [scheme.lookup(lid) for lid in leaf.entries]
+        assert labels == list(range(leaf.range_lo, leaf.range_lo + len(labels)))
+
+
+class TestLookup:
+    def test_lookup_costs_two_ios(self, loaded):
+        # One LIDF I/O + one leaf I/O (Theorem 4.5 counts the latter).
+        scheme, lids = loaded
+        with scheme.store.measured() as op:
+            scheme.lookup(lids[17])
+        assert op.reads == 2
+        assert op.writes == 0
+
+    def test_lookup_cost_independent_of_size(self):
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(600)
+        with scheme.store.measured() as op:
+            scheme.lookup(lids[431])
+        assert op.reads == 2
+
+    def test_lookup_unknown_lid(self, loaded):
+        scheme, _ = loaded
+        from repro.errors import RecordNotFoundError
+
+        with pytest.raises(RecordNotFoundError):
+            scheme.lookup(10_000)
+
+    def test_lookup_pair_default(self, loaded):
+        scheme, lids = loaded
+        assert scheme.lookup_pair(lids[0], lids[1]) == (
+            scheme.lookup(lids[0]),
+            scheme.lookup(lids[1]),
+        )
+
+
+class TestInsertBefore:
+    def test_new_label_directly_precedes_anchor(self, loaded):
+        scheme, lids = loaded
+        anchor = lids[10]
+        new = scheme.insert_before(anchor)
+        assert scheme.lookup(new) < scheme.lookup(anchor)
+        assert scheme.lookup(lids[9]) < scheme.lookup(new)
+
+    def test_repeated_inserts_preserve_total_order(self, loaded):
+        scheme, lids = loaded
+        anchor = lids[20]
+        inserted = [scheme.insert_before(anchor) for _ in range(30)]
+        scheme.check_invariants()
+        # Each insert lands directly before the anchor, so earlier inserts
+        # sit further left: labels ascend in insertion order.
+        labels = [scheme.lookup(lid) for lid in inserted]
+        assert labels == sorted(labels)
+        assert labels[-1] < scheme.lookup(anchor)
+
+    def test_insert_element_before_returns_adjacent_pair(self, loaded):
+        scheme, lids = loaded
+        start, end = scheme.insert_element_before(lids[5])
+        start_label, end_label = scheme.lookup(start), scheme.lookup(end)
+        assert start_label < end_label < scheme.lookup(lids[5])
+        assert end_label == start_label + 1
+
+    def test_insert_updates_count(self, loaded):
+        scheme, lids = loaded
+        scheme.insert_before(lids[0])
+        assert scheme.label_count() == 41
+
+    def test_insert_before_first_label(self, loaded):
+        scheme, lids = loaded
+        new = scheme.insert_before(lids[0])
+        assert scheme.lookup(new) < scheme.lookup(lids[0])
+
+    def test_compare_via_labels(self, loaded):
+        scheme, lids = loaded
+        assert scheme.compare(lids[3], lids[7]) == -1
+        assert scheme.compare(lids[7], lids[3]) == 1
+        assert scheme.compare(lids[3], lids[3]) == 0
+
+
+class TestReporting:
+    def test_label_bits_reasonable(self, loaded):
+        scheme, _ = loaded
+        assert 1 <= scheme.label_bit_length() <= 64
+
+    def test_describe(self, loaded):
+        info = loaded[0].describe()
+        assert info["scheme"] == "W-BOX"
+        assert info["labels"] == 40
+
+    def test_ordinal_unsupported_without_flag(self, loaded):
+        from repro.errors import OrdinalUnsupportedError
+
+        scheme, lids = loaded
+        assert not scheme.supports_ordinal
+        with pytest.raises(OrdinalUnsupportedError):
+            scheme.ordinal_lookup(lids[0])

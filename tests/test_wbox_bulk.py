@@ -1,0 +1,180 @@
+"""W-BOX bulk operations: subtree insert, subtree delete, rebuild reuse."""
+
+import pytest
+
+from repro import TINY_CONFIG, WBox
+from repro.errors import LabelingError
+
+
+@pytest.fixture
+def loaded():
+    scheme = WBox(TINY_CONFIG)
+    lids = scheme.bulk_load(80)
+    return scheme, lids
+
+
+def all_labels_ordered(scheme, ordered_lids):
+    labels = [scheme.lookup(lid) for lid in ordered_lids]
+    assert labels == sorted(labels)
+    assert len(set(labels)) == len(labels)
+
+
+class TestSubtreeInsert:
+    def test_labels_land_between_neighbors(self, loaded):
+        scheme, lids = loaded
+        new = scheme.insert_subtree_before(lids[40], 20)
+        assert len(new) == 20
+        expected_order = lids[:40] + new + lids[40:]
+        all_labels_ordered(scheme, expected_order)
+        scheme.check_invariants()
+
+    def test_small_insert_fits_leaf(self, loaded):
+        scheme, lids = loaded
+        with scheme.store.measured() as op:
+            new = scheme.insert_subtree_before(lids[40], 2)
+        all_labels_ordered(scheme, lids[:40] + new + lids[40:])
+        assert op.total <= 20  # leaf-local plus path bookkeeping: no rebuild
+
+    def test_huge_insert_triggers_full_rebuild(self, loaded):
+        scheme, lids = loaded
+        new = scheme.insert_subtree_before(lids[10], 800)
+        all_labels_ordered(scheme, lids[:10] + new + lids[10:])
+        scheme.check_invariants()
+        assert scheme.label_count() == 880
+
+    def test_insert_at_first_position(self, loaded):
+        scheme, lids = loaded
+        new = scheme.insert_subtree_before(lids[0], 30)
+        all_labels_ordered(scheme, new + lids)
+        scheme.check_invariants()
+
+    def test_insert_at_last_position(self, loaded):
+        scheme, lids = loaded
+        new = scheme.insert_subtree_before(lids[-1], 30)
+        all_labels_ordered(scheme, lids[:-1] + new + lids[-1:])
+        scheme.check_invariants()
+
+    def test_zero_labels_is_noop(self, loaded):
+        scheme, lids = loaded
+        assert scheme.insert_subtree_before(lids[0], 0) == []
+        assert scheme.label_count() == 80
+
+    def test_bulk_beats_element_at_a_time(self):
+        bulk_scheme = WBox(TINY_CONFIG)
+        lids = bulk_scheme.bulk_load(200)
+        with bulk_scheme.store.measured() as bulk_op:
+            bulk_scheme.insert_subtree_before(lids[100], 300)
+
+        element_scheme = WBox(TINY_CONFIG)
+        lids2 = element_scheme.bulk_load(200)
+        before = element_scheme.stats.snapshot()
+        anchor = lids2[100]
+        for _ in range(300):
+            anchor = element_scheme.insert_before(anchor)
+        element_total = (element_scheme.stats.snapshot() - before).total
+        assert bulk_op.total < element_total / 3
+
+    def test_many_small_subtree_inserts_respect_weight_ceilings(self):
+        # Regression (found by the stateful machine): subtree inserts bump
+        # ancestor weights in bulk; without a split pass the leaf-local and
+        # rebuild paths could push ancestors (and the root) past 2 a^i k.
+        import random
+
+        from repro.xml.generator import random_document, two_level_document
+        from repro import LabeledDocument, TINY_CONFIG, WBox
+        from repro.core.document import tag_pairing
+        from repro.xml.model import document_tags
+
+        doc = LabeledDocument(WBox(TINY_CONFIG, ordinal=True), two_level_document(6))
+        rng = random.Random(1)
+        elements = [e for e in doc.elements() if e is not doc.root]
+        for step in range(60):
+            subtree = random_document(rng.randint(1, 12), seed=step)
+            doc.append_subtree(subtree, rng.choice(elements))
+            elements.extend(subtree.iter())
+            doc.scheme.check_invariants()
+
+    def test_repeated_subtree_inserts(self, loaded):
+        scheme, lids = loaded
+        order = list(lids)
+        for round_number in range(6):
+            anchor_pos = 10 + round_number * 7
+            new = scheme.insert_subtree_before(order[anchor_pos], 25)
+            order[anchor_pos:anchor_pos] = new
+            scheme.check_invariants()
+        all_labels_ordered(scheme, order)
+
+
+class TestDeleteRange:
+    def test_middle_range(self, loaded):
+        scheme, lids = loaded
+        deleted = scheme.delete_range(lids[20], lids[50])
+        assert deleted == lids[20:51]
+        all_labels_ordered(scheme, lids[:20] + lids[51:])
+        scheme.check_invariants()
+        assert scheme.label_count() == 49
+
+    def test_single_label_range(self, loaded):
+        scheme, lids = loaded
+        assert scheme.delete_range(lids[7], lids[7]) == [lids[7]]
+        assert scheme.label_count() == 79
+        scheme.check_invariants()
+
+    def test_prefix_range(self, loaded):
+        scheme, lids = loaded
+        scheme.delete_range(lids[0], lids[29])
+        all_labels_ordered(scheme, lids[30:])
+        scheme.check_invariants()
+
+    def test_suffix_range(self, loaded):
+        scheme, lids = loaded
+        scheme.delete_range(lids[50], lids[-1])
+        all_labels_ordered(scheme, lids[:50])
+        scheme.check_invariants()
+
+    def test_whole_document(self, loaded):
+        scheme, lids = loaded
+        deleted = scheme.delete_range(lids[0], lids[-1])
+        assert len(deleted) == 80
+        assert scheme.label_count() == 0
+
+    def test_lidf_records_freed(self, loaded):
+        scheme, lids = loaded
+        scheme.delete_range(lids[10], lids[19])
+        for lid in lids[10:20]:
+            assert not scheme.lidf.exists(lid)
+
+    def test_out_of_order_bounds_rejected(self, loaded):
+        scheme, lids = loaded
+        with pytest.raises(LabelingError):
+            scheme.delete_range(lids[30], lids[10])
+
+    def test_insert_then_delete_round_trip(self, loaded):
+        scheme, lids = loaded
+        new = scheme.insert_subtree_before(lids[40], 60)
+        scheme.delete_range(new[0], new[-1])
+        all_labels_ordered(scheme, lids)
+        scheme.check_invariants()
+        assert scheme.label_count() == 80
+
+
+class TestRebuildReuse:
+    def test_subtree_insert_reuses_untouched_leaves(self, loaded):
+        # The paper's optimization: existing leaf entries stay in their
+        # blocks except the anchor leaf's displaced tail, so LIDF write
+        # traffic is bounded by the new data.
+        scheme, lids = loaded
+        survivor_block = scheme.lidf.read(lids[0])
+        scheme.insert_subtree_before(lids[70], 30)
+        assert scheme.lidf.read(lids[0]) == survivor_block
+
+    def test_bulk_load_lidf_pointers_sequential(self, loaded):
+        scheme, lids = loaded
+        # Document-order lids land in document-order leaves.
+        blocks = [scheme.lidf.read(lid) for lid in lids]
+        seen = []
+        for block in blocks:
+            if block not in seen:
+                seen.append(block)
+        # Each block appears as one contiguous run.
+        assert len(seen) == len(set(blocks))

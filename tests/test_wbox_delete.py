@@ -1,0 +1,146 @@
+"""W-BOX deletion: ghost records, reclaiming, global rebuilding."""
+
+import random
+
+import pytest
+
+from repro import TINY_CONFIG, WBox
+from repro.errors import RecordNotFoundError
+
+
+@pytest.fixture
+def loaded():
+    scheme = WBox(TINY_CONFIG)
+    lids = scheme.bulk_load(60)
+    return scheme, lids
+
+
+class TestDelete:
+    def test_deleted_label_gone(self, loaded):
+        scheme, lids = loaded
+        scheme.delete(lids[10])
+        with pytest.raises(RecordNotFoundError):
+            scheme.lookup(lids[10])
+        assert scheme.label_count() == 59
+
+    def test_other_labels_keep_order(self, loaded):
+        scheme, lids = loaded
+        scheme.delete(lids[10])
+        survivors = [lid for index, lid in enumerate(lids) if index != 10]
+        labels = [scheme.lookup(lid) for lid in survivors]
+        assert labels == sorted(labels)
+        scheme.check_invariants()
+
+    def test_delete_is_cheap(self, loaded):
+        # O(1): LIDF read, leaf write, LIDF free — no path walk.
+        scheme, lids = loaded
+        with scheme.store.measured() as op:
+            scheme.delete(lids[30])
+        assert op.total <= 5
+
+    def test_weights_not_decremented(self, loaded):
+        scheme, lids = loaded
+        weight = scheme.root_weight
+        scheme.delete(lids[5])
+        assert scheme.root_weight == weight  # the ghost remains counted
+
+    def test_delete_element(self, loaded):
+        scheme, lids = loaded
+        start, end = scheme.insert_element_before(lids[8])
+        scheme.delete_element(start, end)
+        assert scheme.label_count() == 60
+
+
+class TestReclaim:
+    def test_insert_reclaims_ghost_without_weight_change(self, loaded):
+        scheme, lids = loaded
+        scheme.delete(lids[10])
+        weight = scheme.root_weight
+        scheme.insert_before(lids[11])
+        assert scheme.root_weight == weight  # reclaimed, not grown
+        scheme.check_invariants()
+
+    def test_reclaim_is_cheap(self, loaded):
+        scheme, lids = loaded
+        scheme.delete(lids[10])
+        with scheme.store.measured() as op:
+            scheme.insert_before(lids[11])
+        # No path walk: LIDF read + LIDF alloc-write + leaf write.
+        assert op.total <= 5
+
+    def test_reclaim_cannot_overflow_leaf(self, loaded):
+        scheme, lids = loaded
+        # Heavy churn at one spot: delete and reinsert repeatedly.
+        anchor = lids[20]
+        for _ in range(50):
+            new = scheme.insert_before(anchor)
+            scheme.delete(new)
+        scheme.check_invariants()
+
+
+class TestGlobalRebuild:
+    def test_rebuild_after_half_deleted(self):
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(100)
+        for lid in lids[:60]:
+            scheme.delete(lid)
+        # A rebuild fired when deletions caught up with the live count
+        # (here at the 50th delete), so ghosts stay bounded: the total
+        # weight never exceeds twice the live count (Lemma 4.3's premise).
+        assert scheme.label_count() == 40
+        assert scheme.root_weight <= 2 * scheme.label_count()
+        assert scheme.root_weight < 100  # the rebuild really purged ghosts
+        scheme.check_invariants()
+
+    def test_labels_ordered_after_rebuild(self):
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(100)
+        rng = random.Random(11)
+        doomed = set(rng.sample(range(100), 70))
+        for index in doomed:
+            scheme.delete(lids[index])
+        survivors = [lid for index, lid in enumerate(lids) if index not in doomed]
+        labels = [scheme.lookup(lid) for lid in survivors]
+        assert labels == sorted(labels)
+        scheme.check_invariants()
+
+    def test_delete_everything(self):
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(30)
+        for lid in lids:
+            scheme.delete(lid)
+        assert scheme.label_count() == 0
+        assert scheme.root_weight == 0
+
+    def test_reload_after_full_wipe(self):
+        scheme = WBox(TINY_CONFIG)
+        for lid in scheme.bulk_load(10):
+            scheme.delete(lid)
+        lids = scheme.bulk_load(10)
+        assert len(lids) == 10
+        scheme.check_invariants()
+
+    def test_amortized_delete_cost(self):
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(400)
+        before = scheme.stats.snapshot()
+        for lid in lids[:300]:
+            scheme.delete(lid)
+        total = (scheme.stats.snapshot() - before).total
+        # O(1) amortized: rebuilds are rare and linear.
+        assert total / 300 < 12
+
+    def test_mixed_churn(self):
+        scheme = WBox(TINY_CONFIG)
+        lids = list(scheme.bulk_load(50))
+        rng = random.Random(3)
+        for _ in range(400):
+            if rng.random() < 0.5 and len(lids) > 10:
+                victim = lids.pop(rng.randrange(len(lids)))
+                scheme.delete(victim)
+            else:
+                anchor = rng.choice(lids)
+                lids.append(scheme.insert_before(anchor))
+        labels = sorted(scheme.lookup(lid) for lid in lids)
+        assert len(set(labels)) == len(lids)
+        scheme.check_invariants()

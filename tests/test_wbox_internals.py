@@ -1,0 +1,171 @@
+"""Targeted tests for W-BOX's split strategies — each test pins one branch
+of Section 4's split algorithm: right-adjacent free subrange, left-adjacent
+free subrange, and the full redistribution fallback."""
+
+import pytest
+
+from repro import TINY_CONFIG, WBox
+from repro.core.cachelog import Invalidate, RangeShift
+
+
+class EventRecorder:
+    """Collects the effects a scheme emits, split by type."""
+
+    def __init__(self, scheme):
+        self.shifts = []
+        self.invalidations = []
+        scheme.add_log_listener(self._record)
+
+    def _record(self, effect):
+        if isinstance(effect, Invalidate):
+            self.invalidations.append(effect)
+        elif isinstance(effect, RangeShift):
+            self.shifts.append(effect)
+
+
+def leaf_slots_of_root(scheme):
+    """(slot, child id) pairs of the root's children (root must be internal)."""
+    root = scheme.store.peek(scheme.root_id)
+    assert not root.is_leaf
+    return [(entry.slot, entry.child) for entry in root.entries]
+
+
+class TestSplitBranches:
+    def test_first_split_uses_adjacent_free_slot(self):
+        # Bulk-loaded children get spread slots, so the first leaf split
+        # must find a free adjacent subrange — no redistribution, and the
+        # un-moved half keeps its labels.
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(30)
+        recorder = EventRecorder(scheme)
+        label_before = scheme.lookup(lids[0])
+        slots_before = dict(leaf_slots_of_root(scheme))
+        anchor = lids[1]
+        while not recorder.invalidations:  # insert until the leaf splits
+            scheme.insert_before(anchor)
+        scheme.check_invariants()
+        slots_after = dict(leaf_slots_of_root(scheme))
+        assert len(slots_after) == len(slots_before) + 1
+        # Existing children kept their slots (no redistribution).
+        for slot, child in slots_before.items():
+            assert slots_after.get(slot) == child
+
+    def test_redistribution_when_neighbors_taken(self):
+        # Force the worst case: keep splitting leaves until all adjacent
+        # subranges around some child are taken and the parent must
+        # reassign equally spaced subranges (relabeling its whole subtree).
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(30)
+        anchor = lids[15]
+        slots_history = []
+        for index in range(400):
+            new = scheme.insert_before(anchor)
+            if index % 2 == 0:
+                anchor = new
+            if scheme.height >= 1:
+                slots_history.append(tuple(sorted(s for s, _ in leaf_slots_of_root(scheme))))
+        scheme.check_invariants()
+        # At least one redistribution happened: some snapshot has evenly
+        # respread slots differing from a mere insertion into the previous.
+        respreads = [
+            later
+            for earlier, later in zip(slots_history, slots_history[1:])
+            if not set(earlier) <= set(later)
+        ]
+        assert respreads, "expected at least one slot redistribution"
+
+    def test_moved_half_keeps_document_order(self):
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(7)  # one full leaf
+        scheme.insert_before(lids[3])  # forces the split
+        labels = [scheme.lookup(lid) for lid in lids]
+        assert labels == sorted(labels)
+
+    def test_invalidation_covers_parent_range(self):
+        # A split's invalidation must cover the parent's entire associated
+        # range (the paper's worst-case logging rule).
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(30)
+        recorder = EventRecorder(scheme)
+        anchor = lids[15]
+        while not recorder.invalidations:
+            scheme.insert_before(anchor)
+        invalidation = recorder.invalidations[0]
+        # All labels fall inside the invalidated range (parent = root here).
+        for lid in lids:
+            label = scheme.lookup(lid)
+            assert invalidation.lo <= label <= invalidation.hi
+
+    def test_single_leaf_shifts_are_exact(self):
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(6)  # leaves room for one insert
+        recorder = EventRecorder(scheme)
+        anchor_label = scheme.lookup(lids[2])
+        top_label = scheme.lookup(lids[5])
+        scheme.insert_before(lids[2])
+        (shift,) = recorder.shifts
+        assert shift.lo == anchor_label
+        assert shift.hi == top_label
+        assert shift.delta == 1
+
+
+class TestRangeInvariants:
+    def test_leaf_ranges_partition_in_order(self):
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(200)
+        anchor = lids[100]
+        for index in range(150):
+            new = scheme.insert_before(anchor)
+            if index % 3 == 0:
+                anchor = new
+        scheme.check_invariants()
+        # Collect leaf ranges in label order: they must be disjoint and
+        # increasing.
+        leaves = []
+
+        def collect(node_id):
+            node = scheme.store.peek(node_id)
+            if node.is_leaf:
+                leaves.append((node.range_lo, node.range_lo + node.range_len))
+            else:
+                for entry in node.entries:
+                    collect(entry.child)
+
+        collect(scheme.root_id)
+        for (lo1, hi1), (lo2, hi2) in zip(leaves, leaves[1:]):
+            assert hi1 <= lo2
+
+    def test_labels_stay_inside_leaf_ranges(self):
+        scheme = WBox(TINY_CONFIG)
+        lids = scheme.bulk_load(100)
+        for lid in lids[::5]:
+            scheme.insert_before(lid)
+        for lid in lids:
+            leaf = scheme.store.peek(scheme.lidf.read(lid))
+            label = scheme.lookup(lid)
+            assert leaf.range_lo <= label < leaf.range_lo + leaf.range_len
+
+
+class TestBalancePolicies:
+    def test_fanout_policy_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            WBox(TINY_CONFIG, balance="random")
+
+    def test_fanout_policy_splits_on_full_nodes(self):
+        scheme = WBox(TINY_CONFIG, balance="fanout")
+        lids = scheme.bulk_load(30)
+        anchor = lids[15]
+        for index in range(600):
+            new = scheme.insert_before(anchor)
+            if index % 2 == 0:
+                anchor = new
+        scheme.check_invariants()  # fan-out bounds still enforced
+        # No internal node exceeds the maximum fan-out.
+        def check(node_id):
+            node = scheme.store.peek(node_id)
+            if not node.is_leaf:
+                assert len(node.entries) <= scheme.b
+                for entry in node.entries:
+                    check(entry.child)
+
+        check(scheme.root_id)

@@ -1,0 +1,110 @@
+"""W-BOX ordinal labeling support (size fields)."""
+
+import random
+
+import pytest
+
+from repro import TINY_CONFIG, WBox
+
+
+@pytest.fixture
+def scheme():
+    return WBox(TINY_CONFIG, ordinal=True)
+
+
+def assert_ordinals_exact(scheme, ordered_lids):
+    for index, lid in enumerate(ordered_lids):
+        assert scheme.ordinal_lookup(lid) == index
+
+
+class TestOrdinalLookup:
+    def test_after_bulk_load(self, scheme):
+        lids = scheme.bulk_load(50)
+        assert_ordinals_exact(scheme, lids)
+
+    def test_after_inserts(self, scheme):
+        lids = scheme.bulk_load(20)
+        order = list(lids)
+        rng = random.Random(2)
+        for _ in range(60):
+            position = rng.randrange(len(order))
+            new = scheme.insert_before(order[position])
+            order.insert(position, new)
+        assert_ordinals_exact(scheme, order)
+        scheme.check_invariants()
+
+    def test_after_deletes(self, scheme):
+        lids = scheme.bulk_load(40)
+        order = list(lids)
+        rng = random.Random(5)
+        for _ in range(15):
+            victim = order.pop(rng.randrange(len(order)))
+            scheme.delete(victim)
+        assert_ordinals_exact(scheme, order)
+        scheme.check_invariants()
+
+    def test_after_splits(self, scheme):
+        lids = scheme.bulk_load(10)
+        order = list(lids)
+        anchor = order[5]
+        for _ in range(300):
+            new = scheme.insert_before(anchor)
+            order.insert(order.index(anchor), new)
+        assert_ordinals_exact(scheme, order)
+        scheme.check_invariants()
+
+    def test_cost_is_logarithmic_not_constant(self, scheme):
+        lids = scheme.bulk_load(500)
+        with scheme.store.measured() as plain:
+            scheme.lookup(lids[250])
+        with scheme.store.measured() as ordinal:
+            scheme.ordinal_lookup(lids[250])
+        assert ordinal.total >= plain.total  # pays the extra descent
+
+
+class TestOrdinalMaintenanceCost:
+    def test_ordinal_delete_walks_path(self):
+        plain = WBox(TINY_CONFIG)
+        plain_lids = plain.bulk_load(300)
+        with plain.store.measured() as cheap:
+            plain.delete(plain_lids[100])
+
+        ordinal = WBox(TINY_CONFIG, ordinal=True)
+        ordinal_lids = ordinal.bulk_load(300)
+        with ordinal.store.measured() as costly:
+            ordinal.delete(ordinal_lids[100])
+        # Ordinal deletes update size fields up the tree: strictly more I/O.
+        assert costly.total > cheap.total
+
+
+class TestOrdinalBulkOps:
+    def test_subtree_insert_maintains_sizes(self, scheme):
+        lids = scheme.bulk_load(60)
+        new = scheme.insert_subtree_before(lids[30], 40)
+        assert_ordinals_exact(scheme, lids[:30] + new + lids[30:])
+        scheme.check_invariants()
+
+    def test_delete_range_maintains_sizes(self, scheme):
+        lids = scheme.bulk_load(60)
+        scheme.delete_range(lids[10], lids[39])
+        assert_ordinals_exact(scheme, lids[:10] + lids[40:])
+        scheme.check_invariants()
+
+    def test_global_rebuild_preserves_ordinals(self, scheme):
+        lids = scheme.bulk_load(40)
+        order = list(lids)
+        for lid in lids[:25]:  # force at least one rebuild
+            scheme.delete(lid)
+            order.remove(lid)
+        assert_ordinals_exact(scheme, order)
+        scheme.check_invariants()
+
+    def test_last_child_query_semantics(self, scheme):
+        # Section 3's example: e1 is e2's last child iff l>(e1)+1 == l>(e2),
+        # on ordinal labels.
+        lids = scheme.bulk_load(2)  # <root></root>
+        root_end = lids[1]
+        first_start, first_end = scheme.insert_element_before(root_end)
+        last_start, last_end = scheme.insert_element_before(root_end)
+        assert scheme.ordinal_lookup(last_end) + 1 == scheme.ordinal_lookup(root_end)
+        assert scheme.ordinal_lookup(first_end) + 1 != scheme.ordinal_lookup(root_end)

@@ -1,0 +1,115 @@
+"""Element tree model: construction, navigation, tag streams."""
+
+import pytest
+
+from repro.xml.model import (
+    Element,
+    Tag,
+    TagKind,
+    document_tags,
+    element_count,
+    tree_depth,
+    validate_tag_order,
+)
+
+
+@pytest.fixture
+def tree():
+    """<a><b><d/><e/></b><c/></a>"""
+    a = Element("a")
+    b = a.make_child("b")
+    b.make_child("d")
+    b.make_child("e")
+    a.make_child("c")
+    return a
+
+
+class TestConstruction:
+    def test_append_sets_parent(self):
+        parent = Element("p")
+        child = parent.append(Element("c"))
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_insert_at_position(self):
+        parent = Element("p")
+        first = parent.make_child("a")
+        second = Element("b")
+        parent.insert(0, second)
+        assert parent.children == [second, first]
+
+    def test_remove_detaches(self):
+        parent = Element("p")
+        child = parent.make_child("c")
+        parent.remove(child)
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_make_child_with_attributes(self):
+        parent = Element("p")
+        child = parent.make_child("c", text="hello", id="c1")
+        assert child.text == "hello"
+        assert child.attributes == {"id": "c1"}
+
+
+class TestNavigation:
+    def test_iter_is_preorder(self, tree):
+        assert [element.name for element in tree.iter()] == ["a", "b", "d", "e", "c"]
+
+    def test_find_first_match(self, tree):
+        assert tree.find("e").name == "e"
+        assert tree.find("missing") is None
+
+    def test_find_all_in_document_order(self, tree):
+        tree.find("d").make_child("b")  # nested second b
+        assert [element.parent.name for element in tree.find_all("b")] == ["a", "d"]
+
+    def test_ancestors_nearest_first(self, tree):
+        d = tree.find("d")
+        assert [element.name for element in d.ancestors()] == ["b", "a"]
+
+    def test_is_ancestor_of(self, tree):
+        assert tree.is_ancestor_of(tree.find("d"))
+        assert not tree.find("c").is_ancestor_of(tree.find("d"))
+        assert not tree.is_ancestor_of(tree)
+
+    def test_depth(self, tree):
+        assert tree.depth() == 0
+        assert tree.find("d").depth() == 2
+
+
+class TestTagStream:
+    def test_document_order(self, tree):
+        rendered = [repr(tag) for tag in document_tags(tree)]
+        assert rendered == [
+            "<a>", "<b>", "<d>", "</d>", "<e>", "</e>", "</b>", "<c>", "</c>", "</a>",
+        ]
+
+    def test_tag_count_is_twice_elements(self, tree):
+        tags = list(document_tags(tree))
+        assert len(tags) == 2 * element_count(tree) == 10
+
+    def test_stream_is_well_nested(self, tree):
+        assert validate_tag_order(list(document_tags(tree)))
+
+    def test_bad_nesting_detected(self):
+        a, b = Element("a"), Element("b")
+        bad = [Tag(a, TagKind.START), Tag(b, TagKind.END)]
+        assert not validate_tag_order(bad)
+
+    def test_unclosed_detected(self):
+        a = Element("a")
+        assert not validate_tag_order([Tag(a, TagKind.START)])
+
+    def test_tag_names(self, tree):
+        tags = list(document_tags(tree))
+        assert tags[0].name == "a" and tags[0].kind is TagKind.START
+
+
+class TestMetrics:
+    def test_element_count(self, tree):
+        assert element_count(tree) == 5
+
+    def test_tree_depth(self, tree):
+        assert tree_depth(tree) == 3
+        assert tree_depth(Element("solo")) == 1

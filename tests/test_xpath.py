@@ -1,0 +1,151 @@
+"""XPath-subset evaluator: parsing, evaluation, error reporting."""
+
+import pytest
+
+from repro import BBox, LabeledDocument, TINY_CONFIG, WBox, parse
+from repro.query.xpath import Predicate, Step, XPathError, evaluate, parse_xpath
+from repro.xml.xmark import xmark_document
+
+DOCUMENT = """\
+<site>
+  <regions>
+    <asia>
+      <item id="i1"><name>lamp</name><mailbox><mail/></mailbox></item>
+      <item id="i2"><name>rug</name><mailbox/></item>
+    </asia>
+    <europe>
+      <item id="i3"><name>vase</name><mailbox><mail/><mail/></mailbox></item>
+    </europe>
+  </regions>
+  <people>
+    <person id="p1"><name>alice</name></person>
+    <person id="p2"><name>bob</name><name>bobby</name></person>
+  </people>
+</site>"""
+
+
+@pytest.fixture
+def doc():
+    return LabeledDocument(WBox(TINY_CONFIG), parse(DOCUMENT))
+
+
+class TestParsing:
+    def test_simple_absolute_path(self):
+        steps = parse_xpath("/site/regions")
+        assert steps == (Step("child", "site"), Step("child", "regions"))
+
+    def test_descendant_axis(self):
+        steps = parse_xpath("//item")
+        assert steps == (Step("descendant", "item"),)
+
+    def test_mixed_axes(self):
+        steps = parse_xpath("/site//item/name")
+        assert [s.axis for s in steps] == ["child", "descendant", "child"]
+
+    def test_wildcard(self):
+        assert parse_xpath("/site/*")[1].name == "*"
+
+    def test_attribute_predicate(self):
+        (step,) = parse_xpath("//item[@id]")
+        assert step.predicates == (Predicate("attr", attribute="id"),)
+
+    def test_attribute_equality(self):
+        (step,) = parse_xpath('//item[@id="i2"]')
+        assert step.predicates[0] == Predicate("attr-eq", attribute="id", value="i2")
+
+    def test_path_predicate(self):
+        (step,) = parse_xpath("//item[mailbox/mail]")
+        predicate = step.predicates[0]
+        assert predicate.kind == "path"
+        assert [s.name for s in predicate.path] == ["mailbox", "mail"]
+
+    def test_nested_descendant_predicate(self):
+        (step,) = parse_xpath("//regions[.//mail]")
+        assert step.predicates[0].path[0].axis == "descendant"
+
+    def test_multiple_predicates(self):
+        (step,) = parse_xpath("//item[@id][mailbox]")
+        assert len(step.predicates) == 2
+
+    @pytest.mark.parametrize(
+        "expression",
+        ["", "item", "/", "//", "/site[", "/site]", "/site[@]", "/site/@id", "/site[1]"],
+    )
+    def test_malformed_rejected(self, expression):
+        with pytest.raises(XPathError):
+            parse_xpath(expression)
+
+
+class TestEvaluation:
+    def test_root_path(self, doc):
+        assert evaluate(doc, "/site") == [doc.root]
+        assert evaluate(doc, "/nothere") == []
+
+    def test_child_chain(self, doc):
+        names = [e.attributes["id"] for e in evaluate(doc, "/site/regions/asia/item")]
+        assert names == ["i1", "i2"]
+
+    def test_descendant_collects_all(self, doc):
+        assert len(evaluate(doc, "//item")) == 3
+        assert len(evaluate(doc, "//mail")) == 3
+
+    def test_results_in_document_order(self, doc):
+        ids = [e.attributes["id"] for e in evaluate(doc, "//item")]
+        assert ids == ["i1", "i2", "i3"]
+
+    def test_wildcard_step(self, doc):
+        regions = evaluate(doc, "/site/regions/*")
+        assert [e.name for e in regions] == ["asia", "europe"]
+
+    def test_attribute_predicates(self, doc):
+        assert len(evaluate(doc, "//item[@id]")) == 3
+        matched = evaluate(doc, '//item[@id="i3"]')
+        assert [e.attributes["id"] for e in matched] == ["i3"]
+        assert evaluate(doc, '//item[@id="nope"]') == []
+
+    def test_structural_predicate(self, doc):
+        with_mail = evaluate(doc, "//item[mailbox/mail]")
+        assert [e.attributes["id"] for e in with_mail] == ["i1", "i3"]
+
+    def test_descendant_predicate(self, doc):
+        hits = evaluate(doc, "//regions[.//mail]")
+        assert len(hits) == 1
+
+    def test_predicate_then_step(self, doc):
+        names = [e.text for e in evaluate(doc, "//item[mailbox/mail]/name")]
+        assert names == ["lamp", "vase"]
+
+    def test_duplicate_free(self, doc):
+        # //name under both /site//name routes must not duplicate.
+        names = evaluate(doc, "/site//name")
+        assert len(names) == len({id(n) for n in names}) == 6
+
+    def test_empty_document(self):
+        empty = LabeledDocument(WBox(TINY_CONFIG))
+        assert evaluate(empty, "//anything") == []
+
+
+class TestAgainstXMark:
+    def test_matches_find_all_semantics(self):
+        doc = LabeledDocument(BBox(TINY_CONFIG), xmark_document(5, seed=9))
+        assert evaluate(doc, "//item") == doc.root.find_all("item")
+
+    def test_path_with_predicate_consistency(self):
+        doc = LabeledDocument(BBox(TINY_CONFIG), xmark_document(5, seed=9))
+        via_xpath = evaluate(doc, "//item[mailbox/mail]")
+        manual = [
+            item
+            for item in doc.root.find_all("item")
+            if any(mailbox.find("mail") for mailbox in item.find_all("mailbox"))
+        ]
+        assert {id(e) for e in via_xpath} == {id(e) for e in manual}
+
+    def test_results_follow_labels_after_edits(self):
+        from repro.xml.model import Element
+
+        doc = LabeledDocument(WBox(TINY_CONFIG), xmark_document(3, seed=2))
+        people = doc.root.find("people")
+        newcomer = Element("person", {"id": "new"})
+        doc.append_child(newcomer, people)
+        ids = [e.attributes.get("id") for e in evaluate(doc, "//person")]
+        assert ids[-1] == "new"  # document order includes the new element
