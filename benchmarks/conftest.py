@@ -101,9 +101,17 @@ def get_workload(workload: str, scheme_name: str):
     return _scheme_cache[key], _trace_cache[key]
 
 
-def record_table(name: str, title: str, headers: list[str], rows: list[list]) -> str:
+def record_table(
+    name: str,
+    title: str,
+    headers: list[str],
+    rows: list[list],
+    extra: dict | None = None,
+) -> str:
     """Format a table, register it for the terminal summary, and persist it
-    under benchmarks/results/ as both aligned text and CSV."""
+    under benchmarks/results/ as aligned text, CSV, and machine-readable
+    JSON (``BENCH_<name>.json``).  ``extra`` lands verbatim in the JSON —
+    benchmarks use it for per-scheme wall-clock and I/O breakdowns."""
     widths = [
         max(len(str(header)), *(len(str(row[i])) for row in rows)) if rows else len(str(header))
         for i, header in enumerate(headers)
@@ -123,6 +131,20 @@ def record_table(name: str, title: str, headers: list[str], rows: list[list]) ->
         writer = csv.writer(handle)
         writer.writerow(headers)
         writer.writerows(rows)
+    import json
+
+    payload = {
+        "name": name,
+        "title": title,
+        "scale": SCALE_NAME,
+        "headers": headers,
+        "rows": rows,
+    }
+    if extra is not None:
+        payload["extra"] = extra
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
     return text
 
 

@@ -18,6 +18,10 @@ sequences.
 
 from .config import BENCH_CONFIG, TINY_CONFIG, BoxConfig
 from .core import (
+    BatchExecutor,
+    BatchOp,
+    BatchRef,
+    BatchResult,
     BBox,
     CachedLabelStore,
     LabeledDocument,
@@ -44,6 +48,10 @@ __all__ = [
     "BBox",
     "NaiveScheme",
     "OrdPath",
+    "BatchExecutor",
+    "BatchOp",
+    "BatchRef",
+    "BatchResult",
     "LabeledDocument",
     "CachedLabelStore",
     "ModificationLog",

@@ -25,7 +25,14 @@ from .core import BBox, LabeledDocument, NaiveScheme, OrdPath, WBox, WBoxO
 from .errors import ReproError
 from .persist import MAGIC, load_document, load_scheme, save_document
 from .query.xpath import evaluate
-from .workloads import run_concentrated, run_scattered, run_xmark_build
+from .workloads import (
+    run_concentrated,
+    run_concentrated_batched,
+    run_scattered,
+    run_scattered_batched,
+    run_xmark_build,
+    run_xmark_build_batched,
+)
 from .workloads.metrics import summarize
 from .xml.model import element_count, tree_depth
 from .xml.parser import parse
@@ -127,8 +134,34 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_workload(args: argparse.Namespace) -> int:
+    if args.batch < 0:
+        raise ReproError(f"--batch must be >= 0, got {args.batch}")
     config = BoxConfig(block_bytes=args.block_bytes)
     scheme = make_scheme(args.scheme, config)
+    if args.batch > 0:
+        if args.sequence == "concentrated":
+            result = run_concentrated_batched(
+                scheme, args.base, args.inserts, group_size=args.batch
+            )
+        elif args.sequence == "scattered":
+            result = run_scattered_batched(
+                scheme, args.base, args.inserts, group_size=args.batch
+            )
+        else:
+            result = run_xmark_build_batched(
+                scheme, max(1, args.base // 30), group_size=args.batch
+            )
+        cost = result.batch.amortized_cost
+        print(f"workload: {result.workload} (batched), scheme: {result.scheme}")
+        print(f"  ops / groups:     {result.op_count} / {result.group_count}")
+        print(f"  group size:       {result.group_size}")
+        print(f"  amortized I/O:    {cost.total:.2f} per op "
+              f"({cost.reads:.2f} reads, {cost.writes:.2f} writes)")
+        print(f"  total I/O:        {result.total}")
+        print(f"  wall seconds:     {result.wall_seconds:.3f}")
+        if hasattr(scheme, "relabel_count"):
+            print(f"  relabels:         {scheme.relabel_count}")
+        return 0
     if args.sequence == "concentrated":
         result = run_concentrated(scheme, args.base, args.inserts)
     elif args.sequence == "scattered":
@@ -187,6 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("sequence", choices=["concentrated", "scattered", "xmark"])
     workload.add_argument("--base", type=int, default=2000, help="base document elements")
     workload.add_argument("--inserts", type=int, default=500, help="elements to insert")
+    workload.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run through the batch engine with group size N (0 = per-op, the default)",
+    )
     _add_common(workload)
     workload.set_defaults(handler=cmd_workload)
 

@@ -2,6 +2,7 @@
 baseline, plus the LID indirection and caching/logging layers."""
 
 from .interface import LabelingScheme, LabelKind
+from .batch import AmortizedCost, BatchExecutor, BatchOp, BatchRef, BatchResult
 from .naive import NaiveScheme
 from .ordpath import OrdPath
 from .listorder import OrderList
@@ -15,6 +16,11 @@ from .cachelog import CachedLabelStore, ModificationLog, RangeShift, Invalidate
 __all__ = [
     "LabelingScheme",
     "LabelKind",
+    "AmortizedCost",
+    "BatchExecutor",
+    "BatchOp",
+    "BatchRef",
+    "BatchResult",
     "NaiveScheme",
     "OrdPath",
     "OrderList",

@@ -14,11 +14,13 @@ With ordinal support, internal nodes also keep a ``sizes`` list parallel to
 
 from __future__ import annotations
 
+from ..kernels import cumulative, prefix
+
 
 class BNode:
     """One B-BOX node (leaf or internal), stored as one block payload."""
 
-    __slots__ = ("leaf", "parent", "entries", "sizes")
+    __slots__ = ("leaf", "parent", "entries", "sizes", "_cum_sizes")
 
     def __init__(
         self,
@@ -32,6 +34,25 @@ class BNode:
         self.entries: list[int] = entries if entries is not None else []
         #: Parallel subtree sizes (internal nodes, ordinal mode only).
         self.sizes: list[int] | None = sizes
+        # Lazily built cumulative sizes (see repro.core.kernels); invalidated
+        # by touch(), which BlockStore.write calls when the block is dirtied.
+        self._cum_sizes: list[int] | None = None
+
+    def touch(self) -> None:
+        """Drop the cached prefix sums (called by ``BlockStore.write``)."""
+        self._cum_sizes = None
+
+    def size_sums(self) -> list[int]:
+        """Cumulative subtree sizes (internal nodes, ordinal mode)."""
+        cum = self._cum_sizes
+        if cum is None:
+            assert self.sizes is not None
+            cum = self._cum_sizes = cumulative(self.sizes)
+        return cum
+
+    def size_prefix(self, index: int) -> int:
+        """Records in the subtrees of the first ``index`` children."""
+        return prefix(self.size_sums(), index) if index > 0 else 0
 
     @property
     def is_root(self) -> bool:

@@ -33,6 +33,7 @@ from ...errors import ConfigError, InvariantViolation, UnknownLIDError
 from ...storage import BlockStore, HeapFile
 from ..cachelog import ORDINAL_CHANNEL, Invalidate, RangeShift, invalidate_all
 from ..interface import LabelingScheme
+from ..kernels import cumulative
 from .node import BNode
 
 
@@ -127,7 +128,7 @@ class BBox(LabelingScheme):
                 parent = self.store.read(node.parent)
                 index = parent.index_of(node_id)
                 assert parent.sizes is not None
-                counter += sum(parent.sizes[:index])
+                counter += parent.size_prefix(index)
                 node_id, node = node.parent, parent
             return counter
 
@@ -212,8 +213,15 @@ class BBox(LabelingScheme):
             parent = self.store.read(node.parent)
             index = parent.index_of(node_id)
             assert parent.sizes is not None
+            # The prefix excludes index, so it is unaffected by the delta.
+            # Use the cached sums when a reader already built them, but do
+            # not build them here — the write below would discard them.
+            cum = parent._cum_sizes
+            if cum is not None:
+                ordinal += cum[index - 1] if index > 0 else 0
+            else:
+                ordinal += sum(parent.sizes[:index])
             parent.sizes[index] += delta
-            ordinal += sum(parent.sizes[:index])
             self.store.write(node.parent)
             node_id, node = node.parent, parent
         return ordinal
@@ -491,6 +499,9 @@ class BBox(LabelingScheme):
 
     def _check_node(self, node_id: int, is_root: bool) -> tuple[int, int]:
         node: BNode = self.store.peek(node_id)
+        if node._cum_sizes is not None:
+            if node.sizes is None or node._cum_sizes != cumulative(node.sizes):
+                raise InvariantViolation(f"stale size prefix cache on {node_id}")
         if node.leaf:
             if len(node.entries) > self.leaf_capacity:
                 raise InvariantViolation(f"leaf {node_id} over capacity")

@@ -18,10 +18,11 @@ them.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from ..errors import LabelingError
 from ..xml.model import Element, Tag, TagKind, document_tags
+from .batch import BatchOp, BatchRef, BatchResult
 from .interface import LabelingScheme
 
 
@@ -173,6 +174,134 @@ class LabeledDocument:
             element.parent = None
         elif self.root is element:
             self.root = None
+
+    # ------------------------------------------------------------------
+    # batched editing (group commit)
+    # ------------------------------------------------------------------
+
+    def _check_new(self, new: Element, pending: dict[Element, int]) -> None:
+        if new.children:
+            raise LabelingError("use insert_subtree for non-atomic elements")
+        if new in self._start_lids or new in pending:
+            raise LabelingError("element is already labeled")
+
+    def _edit_anchor(
+        self, element: Element, pending: dict[Element, int], start: bool
+    ) -> int | BatchRef:
+        """The anchor LID of ``element`` — a concrete LID when it is already
+        labeled, a :class:`BatchRef` when it is created earlier in the same
+        batch."""
+        if element in pending:
+            return BatchRef(pending[element], 0 if start else 1)
+        lids = self._start_lids if start else self._end_lids
+        try:
+            return lids[element]
+        except KeyError:
+            raise LabelingError("anchor element is not part of this document") from None
+
+    def apply_edits(
+        self,
+        edits: Sequence[tuple],
+        group_size: int = 64,
+        locality_grouping: bool = True,
+    ) -> BatchResult:
+        """Apply a sequence of element edits with group commit.
+
+        ``edits`` items are tuples:
+
+        * ``("insert_before", new, reference)`` — like :meth:`insert_before`;
+        * ``("append_child", new, parent)`` — like :meth:`append_child`;
+        * ``("delete", element)`` — like :meth:`delete_element`.
+
+        The label-level work runs through
+        :meth:`~repro.core.interface.LabelingScheme.execute_batch`, so
+        adjacent edits that touch the same blocks share their I/O.  An edit
+        may anchor on (or delete) an element created by an *earlier* edit in
+        the same batch — the anchor is wired up with a :class:`BatchRef`.
+        The Element tree and the lid maps are updated in edit order once the
+        batch has executed.  Returns the :class:`BatchResult`.
+        """
+        pending: dict[Element, int] = {}  # new element -> its op position
+        ops: list[BatchOp] = []
+        for position, edit in enumerate(edits):
+            action = edit[0]
+            if action == "insert_before":
+                _, new, reference = edit
+                self._check_new(new, pending)
+                if reference not in pending and reference.parent is None:
+                    raise LabelingError("cannot insert a sibling of the root")
+                anchor = self._edit_anchor(reference, pending, start=True)
+                ops.append(BatchOp("insert_element_before", (anchor,)))
+                pending[new] = position
+            elif action == "append_child":
+                _, new, parent = edit
+                self._check_new(new, pending)
+                anchor = self._edit_anchor(parent, pending, start=False)
+                ops.append(BatchOp("insert_element_before", (anchor,)))
+                pending[new] = position
+            elif action == "delete":
+                _, element = edit
+                if element in pending:
+                    created_at = pending.pop(element)
+                    ops.append(
+                        BatchOp(
+                            "delete_element",
+                            (BatchRef(created_at, 0), BatchRef(created_at, 1)),
+                        )
+                    )
+                elif element in self._start_lids:
+                    if element.parent is None and element.children:
+                        raise LabelingError(
+                            "cannot delete the root while it has children"
+                        )
+                    ops.append(
+                        BatchOp(
+                            "delete_element",
+                            (self._start_lids[element], self._end_lids[element]),
+                        )
+                    )
+                else:
+                    raise LabelingError("cannot delete an unlabeled element")
+            else:
+                raise LabelingError(f"unknown edit action {action!r}")
+
+        batch = self.scheme.execute_batch(
+            ops, group_size=group_size, locality_grouping=locality_grouping
+        )
+
+        # Apply the tree / lid-map consequences, in edit order.
+        for position, edit in enumerate(edits):
+            action = edit[0]
+            if action == "insert_before":
+                _, new, reference = edit
+                parent = reference.parent
+                if parent is None:
+                    raise LabelingError("cannot insert a sibling of the root")
+                start_lid, end_lid = batch.results[position]
+                parent.insert(parent.children.index(reference), new)
+                self._start_lids[new] = start_lid
+                self._end_lids[new] = end_lid
+            elif action == "append_child":
+                _, new, parent = edit
+                start_lid, end_lid = batch.results[position]
+                parent.append(new)
+                self._start_lids[new] = start_lid
+                self._end_lids[new] = end_lid
+            else:
+                _, element = edit
+                self._start_lids.pop(element, None)
+                self._end_lids.pop(element, None)
+                parent = element.parent
+                if parent is not None:
+                    index = parent.children.index(element)
+                    parent.children[index : index + 1] = element.children
+                    for child in element.children:
+                        child.parent = parent
+                    element.children = []
+                    element.parent = None
+                elif self.root is element:
+                    self.root = None
+        return batch
 
     # ------------------------------------------------------------------
     # subtree editing

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from enum import Enum
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from ..config import BoxConfig
 from ..errors import OrdinalUnsupportedError
@@ -184,6 +184,29 @@ class LabelingScheme(ABC):
         with self.store.operation():
             self.delete(start_lid)
             self.delete(end_lid)
+
+    # ------------------------------------------------------------------
+    # batched execution (group commit)
+    # ------------------------------------------------------------------
+
+    def execute_batch(
+        self,
+        ops: Sequence[Any],
+        group_size: int = 64,
+        locality_grouping: bool = True,
+    ) -> Any:
+        """Run a sequence of :class:`~repro.core.batch.BatchOp` items with
+        group commit: ops are executed in submission order, partitioned
+        into groups that each share one operation scope, so block I/O is
+        coalesced across the group.  Returns a
+        :class:`~repro.core.batch.BatchResult`.
+        """
+        from .batch import BatchExecutor
+
+        executor = BatchExecutor(
+            self, group_size=group_size, locality_grouping=locality_grouping
+        )
+        return executor.execute(ops)
 
     # ------------------------------------------------------------------
     # bookkeeping shared by all schemes

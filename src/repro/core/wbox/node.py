@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
+from ..kernels import cumulative, prefix
+
 #: Leaf records are LIDs (ints) in the basic W-BOX; W-BOX-O uses
 #: :class:`~repro.core.wbox.pairs.PairRecord` objects.
 Record = Any
@@ -61,7 +63,16 @@ class WNode:
       the latter sorted by slot.
     """
 
-    __slots__ = ("level", "range_lo", "range_len", "weight", "entries")
+    __slots__ = (
+        "level",
+        "range_lo",
+        "range_len",
+        "weight",
+        "entries",
+        "_cum_weights",
+        "_cum_sizes",
+        "_lid_index",
+    )
 
     def __init__(
         self,
@@ -76,6 +87,12 @@ class WNode:
         self.range_len = range_len
         self.weight = weight
         self.entries: list = entries if entries is not None else []
+        # Lazily built prefix-sum / position caches (see repro.core.kernels).
+        # Invalidated by touch(), which BlockStore.write calls whenever the
+        # node's block is dirtied.
+        self._cum_weights: list[int] | None = None
+        self._cum_sizes: list[int] | None = None
+        self._lid_index: dict[int, int] | None = None
 
     @property
     def is_leaf(self) -> bool:
@@ -124,6 +141,46 @@ class WNode:
     def recompute_weight(self) -> None:
         """Refresh an internal node's weight from its entries."""
         self.weight = sum(entry.weight for entry in self.entries)
+
+    # ------------------------------------------------------------------
+    # prefix-sum kernels (repro.core.kernels)
+    # ------------------------------------------------------------------
+
+    def touch(self) -> None:
+        """Drop the cached prefix sums; called by ``BlockStore.write``
+        whenever this node's block is dirtied."""
+        self._cum_weights = None
+        self._cum_sizes = None
+        self._lid_index = None
+
+    def weight_sums(self) -> list[int]:
+        """Cumulative entry weights (internal nodes)."""
+        cum = self._cum_weights
+        if cum is None:
+            cum = self._cum_weights = cumulative(
+                entry.weight for entry in self.entries
+            )
+        return cum
+
+    def size_sums(self) -> list[int]:
+        """Cumulative entry sizes (internal nodes, ordinal support)."""
+        cum = self._cum_sizes
+        if cum is None:
+            cum = self._cum_sizes = cumulative(entry.size for entry in self.entries)
+        return cum
+
+    def weight_prefix(self, index: int) -> int:
+        """Total weight of the first ``index`` entries."""
+        return prefix(self.weight_sums(), index) if index > 0 else 0
+
+    def size_prefix(self, index: int) -> int:
+        """Total size of the first ``index`` entries."""
+        return prefix(self.size_sums(), index) if index > 0 else 0
+
+    def total_size(self) -> int:
+        """Sum of all entry sizes (live records below an internal node)."""
+        cum = self.size_sums()
+        return cum[-1] if cum else 0
 
     def iter_entries(self) -> Iterator:
         return iter(self.entries)

@@ -90,10 +90,33 @@ class WBoxO(WBox):
         return record.lid
 
     def _find_record(self, leaf: WNode, lid: int) -> int:
+        # Use the leaf's lid -> position map when one is already built (read
+        # paths build it via _position_index); otherwise scan.  Update paths
+        # dirty the leaf right after finding, which would throw a fresh map
+        # away, so they must not pay for building one.
+        index = leaf._lid_index
+        if index is not None:
+            try:
+                return index[lid]
+            except KeyError:
+                raise UnknownLIDError(f"LID {lid} not found in its leaf") from None
         for position, record in enumerate(leaf.entries):
             if record.lid == lid:
                 return position
         raise UnknownLIDError(f"LID {lid} not found in its leaf")
+
+    @staticmethod
+    def _position_index(leaf: WNode) -> dict[int, int]:
+        """The leaf's lid -> position map, built (and cached) on demand.
+        The cache dies with the next write of the leaf's block, so this is
+        only worth calling on paths that do several finds per leaf between
+        writes (pair lookups, fixup sessions)."""
+        index = leaf._lid_index
+        if index is None:
+            index = leaf._lid_index = {
+                record.lid: position for position, record in enumerate(leaf.entries)
+            }
+        return index
 
     def _relocate_records(self, records: list[PairRecord], new_block: int) -> None:
         super()._relocate_records(records, new_block)
@@ -125,7 +148,16 @@ class WBoxO(WBox):
                     self._pending_relabeled = {}
 
     def _run_fixups(self) -> None:
+        # Both phases mutate only per-record *fields* (partner_block,
+        # end_value), never record positions, so the writes that record the
+        # I/O can be deferred to the end of the session.  Deferring keeps
+        # each leaf's lid -> position map alive across every find of the
+        # session — one map build per touched leaf instead of one scan per
+        # record — and, inside the enclosing operation scope, leaves the
+        # counted I/O unchanged (each dirty block is counted once either
+        # way).
         moves = self._pending_moves
+        dirty: dict[int, None] = {}
         # Phase 1: repair partner block pointers for every moved record.
         for lid, (record, new_block) in moves.items():
             partner_lid = record.partner_lid
@@ -141,12 +173,11 @@ class WBoxO(WBox):
             partner_leaf = self.store.read(partner_location)
             if not isinstance(partner_leaf, WNode) or not partner_leaf.is_leaf:
                 continue  # partner deleted; its block was reused elsewhere
-            try:
-                position = self._find_record(partner_leaf, partner_lid)
-            except UnknownLIDError:
+            position = self._position_index(partner_leaf).get(partner_lid)
+            if position is None:
                 continue  # partner record was deleted
             partner_leaf.entries[position].partner_block = new_block
-            self.store.write(partner_location)
+            dirty[partner_location] = None
         # Phase 2: refresh cached end values for every relabeled leaf.  End
         # records inside the relabeled set whose start partners live outside
         # are the D-bounded cost of Theorem 4.7.
@@ -164,13 +195,17 @@ class WBoxO(WBox):
                 partner_leaf = self.store.read(record.partner_block)
                 if not isinstance(partner_leaf, WNode) or not partner_leaf.is_leaf:
                     continue  # partner deleted; its block was reused elsewhere
-                try:
-                    partner_position = self._find_record(partner_leaf, record.partner_lid)
-                except UnknownLIDError:
+                partner_position = self._position_index(partner_leaf).get(
+                    record.partner_lid
+                )
+                if partner_position is None:
                     continue
                 partner = partner_leaf.entries[partner_position]
                 partner.end_value = leaf.range_lo + position
-                self.store.write(record.partner_block)
+                dirty[record.partner_block] = None
+        for block_id in dirty:
+            if self.store.exists(block_id):
+                self.store.write(block_id)
 
     # ------------------------------------------------------------------
     # wrapped mutating operations

@@ -28,6 +28,7 @@ from ...errors import InvariantViolation, UnknownLIDError
 from ...storage import BlockStore, HeapFile
 from ..cachelog import ORDINAL_CHANNEL, Invalidate, RangeShift
 from ..interface import LabelingScheme
+from ..kernels import cumulative, weight_split_point
 from .node import Record, WEntry, WNode, spread_slots
 
 #: Path item: (block id, node, index of the entry followed; None at the leaf).
@@ -156,7 +157,7 @@ class WBox(LabelingScheme):
         """Live records below ``node`` (meaningful when sizes maintained)."""
         if node.is_leaf:
             return len(node.entries)
-        return sum(entry.size for entry in node.entries)
+        return node.total_size()
 
     # ------------------------------------------------------------------
     # search
@@ -183,7 +184,7 @@ class WBox(LabelingScheme):
         total = 0
         for _, node, index in path[:-1]:
             assert index is not None
-            total += sum(entry.size for entry in node.entries[:index])
+            total += node.size_prefix(index)
         return total
 
     # ------------------------------------------------------------------
@@ -220,14 +221,15 @@ class WBox(LabelingScheme):
             leaf = self.store.read(leaf_id)
             position = self._find_record(leaf, lid_old)
             lid_new = self.lidf.allocate(leaf_id)
-            self._emit(
-                RangeShift(
-                    timestamp,
-                    leaf.range_lo + position,
-                    leaf.range_lo + len(leaf.entries) - 1,
-                    +1,
+            if self._log_listeners:
+                self._emit(
+                    RangeShift(
+                        timestamp,
+                        leaf.range_lo + position,
+                        leaf.range_lo + len(leaf.entries) - 1,
+                        +1,
+                    )
                 )
-            )
             reclaim = leaf.weight > len(leaf.entries)  # a ghost is available
             leaf.entries.insert(position, self._make_record(lid_new))
             self._live += 1
@@ -237,7 +239,7 @@ class WBox(LabelingScheme):
                 # Reclaiming a deleted slot: no weight changes, no splits.
                 return lid_new
             path = self._descend(leaf.range_lo)
-            if self.ordinal:
+            if self.ordinal and self._log_listeners:
                 anchor = self._path_ordinal(path) + position
                 self._emit(RangeShift(timestamp, anchor, None, +1, ORDINAL_CHANNEL))
             for node_id, node, index in path[:-1]:
@@ -266,18 +268,20 @@ class WBox(LabelingScheme):
             leaf_id = self.lidf.read(lid)
             leaf = self.store.read(leaf_id)
             position = self._find_record(leaf, lid)
-            self._emit(
-                RangeShift(
-                    timestamp,
-                    leaf.range_lo + position,
-                    leaf.range_lo + len(leaf.entries) - 1,
-                    -1,
+            if self._log_listeners:
+                self._emit(
+                    RangeShift(
+                        timestamp,
+                        leaf.range_lo + position,
+                        leaf.range_lo + len(leaf.entries) - 1,
+                        -1,
+                    )
                 )
-            )
             if self.ordinal:
                 path = self._descend(leaf.range_lo)
-                anchor = self._path_ordinal(path) + position
-                self._emit(RangeShift(timestamp, anchor, None, -1, ORDINAL_CHANNEL))
+                if self._log_listeners:
+                    anchor = self._path_ordinal(path) + position
+                    self._emit(RangeShift(timestamp, anchor, None, -1, ORDINAL_CHANNEL))
                 for node_id, node, index in path[:-1]:
                     assert index is not None
                     node.entries[index].size -= 1
@@ -348,26 +352,17 @@ class WBox(LabelingScheme):
         elif self.balance == "fanout":
             # Regular B-tree policy (ablation): split children evenly by count.
             split_point = len(child.entries) // 2
-            left_weight = sum(e.weight for e in child.entries[:split_point])
+            left_weight = child.weight_prefix(split_point)
             right_weight = child.weight - left_weight
-            left_size = sum(e.size for e in child.entries[:split_point])
-            right_size = self._node_size(child) - left_size
+            left_size = child.size_prefix(split_point)
+            right_size = child.total_size() - left_size
         else:
             target = self.a**level * self.k
-            accumulated = 0
-            split_point = 0
-            for position, child_entry in enumerate(child.entries):
-                if accumulated + child_entry.weight > target and split_point > 0:
-                    break
-                accumulated += child_entry.weight
-                split_point = position + 1
-            if split_point >= len(child.entries):
-                split_point = len(child.entries) - 1
-                accumulated = sum(e.weight for e in child.entries[:split_point])
+            split_point, accumulated = weight_split_point(child.weight_sums(), target)
             left_weight = accumulated
             right_weight = child.weight - accumulated
-            left_size = sum(e.size for e in child.entries[:split_point])
-            right_size = self._node_size(child) - left_size
+            left_size = child.size_prefix(split_point)
+            right_size = child.total_size() - left_size
 
         slots_taken = parent.used_slots()
         slot = entry.slot
@@ -433,11 +428,12 @@ class WBox(LabelingScheme):
                 )
             self.store.write(child_id)
         self.store.write(parent_id)
-        self._emit(
-            Invalidate(
-                timestamp, parent.range_lo, parent.range_lo + parent.range_len - 1
+        if self._log_listeners:
+            self._emit(
+                Invalidate(
+                    timestamp, parent.range_lo, parent.range_lo + parent.range_len - 1
+                )
             )
-        )
 
     def _new_sibling(self, level: int, range_len: int, entries: list, weight: int) -> WNode:
         """A fresh node holding ``entries``; internal entries get evenly
@@ -495,6 +491,7 @@ class WBox(LabelingScheme):
 
     def _check_node(self, node_id: int, is_root: bool) -> tuple[int, int]:
         node: WNode = self.store.peek(node_id)
+        self._check_prefix_caches(node_id, node)
         weight_balanced = self.balance == "weight" or node.is_leaf
         if weight_balanced and node.weight >= self._max_weight(node.level):
             raise InvariantViolation(f"node {node_id} overweight: {node}")
@@ -549,6 +546,23 @@ class WBox(LabelingScheme):
         if node.weight != total_weight:
             raise InvariantViolation("internal weight != sum of entry weights")
         return total_live, total_weight
+
+    def _check_prefix_caches(self, node_id: int, node: WNode) -> None:
+        """Any populated prefix-sum cache must match a fresh recomputation
+        (a mismatch means a mutation skipped ``BlockStore.write``)."""
+        if node._cum_weights is not None:
+            if node._cum_weights != cumulative(e.weight for e in node.entries):
+                raise InvariantViolation(f"stale weight prefix cache on {node_id}")
+        if node._cum_sizes is not None:
+            if node._cum_sizes != cumulative(e.size for e in node.entries):
+                raise InvariantViolation(f"stale size prefix cache on {node_id}")
+        if node._lid_index is not None:
+            expected_index = {
+                self._record_lid(record): position
+                for position, record in enumerate(node.entries)
+            }
+            if node._lid_index != expected_index:
+                raise InvariantViolation(f"stale lid index cache on {node_id}")
 
     def _collect_labels(self, node_id: int, out: list[int]) -> None:
         node: WNode = self.store.peek(node_id)

@@ -15,10 +15,15 @@ Measurement methodology (matches Section 7 of the paper):
   exactly that: inside a :meth:`operation` context the first read of each
   block costs one I/O and later reads are free; each block dirtied during the
   operation costs one write when the operation completes.
-* An optional LRU cache (``cache_capacity > 0``) reproduces the paper's
+* An optional cache (``cache_capacity > 0``) reproduces the paper's
   "caching turned on" remark — reads served from the cache are free (the
   root then tends to be cached at all times); writes are write-through and
-  still counted.
+  still counted.  Two replacement policies are available: plain LRU
+  (``cache_mode="lru"``, the default) and segmented LRU
+  (``cache_mode="slru"``), which splits the capacity into a probationary
+  and a protected segment so one-shot scans (bulk loads, subtree sweeps)
+  cannot flush the hot upper tree levels out of the cache.  Hits and misses
+  are tallied in :class:`IOStats` (``hit_ratio``).
 """
 
 from __future__ import annotations
@@ -43,8 +48,13 @@ class BlockStore:
     stats:
         Shared :class:`IOStats`; a fresh one is created when omitted.
     cache_capacity:
-        Number of blocks kept in a persistent LRU cache across operations.
+        Number of blocks kept in a persistent cache across operations.
         ``0`` (the default) reproduces the paper's caching-off measurements.
+    cache_mode:
+        ``"lru"`` (default) for a single LRU list, ``"slru"`` for a
+        segmented LRU: a miss enters a probationary segment, a probationary
+        hit promotes the block to a protected segment holding 4/5 of the
+        capacity, and protected overflow demotes back to probation.
     """
 
     def __init__(
@@ -52,7 +62,10 @@ class BlockStore:
         config: BoxConfig,
         stats: IOStats | None = None,
         cache_capacity: int = 0,
+        cache_mode: str = "lru",
     ) -> None:
+        if cache_mode not in ("lru", "slru"):
+            raise StorageError(f"cache_mode must be 'lru' or 'slru', got {cache_mode!r}")
         self.config = config
         self.stats = stats if stats is not None else IOStats()
         self._blocks: dict[int, Any] = {}
@@ -62,7 +75,13 @@ class BlockStore:
         self._op_read: set[int] = set()
         self._op_dirty: set[int] = set()
         self._cache_capacity = cache_capacity
+        self._cache_mode = cache_mode
+        #: LRU list in "lru" mode; the probationary segment in "slru" mode.
         self._lru: OrderedDict[int, None] = OrderedDict()
+        #: Protected segment ("slru" mode only).
+        self._protected: OrderedDict[int, None] = OrderedDict()
+        self._protected_capacity = (4 * cache_capacity) // 5
+        self._probation_capacity = cache_capacity - self._protected_capacity
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -92,6 +111,7 @@ class BlockStore:
         self._op_read.discard(block_id)
         self._op_dirty.discard(block_id)
         self._lru.pop(block_id, None)
+        self._protected.pop(block_id, None)
 
     def exists(self, block_id: int) -> bool:
         """Whether ``block_id`` is currently allocated."""
@@ -115,12 +135,13 @@ class BlockStore:
         self._require(block_id)
         if self._op_depth > 0 and (block_id in self._op_read or block_id in self._op_dirty):
             pass  # buffered within this operation: free
-        elif block_id in self._lru:
+        elif self._cache_capacity > 0 and self._cache_lookup(block_id):
             self.stats.cache_hits += 1
-            self._lru.move_to_end(block_id)
         else:
             self.stats.reads += 1
-            self._cache_insert(block_id)
+            if self._cache_capacity > 0:
+                self.stats.cache_misses += 1
+                self._cache_insert(block_id)
         if self._op_depth > 0:
             self._op_read.add(block_id)
         return self._blocks[block_id]
@@ -137,6 +158,16 @@ class BlockStore:
         self._require(block_id)
         if payload is not ...:
             self._blocks[block_id] = payload
+        # Dirtying a block is the one event every structural mutation passes
+        # through, so it doubles as the invalidation point for the payload's
+        # cached prefix sums (see repro.core.kernels).  LIDF blocks are plain
+        # lists and by far the most frequently written payload; skip the
+        # attribute probe for them.
+        target = self._blocks[block_id]
+        if target.__class__ is not list:
+            touch = getattr(target, "touch", None)
+            if touch is not None:
+                touch()
         self._mark_dirty(block_id)
 
     def peek(self, block_id: int) -> Any:
@@ -210,12 +241,44 @@ class BlockStore:
         self._op_dirty.clear()
         self._op_read.clear()
 
+    def _cache_lookup(self, block_id: int) -> bool:
+        """Probe the cache; on a hit, apply the policy's promotion rules."""
+        if self._cache_mode == "lru":
+            if block_id not in self._lru:
+                return False
+            self._lru.move_to_end(block_id)
+            return True
+        if block_id in self._protected:
+            self._protected.move_to_end(block_id)
+            return True
+        if block_id in self._lru:  # probationary hit: promote
+            del self._lru[block_id]
+            self._protected[block_id] = None
+            while len(self._protected) > self._protected_capacity:
+                demoted, _ = self._protected.popitem(last=False)
+                self._lru[demoted] = None
+                while len(self._lru) > self._probation_capacity:
+                    self._lru.popitem(last=False)
+            return True
+        return False
+
     def _cache_insert(self, block_id: int) -> None:
         if self._cache_capacity <= 0:
             return
+        if self._cache_mode == "lru":
+            self._lru[block_id] = None
+            self._lru.move_to_end(block_id)
+            while len(self._lru) > self._cache_capacity:
+                self._lru.popitem(last=False)
+            return
+        # SLRU: refresh a resident block in place; admit new blocks to the
+        # probationary segment only.
+        if block_id in self._protected:
+            self._protected.move_to_end(block_id)
+            return
         self._lru[block_id] = None
         self._lru.move_to_end(block_id)
-        while len(self._lru) > self._cache_capacity:
+        while len(self._lru) > self._probation_capacity:
             self._lru.popitem(last=False)
 
 

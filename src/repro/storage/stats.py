@@ -37,7 +37,7 @@ class IOStats:
     use :meth:`BlockStore.operation` which returns the delta directly.
     """
 
-    __slots__ = ("reads", "writes", "allocs", "frees", "cache_hits")
+    __slots__ = ("reads", "writes", "allocs", "frees", "cache_hits", "cache_misses")
 
     def __init__(self) -> None:
         self.reads = 0
@@ -45,6 +45,7 @@ class IOStats:
         self.allocs = 0
         self.frees = 0
         self.cache_hits = 0
+        self.cache_misses = 0
 
     def snapshot(self) -> OperationCost:
         """Current totals as an immutable value."""
@@ -57,14 +58,23 @@ class IOStats:
         self.allocs = 0
         self.frees = 0
         self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def total_io(self) -> int:
         """Combined read + write block I/Os since the last reset."""
         return self.reads + self.writes
 
+    @property
+    def hit_ratio(self) -> float:
+        """Cache hits over cache-eligible reads (0.0 when caching is off or
+        nothing has been read)."""
+        probes = self.cache_hits + self.cache_misses
+        return self.cache_hits / probes if probes else 0.0
+
     def __repr__(self) -> str:
         return (
             f"IOStats(reads={self.reads}, writes={self.writes}, "
-            f"allocs={self.allocs}, frees={self.frees}, cache_hits={self.cache_hits})"
+            f"allocs={self.allocs}, frees={self.frees}, "
+            f"cache_hits={self.cache_hits}, cache_misses={self.cache_misses})"
         )

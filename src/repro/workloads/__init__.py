@@ -3,9 +3,13 @@
 from .sequences import (
     run_churn,
     run_concentrated,
+    run_concentrated_batched,
     run_scattered,
+    run_scattered_batched,
     run_xmark_build,
+    run_xmark_build_batched,
     two_level_pairing,
+    BatchedWorkloadResult,
     WorkloadResult,
 )
 from .metrics import amortized_cost, ccdf, summarize
@@ -13,9 +17,13 @@ from .metrics import amortized_cost, ccdf, summarize
 __all__ = [
     "run_churn",
     "run_concentrated",
+    "run_concentrated_batched",
     "run_scattered",
+    "run_scattered_batched",
     "run_xmark_build",
+    "run_xmark_build_batched",
     "two_level_pairing",
+    "BatchedWorkloadResult",
     "WorkloadResult",
     "amortized_cost",
     "ccdf",

@@ -17,8 +17,10 @@ insertion (two label insertions, as in the paper's figures).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+from ..core.batch import BatchOp, BatchRef, BatchResult
 from ..core.document import tag_pairing
 from ..core.interface import LabelingScheme
 from ..xml.model import Element, Tag, TagKind, document_tags
@@ -36,6 +38,8 @@ class WorkloadResult:
     bulk_load_io: int = 0
     #: Labels present after the run.
     final_labels: int = 0
+    #: Wall-clock time of the measured insertions (not the bulk load).
+    wall_seconds: float = 0.0
 
     @property
     def total(self) -> int:
@@ -44,6 +48,37 @@ class WorkloadResult:
     @property
     def mean(self) -> float:
         return self.total / len(self.costs) if self.costs else 0.0
+
+
+@dataclass
+class BatchedWorkloadResult:
+    """One scheme on one workload, executed through the batch engine."""
+
+    scheme: str
+    workload: str
+    group_size: int
+    batch: BatchResult
+    #: I/Os spent on the initial bulk load (not part of the batch cost).
+    bulk_load_io: int = 0
+    final_labels: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def op_count(self) -> int:
+        return self.batch.op_count
+
+    @property
+    def group_count(self) -> int:
+        return self.batch.group_count
+
+    @property
+    def total(self) -> int:
+        return self.batch.total_cost.total
+
+    @property
+    def mean(self) -> float:
+        """Amortized I/O per element operation."""
+        return self.total / self.op_count if self.op_count else 0.0
 
 
 def two_level_pairing(n_children: int) -> list[int]:
@@ -79,6 +114,7 @@ def run_concentrated(
     result.bulk_load_io = (scheme.stats.snapshot() - before).total
 
     root_end = lids[-1]
+    started = time.perf_counter()
     with scheme.store.measured() as op:
         _, subtree_end = scheme.insert_element_before(root_end)
     result.costs.append(op.total)
@@ -91,6 +127,45 @@ def run_concentrated(
         result.costs.append(op.total)
         if index % 2 == 0:
             anchor = start_lid
+    result.wall_seconds = time.perf_counter() - started
+    result.final_labels = scheme.label_count()
+    return result
+
+
+def run_concentrated_batched(
+    scheme: LabelingScheme,
+    base_elements: int,
+    insert_elements: int,
+    group_size: int = 64,
+    locality_grouping: bool = True,
+) -> BatchedWorkloadResult:
+    """The concentrated sequence executed through the batch engine.
+
+    Builds exactly the structure :func:`run_concentrated` builds — each
+    insert's anchor is a result of an earlier insert, expressed as a
+    :class:`~repro.core.batch.BatchRef` — but ops commit in groups, so
+    blocks revisited inside a group are read and written once per group
+    instead of once per op.
+    """
+    result = BatchedWorkloadResult(scheme.name, "concentrated", group_size, BatchResult())
+    before = scheme.stats.snapshot()
+    lids = _bulk_load_two_level(scheme, base_elements)
+    result.bulk_load_io = (scheme.stats.snapshot() - before).total
+
+    # Mirrors the sequential anchor chain: op 0 anchors on the root's end
+    # tag; later ops anchor on op 0's end LID until an even-indexed op's
+    # start LID takes over.
+    ops = [BatchOp("insert_element_before", (lids[-1],))]
+    anchor: object = BatchRef(0, 1)
+    for index in range(1, insert_elements):
+        ops.append(BatchOp("insert_element_before", (anchor,)))
+        if index % 2 == 0:
+            anchor = BatchRef(index, 0)
+    started = time.perf_counter()
+    result.batch = scheme.execute_batch(
+        ops, group_size=group_size, locality_grouping=locality_grouping
+    )
+    result.wall_seconds = time.perf_counter() - started
     result.final_labels = scheme.label_count()
     return result
 
@@ -109,12 +184,48 @@ def run_scattered(
     result.bulk_load_io = (scheme.stats.snapshot() - before).total
 
     step = base_elements / insert_elements
+    started = time.perf_counter()
     for index in range(insert_elements):
         child = int(index * step)
         child_start = lids[1 + 2 * child]
         with scheme.store.measured() as op:
             scheme.insert_element_before(child_start)
         result.costs.append(op.total)
+    result.wall_seconds = time.perf_counter() - started
+    result.final_labels = scheme.label_count()
+    return result
+
+
+def run_scattered_batched(
+    scheme: LabelingScheme,
+    base_elements: int,
+    insert_elements: int,
+    group_size: int = 64,
+    locality_grouping: bool = True,
+) -> BatchedWorkloadResult:
+    """The scattered sequence executed through the batch engine.
+
+    Anchors are spread across the base document, so locality grouping cuts
+    groups early and batching saves little — the contrast case to
+    :func:`run_concentrated_batched`.
+    """
+    if insert_elements > base_elements:
+        raise ValueError("scattered inserts must not outnumber base children")
+    result = BatchedWorkloadResult(scheme.name, "scattered", group_size, BatchResult())
+    before = scheme.stats.snapshot()
+    lids = _bulk_load_two_level(scheme, base_elements)
+    result.bulk_load_io = (scheme.stats.snapshot() - before).total
+
+    step = base_elements / insert_elements
+    ops = [
+        BatchOp("insert_element_before", (lids[1 + 2 * int(index * step)],))
+        for index in range(insert_elements)
+    ]
+    started = time.perf_counter()
+    result.batch = scheme.execute_batch(
+        ops, group_size=group_size, locality_grouping=locality_grouping
+    )
+    result.wall_seconds = time.perf_counter() - started
     result.final_labels = scheme.label_count()
     return result
 
@@ -146,6 +257,7 @@ def run_xmark_build(
     end_lids: dict[Element, int] = {}
     root_lids = scheme.bulk_load(2, [1, 0])
     end_lids[root] = root_lids[1]
+    started = time.perf_counter()
     for index, element in enumerate(elements[1:], start=1):
         parent = element.parent
         assert parent is not None
@@ -154,6 +266,43 @@ def run_xmark_build(
         end_lids[element] = end_lid
         if index >= prime_count:
             result.costs.append(op.total)
+    result.wall_seconds = time.perf_counter() - started
+    result.final_labels = scheme.label_count()
+    return result
+
+
+def run_xmark_build_batched(
+    scheme: LabelingScheme,
+    n_items: int,
+    group_size: int = 64,
+    locality_grouping: bool = True,
+    seed: int = 1,
+    document: Element | None = None,
+) -> BatchedWorkloadResult:
+    """The XMark element-at-a-time build through the batch engine.
+
+    Each element is appended before its parent's end tag; for parents
+    created in the same batch the anchor is a
+    :class:`~repro.core.batch.BatchRef` to the parent's end LID.  Unlike
+    :func:`run_xmark_build`, the whole build is measured (group costs make
+    a priming prefix meaningless — groups straddle it)."""
+    result = BatchedWorkloadResult(scheme.name, "xmark", group_size, BatchResult())
+    root = document if document is not None else xmark_document(n_items, seed=seed)
+    elements = list(root.iter())  # pre-order = document order of start tags
+
+    root_lids = scheme.bulk_load(2, [1, 0])
+    end_refs: dict[Element, object] = {root: root_lids[1]}
+    ops: list[BatchOp] = []
+    for position, element in enumerate(elements[1:]):
+        parent = element.parent
+        assert parent is not None
+        ops.append(BatchOp("insert_element_before", (end_refs[parent],)))
+        end_refs[element] = BatchRef(position, 1)
+    started = time.perf_counter()
+    result.batch = scheme.execute_batch(
+        ops, group_size=group_size, locality_grouping=locality_grouping
+    )
+    result.wall_seconds = time.perf_counter() - started
     result.final_labels = scheme.label_count()
     return result
 
@@ -186,6 +335,7 @@ def run_churn(
     rng = random.Random(seed)
     # Track elements as (start_lid, end_lid); children of the two-level doc.
     elements = [(lids[1 + 2 * i], lids[2 + 2 * i]) for i in range(base_elements)]
+    started = time.perf_counter()
     for _ in range(operations):
         if rng.random() < delete_fraction and len(elements) > base_elements // 4:
             start_lid, end_lid = elements.pop(rng.randrange(len(elements)))
@@ -197,6 +347,7 @@ def run_churn(
                 pair = scheme.insert_element_before(anchor_start)
             elements.append(pair)
         result.costs.append(op.total)
+    result.wall_seconds = time.perf_counter() - started
     result.final_labels = scheme.label_count()
     return result
 
@@ -215,10 +366,14 @@ def element_insert_order(root: Element) -> list[Element]:
 
 __all__ = [
     "WorkloadResult",
+    "BatchedWorkloadResult",
     "two_level_pairing",
     "run_concentrated",
+    "run_concentrated_batched",
     "run_scattered",
+    "run_scattered_batched",
     "run_xmark_build",
+    "run_xmark_build_batched",
     "subtree_tags_and_pairing",
     "element_insert_order",
     "TagKind",

@@ -102,3 +102,25 @@ class TestWorkloadCommand:
     def test_naive_reports_relabels(self, capsys):
         main(["workload", "concentrated", "--base", "200", "--inserts", "40", "--scheme", "naive-2"])
         assert "relabels:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("sequence", ["concentrated", "scattered", "xmark"])
+    def test_batched_sequences_run(self, sequence, capsys):
+        code = main(
+            ["workload", sequence, "--base", "300", "--inserts", "60",
+             "--scheme", "bbox", "--batch", "16"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "(batched)" in output
+        assert "amortized I/O:" in output
+
+    def test_batched_beats_per_op_on_concentrated(self, capsys):
+        main(["workload", "concentrated", "--base", "300", "--inserts", "60",
+              "--scheme", "wbox", "--batch", "64"])
+        batched_out = capsys.readouterr().out
+        main(["workload", "concentrated", "--base", "300", "--inserts", "60",
+              "--scheme", "wbox"])
+        per_op_out = capsys.readouterr().out
+        batched_total = int(batched_out.split("total I/O:")[1].split()[0])
+        per_op_total = int(per_op_out.split("total I/O:")[1].split()[0])
+        assert batched_total < per_op_total

@@ -1,0 +1,119 @@
+"""Prefix-sum kernels: equivalence with the scan loops they replaced, and
+invalidation of the cached cumulative arrays through BlockStore.write."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.config import TINY_CONFIG
+from repro.core import BBox, WBox
+from repro.core.kernels import cumulative, prefix, weight_split_point
+from repro.errors import InvariantViolation
+
+
+class TestCumulative:
+    def test_empty(self):
+        assert cumulative([]) == []
+
+    def test_running_totals(self):
+        assert cumulative([3, 1, 4, 1, 5]) == [3, 4, 8, 9, 14]
+
+    def test_prefix_reads(self):
+        cum = cumulative([3, 1, 4])
+        assert prefix(cum, 0) == 0
+        assert prefix(cum, 1) == 3
+        assert prefix(cum, 3) == 8
+
+    @given(values=st.lists(st.integers(0, 1000), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_prefix_matches_sum(self, values):
+        cum = cumulative(values)
+        for index in range(len(values) + 1):
+            assert prefix(cum, index) == sum(values[:index])
+
+
+def reference_split_point(weights, target):
+    """The scan loop `_split_child` used before the kernel rewrite."""
+    accumulated = 0
+    split_point = 0
+    for position, weight in enumerate(weights):
+        if accumulated + weight > target and split_point > 0:
+            break
+        accumulated += weight
+        split_point = position + 1
+    if split_point >= len(weights):
+        split_point = len(weights) - 1
+        accumulated = sum(weights[:split_point])
+    return split_point, accumulated
+
+
+class TestWeightSplitPoint:
+    @given(
+        weights=st.lists(st.integers(1, 100), min_size=1, max_size=60),
+        target=st.integers(0, 4000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference_loop(self, weights, target):
+        expected = reference_split_point(weights, target)
+        assert weight_split_point(cumulative(weights), target) == expected
+
+    def test_single_entry(self):
+        # Degenerate but load-bearing: the caller handles split_point 0.
+        assert weight_split_point(cumulative([7]), 100) == (0, 0)
+
+    def test_target_below_first_weight_still_splits_after_one(self):
+        assert weight_split_point(cumulative([10, 10]), 3) == (1, 10)
+
+
+class TestCacheInvalidation:
+    def test_wnode_caches_die_on_write(self):
+        tree = WBox(TINY_CONFIG)
+        tree.bulk_load(200)
+        root = tree.store.peek(tree.root_id)
+        assert not root.is_leaf
+        root.weight_sums()
+        root.size_sums()
+        assert root._cum_weights is not None and root._cum_sizes is not None
+        tree.store.write(tree.root_id)
+        assert root._cum_weights is None and root._cum_sizes is None
+
+    def test_bnode_cache_dies_on_write(self):
+        tree = BBox(TINY_CONFIG, ordinal=True)
+        tree.bulk_load(200)
+        root = tree.store.peek(tree.root_id)
+        assert not root.leaf
+        root.size_sums()
+        assert root._cum_sizes is not None
+        tree.store.write(tree.root_id)
+        assert root._cum_sizes is None
+
+    def test_caches_stay_fresh_under_updates(self):
+        """Interleave lookups (which build caches) with inserts and deletes
+        (which mutate the arrays); the invariant checker cross-checks every
+        populated cache against a recomputation."""
+        tree = WBox(TINY_CONFIG, ordinal=True)
+        lids = tree.bulk_load(120)
+        for round_number in range(30):
+            anchor = lids[(37 * round_number) % len(lids)]
+            tree.lookup(anchor)
+            tree.ordinal_lookup(anchor)
+            lids.append(tree.insert_before(anchor))
+            tree.check_invariants()
+
+    def test_checker_detects_stale_wnode_cache(self):
+        tree = WBox(TINY_CONFIG)
+        tree.bulk_load(200)
+        root = tree.store.peek(tree.root_id)
+        root.weight_sums()
+        root._cum_weights[0] += 1  # corrupt the cache behind the store's back
+        with pytest.raises(InvariantViolation, match="stale weight prefix"):
+            tree.check_invariants()
+
+    def test_checker_detects_stale_bnode_cache(self):
+        tree = BBox(TINY_CONFIG, ordinal=True)
+        tree.bulk_load(200)
+        root = tree.store.peek(tree.root_id)
+        root.size_sums()
+        root._cum_sizes[0] += 1
+        with pytest.raises(InvariantViolation):
+            tree.check_invariants()
