@@ -1,30 +1,57 @@
 """Command-line interface.
 
-Four subcommands, all built on the public API::
+Six subcommands, all built on the public API::
 
     python -m repro label    doc.xml --scheme bbox --save labels.box
     python -m repro query    doc.xml "//item[mailbox/mail]" --scheme wbox
     python -m repro workload concentrated --scheme bbox --base 2000 --inserts 500
     python -m repro inspect  labels.box
+    python -m repro recover  labels.pages
+    python -m repro info     labels.pages
 
 ``label`` parses and bulk-loads a document and reports structure statistics
 (optionally persisting the labeled structure); ``query`` evaluates an
 XPath-subset expression over a freshly labeled document and reports the
 block I/O it cost; ``workload`` runs one of the paper's insertion sequences
 and prints the cost summary; ``inspect`` reloads a saved structure.
+
+Commands that build a scheme accept ``--storage file --storage-path F`` to
+run on a real page file with write-ahead logging instead of the default
+in-memory backend — the counted I/Os are identical, the file survives the
+process.  ``recover`` reopens such a file (replaying or discarding any
+interrupted commit) and verifies the structure; ``info`` prints what a
+saved file contains — snapshot or page file — without modifying it.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Any
 
 from .config import BoxConfig
 from .core import BBox, LabeledDocument, NaiveScheme, OrdPath, WBox, WBoxO
-from .errors import ReproError
-from .persist import MAGIC, load_document, load_scheme, save_document
+from .errors import PersistError, ReproError
+from .persist import (
+    MAGIC,
+    attach_scheme_to_backend,
+    checkpoint_scheme,
+    load_document,
+    load_scheme,
+    open_file_scheme,
+    save_document,
+)
 from .query.xpath import evaluate
+from .storage import (
+    BlockStore,
+    FileBackend,
+    default_page_bytes,
+    read_superblock,
+    scan_wal,
+)
+from .storage.filebackend import MAGIC as PAGE_MAGIC
 from .workloads import (
     run_concentrated,
     run_concentrated_batched,
@@ -38,24 +65,59 @@ from .xml.model import element_count, tree_depth
 from .xml.parser import parse
 
 
-def make_scheme(name: str, config: BoxConfig) -> Any:
+def make_scheme(
+    name: str,
+    config: BoxConfig,
+    storage: str = "memory",
+    storage_path: str | None = None,
+) -> Any:
     """Instantiate a scheme from its CLI name (``wbox``, ``wboxo``,
-    ``bbox``, ``bbox-o``, or ``naive-<k>``)."""
+    ``bbox``, ``bbox-o``, or ``naive-<k>``), optionally on a file-backed
+    store (``storage="file"`` + a page-file path)."""
+    store = _make_store(config, storage, storage_path)
     if name == "wbox":
-        return WBox(config)
-    if name == "wbox-ordinal":
-        return WBox(config, ordinal=True)
-    if name == "wboxo":
-        return WBoxO(config)
-    if name == "bbox":
-        return BBox(config)
-    if name == "bbox-o":
-        return BBox(config, ordinal=True)
-    if name == "ordpath":
-        return OrdPath(config)
-    if name.startswith("naive-"):
-        return NaiveScheme(int(name.split("-", 1)[1]), config)
-    raise ReproError(f"unknown scheme {name!r}")
+        scheme = WBox(config, store=store)
+    elif name == "wbox-ordinal":
+        scheme = WBox(config, store=store, ordinal=True)
+    elif name == "wboxo":
+        scheme = WBoxO(config, store=store)
+    elif name == "bbox":
+        scheme = BBox(config, store=store)
+    elif name == "bbox-o":
+        scheme = BBox(config, store=store, ordinal=True)
+    elif name == "ordpath":
+        scheme = OrdPath(config, store=store)
+    elif name.startswith("naive-"):
+        scheme = NaiveScheme(int(name.split("-", 1)[1]), config, store=store)
+    else:
+        raise ReproError(f"unknown scheme {name!r}")
+    if isinstance(scheme.store.backend, FileBackend):
+        attach_scheme_to_backend(scheme)
+    return scheme
+
+
+def _make_store(
+    config: BoxConfig, storage: str, storage_path: str | None
+) -> BlockStore | None:
+    """Build the block store a CLI-made scheme runs on (None = default)."""
+    if storage == "memory":
+        return None
+    if storage != "file":
+        raise ReproError(f"unknown storage backend {storage!r}")
+    if not storage_path:
+        raise ReproError("--storage file requires --storage-path")
+    backend = FileBackend(
+        storage_path, page_bytes=default_page_bytes(config.block_bytes)
+    )
+    return BlockStore(config, backend=backend)
+
+
+def _finish_scheme(scheme: Any) -> None:
+    """Flush and close a file-backed scheme at command end (checkpoint =
+    durability point); no-op on the memory backend."""
+    if isinstance(scheme.store.backend, FileBackend):
+        backend = checkpoint_scheme(scheme)
+        backend.close()
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -69,6 +131,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1024,
         help="block size in bytes (default 1024)",
+    )
+    parser.add_argument(
+        "--storage",
+        choices=["memory", "file"],
+        default="memory",
+        help="block storage backend (default: memory; 'file' needs --storage-path)",
+    )
+    parser.add_argument(
+        "--storage-path",
+        metavar="FILE",
+        help="page file for --storage file (WAL lives beside it as FILE.wal)",
     )
 
 
@@ -88,7 +161,7 @@ def _load_document(path: str, scheme: Any) -> LabeledDocument:
 
 def cmd_label(args: argparse.Namespace) -> int:
     config = BoxConfig(block_bytes=args.block_bytes)
-    scheme = make_scheme(args.scheme, config)
+    scheme = make_scheme(args.scheme, config, args.storage, args.storage_path)
     before = scheme.stats.snapshot()
     doc = _load_document(args.document, scheme)
     load_io = (scheme.stats.snapshot() - before).total
@@ -106,6 +179,9 @@ def cmd_label(args: argparse.Namespace) -> int:
     if args.save:
         save_document(doc, args.save)
         print(f"  saved to:     {args.save} (reload with 'query'/'inspect')")
+    if args.storage == "file":
+        _finish_scheme(scheme)
+        print(f"  checkpointed: {args.storage_path} (reopen with 'recover'/'info')")
     return 0
 
 
@@ -115,7 +191,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         doc = load_document(args.document)
     else:
         config = BoxConfig(block_bytes=args.block_bytes)
-        scheme = make_scheme(args.scheme, config)
+        scheme = make_scheme(args.scheme, config, args.storage, args.storage_path)
         doc = _load_document(args.document, scheme)
     scheme = doc.scheme
     before = scheme.stats.snapshot()
@@ -130,6 +206,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(f"  <{element.name}{text}>  labels=({start}, {end})")
     if len(matches) > limit:
         print(f"  ... and {len(matches) - limit} more")
+    _finish_scheme(scheme)
     return 0
 
 
@@ -137,7 +214,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
     if args.batch < 0:
         raise ReproError(f"--batch must be >= 0, got {args.batch}")
     config = BoxConfig(block_bytes=args.block_bytes)
-    scheme = make_scheme(args.scheme, config)
+    scheme = make_scheme(args.scheme, config, args.storage, args.storage_path)
     if args.batch > 0:
         if args.sequence == "concentrated":
             result = run_concentrated_batched(
@@ -161,6 +238,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
         print(f"  wall seconds:     {result.wall_seconds:.3f}")
         if hasattr(scheme, "relabel_count"):
             print(f"  relabels:         {scheme.relabel_count}")
+        _finish_scheme(scheme)
         return 0
     if args.sequence == "concentrated":
         result = run_concentrated(scheme, args.base, args.inserts)
@@ -177,6 +255,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
     print(f"  total I/O:        {summary['total']}")
     if hasattr(scheme, "relabel_count"):
         print(f"  relabels:         {scheme.relabel_count}")
+    _finish_scheme(scheme)
     return 0
 
 
@@ -192,6 +271,76 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         scheme.check_invariants()
         print("  invariants: OK")
     return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    scheme = open_file_scheme(args.file)
+    backend = scheme.store.backend
+    report = backend.recovery_report
+    print(f"file: {args.file}")
+    print(f"  superblock from:  {report['superblock_source']}")
+    print(f"  replayed commits: {report['replayed_transactions']}")
+    print(f"  discarded tail:   {report['discarded_tail_bytes']} bytes")
+    info = scheme.describe()
+    for key, value in info.items():
+        print(f"  {key}: {value}")
+    if hasattr(scheme, "check_invariants"):
+        scheme.check_invariants()
+        print("  invariants: OK")
+    # Reopening applied any committed-but-unapplied transaction; make the
+    # clean state explicit on disk before closing.
+    _finish_scheme(scheme)
+    print("  recovered: OK (WAL empty, superblock current)")
+    return 0
+
+
+def _wal_status(path: str) -> str:
+    wal_path = path + ".wal"
+    if not os.path.exists(wal_path) or os.path.getsize(wal_path) == 0:
+        return "empty (clean shutdown)"
+    scan = scan_wal(wal_path)
+    parts = []
+    if scan.committed:
+        parts.append(f"{scan.committed} committed transaction(s) to replay")
+    if scan.torn_tail:
+        parts.append(f"torn tail of {scan.tail_bytes} bytes to discard")
+    return "; ".join(parts) if parts else "empty (clean shutdown)"
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    with open(args.file, "rb") as handle:
+        magic = handle.read(8)
+    print(f"file: {args.file}")
+    if magic == MAGIC:
+        with open(args.file, "rb") as handle:
+            handle.seek(len(MAGIC))
+            header_length = int.from_bytes(handle.read(8), "big")
+            header = json.loads(handle.read(header_length).decode("utf-8"))
+        print("  format:       snapshot (save_scheme/save_document)")
+        print(f"  scheme:       {header['scheme']}")
+        print(f"  block bytes:  {header['config']['block_bytes']}")
+        print(f"  blocks:       {header['store']['next_id'] - 1 - len(header['store']['free_ids'])}")
+        print(f"  live labels:  {header['lidf']['live']}")
+        print("  WAL:          n/a (snapshots are atomic whole-file writes)")
+        return 0
+    if magic == PAGE_MAGIC:
+        state = read_superblock(args.file)
+        print("  format:       page file (FileBackend)")
+        if state is None:
+            print("  superblock:   TORN/CORRUPT — run 'repro recover' to repair from the WAL")
+            print(f"  WAL:          {_wal_status(args.file)}")
+            return 0
+        meta = state.get("meta") or {}
+        print(f"  scheme:       {meta.get('scheme', '(none attached)')}")
+        if "config" in meta:
+            print(f"  block bytes:  {meta['config']['block_bytes']}")
+        print(f"  page bytes:   {state['page_bytes']}")
+        print(f"  blocks:       {len(state['on_disk'])}")
+        if "lidf" in meta:
+            print(f"  live labels:  {meta['lidf']['live']}")
+        print(f"  WAL:          {_wal_status(args.file)}")
+        return 0
+    raise PersistError(f"{args.file} is neither a snapshot nor a page file")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -233,6 +382,18 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = subparsers.add_parser("inspect", help="inspect a saved structure")
     inspect.add_argument("file", help="file written by 'label --save'")
     inspect.set_defaults(handler=cmd_inspect)
+
+    recover = subparsers.add_parser(
+        "recover", help="recover and verify a page file written with --storage file"
+    )
+    recover.add_argument("file", help="page file (its WAL is FILE.wal)")
+    recover.set_defaults(handler=cmd_recover)
+
+    info = subparsers.add_parser(
+        "info", help="describe a saved file (snapshot or page file) without modifying it"
+    )
+    info.add_argument("file", help="snapshot from 'label --save' or page file")
+    info.set_defaults(handler=cmd_info)
 
     return parser
 

@@ -107,6 +107,11 @@ class BatchResult:
     results: list = field(default_factory=list)
     group_costs: list[OperationCost] = field(default_factory=list)
     group_sizes: list[int] = field(default_factory=list)
+    #: Durable transactions the run cost on the store's backend (one WAL
+    #: commit per group on a file backend; 0 on the memory backend, whose
+    #: commit is a no-op).  Group commit is thus literal: batching with
+    #: group size g cuts journal transactions by a factor of g.
+    backend_commits: int = 0
 
     @property
     def op_count(self) -> int:
@@ -208,6 +213,8 @@ class BatchExecutor:
     def execute(self, ops: Sequence[BatchOp]) -> BatchResult:
         """Run ``ops`` in order with one commit scope per group."""
         result = BatchResult(results=[None] * len(ops))
+        backend = self.scheme.store.backend
+        commits_before = getattr(backend, "commits", 0)
         for group in self.plan(ops):
             with self.scheme.store.measured() as measured:
                 for position in group:
@@ -216,6 +223,7 @@ class BatchExecutor:
                     result.results[position] = getattr(self.scheme, op.kind)(*args)
             result.group_costs.append(measured.cost)
             result.group_sizes.append(len(group))
+        result.backend_commits = getattr(backend, "commits", 0) - commits_before
         return result
 
     def _resolve(self, op: BatchOp, position: int, results: list) -> tuple:

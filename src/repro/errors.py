@@ -33,6 +33,29 @@ class RecordNotFoundError(StorageError):
     """A heap-file record (LID) does not exist or has been reclaimed."""
 
 
+class PersistError(StorageError):
+    """A serialized structure (snapshot file, page payload, varint stream)
+    is not valid, or the scheme is not serializable."""
+
+
+class WALError(StorageError):
+    """The write-ahead log is malformed beyond what recovery tolerates
+    (bad magic, impossible record type) — distinct from an ordinary torn
+    tail, which recovery silently discards."""
+
+
+class RecoveryError(StorageError):
+    """A page file cannot be brought to a consistent state: its superblock
+    is unreadable and no committed WAL transaction supplies a replacement."""
+
+
+class CrashError(StorageError):
+    """Raised by the fault-injection hook (``crash_after_n_writes``) when
+    the simulated crash point is reached.  The backend refuses further
+    physical writes until reopened, exactly like a machine that lost
+    power."""
+
+
 class XMLError(ReproError):
     """Base class for XML substrate failures."""
 

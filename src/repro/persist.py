@@ -1,10 +1,11 @@
-"""Persistence: save a labeling structure to a file and load it back.
+"""Persistence: snapshots, and checkpoint/recovery for file backends.
 
-The in-memory structures are exact images of their on-disk layouts (the
-capacities come from :class:`~repro.config.BoxConfig` and
-:mod:`repro.storage.codec` proves maximally full nodes fit their blocks),
-so serializing them is a straightforward walk over the block store.  The
-file format here is a compact varint-encoded container:
+Two durability paths share one payload codec
+(:mod:`repro.storage.codec`):
+
+**Snapshots** (:func:`save_scheme` / :func:`load_scheme`,
+:func:`save_document` / :func:`load_document`): a compact varint-encoded
+container written in one pass —
 
 * a magic string and a JSON header (scheme class, config, counters, LIDF
   directory, block-store allocation state);
@@ -14,8 +15,18 @@ Varints keep the format correct even for values that outgrow fixed-width
 fields (naive-k label values with large k, W-BOX range origins after many
 root splits).
 
-Supported schemes: W-BOX, W-BOX-O, B-BOX (each with any flags) and
-naive-k.  Round trip::
+**File backends** (:func:`attach_scheme_to_backend`,
+:func:`checkpoint_scheme`, :func:`open_file_scheme`): a scheme whose store
+runs on a :class:`~repro.storage.filebackend.FileBackend` journals its
+metadata (scheme class, config, LIDF directory) with *every* commit, so
+the page file plus write-ahead log is self-describing at all times —
+:func:`open_file_scheme` runs crash recovery and hands back a working
+scheme whose LIDs all resolve.  :func:`checkpoint_scheme` is the explicit
+flush: every resident block committed, the WAL truncated.  The historical
+whole-structure snapshot is thereby just one checkpoint format among two.
+
+Supported schemes: W-BOX, W-BOX-O, B-BOX (each with any flags), naive-k
+and ORDPATH.  Round trip::
 
     save_scheme(scheme, "labels.box")
     scheme = load_scheme("labels.box")
@@ -28,231 +39,43 @@ from __future__ import annotations
 
 import io
 import json
-from typing import Any, BinaryIO
+from typing import Any
 
 from .config import BoxConfig
-from .core.bbox.node import BNode
 from .core.bbox.tree import BBox
 from .core.naive import NaiveScheme
 from .core.ordpath import OrdPath
-from .core.wbox.node import WEntry, WNode
-from .core.wbox.pairs import PairRecord, WBoxO
+from .core.wbox.pairs import WBoxO
 from .core.wbox.tree import WBox
-from .errors import ReproError
-from .storage import BlockStore, HeapFile
+from .errors import PersistError
+from .storage import BlockStore, FileBackend, HeapFile
+from .storage.codec import (
+    decode_payload as _decode_payload,
+    encode_payload as _encode_payload,
+    read_svarint,
+    read_uvarint,
+    write_svarint,
+    write_uvarint,
+)
+
+__all__ = [
+    "MAGIC",
+    "PersistError",
+    "save_scheme",
+    "load_scheme",
+    "save_document",
+    "load_document",
+    "attach_scheme_to_backend",
+    "checkpoint_scheme",
+    "open_file_scheme",
+    "scheme_metadata_header",
+    "read_uvarint",
+    "write_uvarint",
+    "read_svarint",
+    "write_svarint",
+]
 
 MAGIC = b"BOXS0001"
-
-# Block payload kind tags.
-_K_WLEAF = 1
-_K_WINT = 2
-_K_WPAIRLEAF = 3
-_K_BLEAF = 4
-_K_BINT = 5
-_K_LIDF = 6
-
-# LIDF slot tags.
-_S_EMPTY = 0
-_S_INT = 1
-_S_PAIR = 2
-_S_SEQ = 3  # arbitrary-length signed component vector (ORDPATH labels)
-
-
-class PersistError(ReproError):
-    """The file is not a valid saved structure, or the scheme is not
-    serializable."""
-
-
-# ----------------------------------------------------------------------
-# varint primitives (unsigned LEB128; signed values are zigzag-encoded)
-# ----------------------------------------------------------------------
-
-
-def write_uvarint(stream: BinaryIO, value: int) -> None:
-    if value < 0:
-        raise PersistError(f"uvarint cannot encode negative value {value}")
-    while True:
-        byte = value & 0x7F
-        value >>= 7
-        if value:
-            stream.write(bytes((byte | 0x80,)))
-        else:
-            stream.write(bytes((byte,)))
-            return
-
-
-def read_uvarint(stream: BinaryIO) -> int:
-    shift = 0
-    value = 0
-    while True:
-        raw = stream.read(1)
-        if not raw:
-            raise PersistError("truncated varint")
-        byte = raw[0]
-        value |= (byte & 0x7F) << shift
-        if not byte & 0x80:
-            return value
-        shift += 7
-
-
-def write_svarint(stream: BinaryIO, value: int) -> None:
-    write_uvarint(stream, (value << 1) ^ (value >> 63) if value < 0 else value << 1)
-
-
-def read_svarint(stream: BinaryIO) -> int:
-    raw = read_uvarint(stream)
-    return (raw >> 1) ^ -(raw & 1)
-
-
-# ----------------------------------------------------------------------
-# block payload encoders
-# ----------------------------------------------------------------------
-
-
-def _encode_payload(stream: BinaryIO, payload: Any) -> None:
-    if isinstance(payload, WNode):
-        _encode_wnode(stream, payload)
-    elif isinstance(payload, BNode):
-        _encode_bnode(stream, payload)
-    elif isinstance(payload, list):
-        _encode_lidf_block(stream, payload)
-    else:
-        raise PersistError(f"unsupported block payload {type(payload).__name__}")
-
-
-def _encode_wnode(stream: BinaryIO, node: WNode) -> None:
-    if node.is_leaf:
-        pair_leaf = bool(node.entries) and isinstance(node.entries[0], PairRecord)
-        write_uvarint(stream, _K_WPAIRLEAF if pair_leaf else _K_WLEAF)
-        write_uvarint(stream, node.range_lo or 0)
-        write_uvarint(stream, node.range_len)
-        write_uvarint(stream, node.weight)
-        write_uvarint(stream, len(node.entries))
-        for record in node.entries:
-            if pair_leaf:
-                write_uvarint(stream, record.lid)
-                write_uvarint(stream, 1 if record.is_start else 0)
-                write_uvarint(stream, 0 if record.partner_lid is None else record.partner_lid + 1)
-                write_uvarint(stream, record.partner_block)
-                write_uvarint(stream, 0 if record.end_value is None else record.end_value + 1)
-            else:
-                write_uvarint(stream, record)
-        return
-    write_uvarint(stream, _K_WINT)
-    write_uvarint(stream, node.level)
-    write_uvarint(stream, node.range_lo or 0)
-    write_uvarint(stream, node.range_len)
-    write_uvarint(stream, node.weight)
-    write_uvarint(stream, len(node.entries))
-    for entry in node.entries:
-        write_uvarint(stream, entry.child)
-        write_uvarint(stream, entry.slot)
-        write_uvarint(stream, entry.weight)
-        write_uvarint(stream, entry.size)
-
-
-def _encode_bnode(stream: BinaryIO, node: BNode) -> None:
-    write_uvarint(stream, _K_BLEAF if node.leaf else _K_BINT)
-    write_uvarint(stream, node.parent)
-    write_uvarint(stream, len(node.entries))
-    for entry in node.entries:
-        write_uvarint(stream, entry)
-    if not node.leaf:
-        if node.sizes is None:
-            write_uvarint(stream, 0)
-        else:
-            write_uvarint(stream, 1)
-            for size in node.sizes:
-                write_uvarint(stream, size)
-
-
-def _encode_lidf_block(stream: BinaryIO, records: list) -> None:
-    write_uvarint(stream, _K_LIDF)
-    write_uvarint(stream, len(records))
-    for record in records:
-        if record is None:
-            write_uvarint(stream, _S_EMPTY)
-        elif isinstance(record, int):
-            write_uvarint(stream, _S_INT)
-            write_uvarint(stream, record)
-        elif (
-            isinstance(record, tuple)
-            and len(record) == 2
-            and all(isinstance(x, int) and x >= 0 for x in record)
-        ):
-            write_uvarint(stream, _S_PAIR)
-            write_uvarint(stream, record[0])
-            write_uvarint(stream, record[1])
-        elif isinstance(record, tuple) and all(isinstance(x, int) for x in record):
-            write_uvarint(stream, _S_SEQ)
-            write_uvarint(stream, len(record))
-            for component in record:
-                write_svarint(stream, component)
-        else:
-            raise PersistError(f"unsupported LIDF record {record!r}")
-
-
-def _decode_payload(stream: BinaryIO) -> Any:
-    kind = read_uvarint(stream)
-    if kind in (_K_WLEAF, _K_WPAIRLEAF):
-        range_lo = read_uvarint(stream)
-        range_len = read_uvarint(stream)
-        weight = read_uvarint(stream)
-        count = read_uvarint(stream)
-        entries: list = []
-        for _ in range(count):
-            if kind == _K_WPAIRLEAF:
-                record = PairRecord(read_uvarint(stream))
-                record.is_start = bool(read_uvarint(stream))
-                partner = read_uvarint(stream)
-                record.partner_lid = None if partner == 0 else partner - 1
-                record.partner_block = read_uvarint(stream)
-                end_value = read_uvarint(stream)
-                record.end_value = None if end_value == 0 else end_value - 1
-                entries.append(record)
-            else:
-                entries.append(read_uvarint(stream))
-        return WNode(0, range_lo, range_len, weight, entries)
-    if kind == _K_WINT:
-        level = read_uvarint(stream)
-        range_lo = read_uvarint(stream)
-        range_len = read_uvarint(stream)
-        weight = read_uvarint(stream)
-        count = read_uvarint(stream)
-        entries = [
-            WEntry(
-                read_uvarint(stream),
-                read_uvarint(stream),
-                read_uvarint(stream),
-                read_uvarint(stream),
-            )
-            for _ in range(count)
-        ]
-        return WNode(level, range_lo, range_len, weight, entries)
-    if kind in (_K_BLEAF, _K_BINT):
-        parent = read_uvarint(stream)
-        count = read_uvarint(stream)
-        entries = [read_uvarint(stream) for _ in range(count)]
-        sizes = None
-        if kind == _K_BINT and read_uvarint(stream):
-            sizes = [read_uvarint(stream) for _ in range(count)]
-        return BNode(leaf=kind == _K_BLEAF, parent=parent, entries=entries, sizes=sizes)
-    if kind == _K_LIDF:
-        count = read_uvarint(stream)
-        records: list = []
-        for _ in range(count):
-            tag = read_uvarint(stream)
-            if tag == _S_EMPTY:
-                records.append(None)
-            elif tag == _S_INT:
-                records.append(read_uvarint(stream))
-            elif tag == _S_PAIR:
-                records.append((read_uvarint(stream), read_uvarint(stream)))
-            else:
-                length = read_uvarint(stream)
-                records.append(tuple(read_svarint(stream) for _ in range(length)))
-        return records
-    raise PersistError(f"unknown block kind {kind}")
 
 
 # ----------------------------------------------------------------------
@@ -289,13 +112,15 @@ def _scheme_metadata(scheme: Any) -> dict:
             min_fill_divisor=scheme.min_fill_divisor,
         )
     elif isinstance(scheme, NaiveScheme):
+        # The in-memory order list is derived state (every record stores
+        # its value in the LIDF) and is rebuilt on restore; journaling it
+        # would make every file-backend commit O(n).
         meta.update(
             gap_bits=scheme.gap_bits,
             relabel_count=scheme.relabel_count,
-            order=[[value, lid] for value, lid in scheme._order],
         )
     elif isinstance(scheme, OrdPath):
-        meta.update(order=[[list(label), lid] for label, lid in scheme._order])
+        pass  # order list is derived state, as for naive-k
     else:
         raise PersistError(f"cannot persist scheme type {type(scheme).__name__}")
     return meta
@@ -312,25 +137,47 @@ def _config_fields(config: BoxConfig) -> dict:
 # ----------------------------------------------------------------------
 
 
-def save_scheme(scheme: Any, path: str) -> None:
-    """Serialize ``scheme`` (structure, LIDF, counters) to ``path``."""
+def scheme_metadata_header(scheme: Any) -> dict:
+    """The complete self-description of a scheme, minus block payloads:
+    class name, config, counters, the LIDF directory and the store's
+    allocation state.
+
+    This is both the snapshot header and — journaled with every file-backend
+    commit via :func:`attach_scheme_to_backend` — the metadata that makes a
+    page file recoverable into a working scheme.  Free lists keep their
+    exact recycling order so a reopened scheme allocates (and therefore
+    counts I/Os) identically to the original process.
+    """
     type_name = type(scheme).__name__
     if type_name not in _SCHEME_CLASSES:
         raise PersistError(f"cannot persist scheme type {type_name}")
     store: BlockStore = scheme.store
     lidf: HeapFile = scheme.lidf
-    header = {
+    return {
         "scheme": type_name,
         "config": _config_fields(scheme.config),
         "meta": _scheme_metadata(scheme),
         "lidf": {
-            "block_ids": lidf._block_ids,
-            "free": sorted(lidf._free),
+            "block_ids": list(lidf._block_ids),
+            "free": list(lidf._free),
             "tail": lidf._tail,
             "live": lidf._live,
         },
-        "store": {"next_id": store._next_id, "free_ids": sorted(store._free_ids)},
+        "store": {
+            "next_id": store.backend.next_id,
+            "free_ids": list(store.backend.free_ids),
+        },
     }
+
+
+def save_scheme(scheme: Any, path: str) -> None:
+    """Serialize ``scheme`` (structure, LIDF, counters) to ``path``."""
+    header = scheme_metadata_header(scheme)
+    store: BlockStore = scheme.store
+    # The snapshot format historically stores both free lists sorted;
+    # kept for format stability (load re-heapifies / re-lists anyway).
+    header["lidf"]["free"] = sorted(header["lidf"]["free"])
+    header["store"]["free_ids"] = sorted(header["store"]["free_ids"])
     body = io.BytesIO()
     block_ids = sorted(store.block_ids())
     write_uvarint(body, len(block_ids))
@@ -434,31 +281,46 @@ def _load_scheme_and_rest(path: str) -> tuple[Any, bytes]:
             blocks[block_id] = _decode_payload(handle)
         remainder = handle.read()
 
+    scheme = _instantiate_scheme(header)
+    store: BlockStore = scheme.store
+    store.backend.bulk_restore(
+        blocks, header["store"]["next_id"], list(header["store"]["free_ids"])
+    )
+    store.stats.reset()
+    _restore_scheme_state(scheme, header)
+    return scheme, remainder
+
+
+def _instantiate_scheme(header: dict) -> Any:
+    """Build a fresh (empty) scheme of the class/flags the header names.
+
+    The scheme comes with a default in-memory store; callers either bulk
+    restore into its backend (snapshots) or swap the store for a
+    file-backed one (:func:`open_file_scheme`)."""
     config = BoxConfig(**header["config"])
     cls = _SCHEME_CLASSES[header["scheme"]]
     meta = header["meta"]
     if cls is OrdPath:
-        scheme = OrdPath(config)
-    elif cls is NaiveScheme:
-        scheme = NaiveScheme(meta["gap_bits"], config)
-    elif cls is BBox:
-        scheme = BBox(config, ordinal=meta["ordinal"], min_fill_divisor=meta["min_fill_divisor"])
-    elif cls is WBoxO:
-        scheme = WBoxO(config, ordinal=meta["ordinal"])
-    else:
-        scheme = WBox(config, ordinal=meta["ordinal"], balance=meta["balance"])
+        return OrdPath(config)
+    if cls is NaiveScheme:
+        return NaiveScheme(meta["gap_bits"], config)
+    if cls is BBox:
+        return BBox(config, ordinal=meta["ordinal"], min_fill_divisor=meta["min_fill_divisor"])
+    if cls is WBoxO:
+        return WBoxO(config, ordinal=meta["ordinal"])
+    return WBox(config, ordinal=meta["ordinal"], balance=meta["balance"])
 
-    store: BlockStore = scheme.store
-    store._blocks = blocks
-    store._next_id = header["store"]["next_id"]
-    store._free_ids = list(header["store"]["free_ids"])
-    store.stats.reset()
 
+def _restore_scheme_state(scheme: Any, header: dict) -> None:
+    """Restore the LIDF directory and per-scheme counters from a header.
+
+    The block payloads themselves must already be in ``scheme.store``."""
+    import heapq
+
+    meta = header["meta"]
     lidf: HeapFile = scheme.lidf
     lidf._block_ids = list(header["lidf"]["block_ids"])
     lidf._free = list(header["lidf"]["free"])
-    import heapq
-
     heapq.heapify(lidf._free)
     lidf._tail = header["lidf"]["tail"]
     lidf._live = header["lidf"]["live"]
@@ -475,8 +337,92 @@ def _load_scheme_and_rest(path: str) -> tuple[Any, bytes]:
         scheme.height = meta["height"]
         scheme._live = meta["live"]
     elif isinstance(scheme, OrdPath):
-        scheme._order = [(tuple(label), lid) for label, lid in meta["order"]]
+        scheme._order = _derived_order(scheme)
     elif isinstance(scheme, NaiveScheme):
         scheme.relabel_count = meta["relabel_count"]
-        scheme._order = [(value, lid) for value, lid in meta["order"]]
-    return scheme, remainder
+        scheme._order = _derived_order(scheme)
+
+
+def _derived_order(scheme: Any) -> list[tuple[Any, int]]:
+    """Rebuild the in-memory ``(value, lid)`` sort oracle of naive-k /
+    ORDPATH from the LIDF records.
+
+    Labels are distinct and totally ordered, so sorting reproduces the
+    insort-maintained list exactly.  Reads are uncounted peeks: the list
+    is derived state, not a measured access."""
+    lidf: HeapFile = scheme.lidf
+    free = set(lidf._free)
+    entries: list[tuple[Any, int]] = []
+    for lid in range(lidf._tail):
+        if lid in free:
+            continue
+        block_id, slot = lidf._locate(lid)
+        record = scheme.store.peek(block_id)[slot]
+        entries.append((record[0] if isinstance(scheme, NaiveScheme) else tuple(record), lid))
+    entries.sort()
+    return entries
+
+
+# ----------------------------------------------------------------------
+# file-backend checkpoint / recovery
+# ----------------------------------------------------------------------
+
+
+def attach_scheme_to_backend(scheme: Any) -> FileBackend:
+    """Register ``scheme`` as the metadata owner of its file backend.
+
+    From then on every commit journals a fresh
+    :func:`scheme_metadata_header`, so the page file (plus WAL) is always
+    recoverable into a working scheme via :func:`open_file_scheme`.
+    Returns the backend; raises :class:`~repro.errors.PersistError` when
+    the scheme's store is not file-backed.
+    """
+    backend = scheme.store.backend
+    if not isinstance(backend, FileBackend):
+        raise PersistError(
+            f"scheme's store runs on {type(backend).__name__}, not a FileBackend"
+        )
+    backend.metadata_provider = lambda: scheme_metadata_header(scheme)
+    return backend
+
+
+def checkpoint_scheme(scheme: Any) -> FileBackend:
+    """Flush ``scheme`` to its file backend: every resident block is
+    committed in one WAL transaction together with the scheme metadata,
+    and the log is truncated.  The file is then a complete, self-describing
+    checkpoint — the file-backend counterpart of :func:`save_scheme`."""
+    backend = attach_scheme_to_backend(scheme)
+    backend.checkpoint()
+    return backend
+
+
+def open_file_scheme(
+    path: str, page_bytes: int | None = None, fsync: bool = False
+) -> Any:
+    """Open a page file written through a scheme-attached
+    :class:`~repro.storage.filebackend.FileBackend` and return a working
+    scheme (crash recovery runs first if the WAL is non-empty).
+
+    The reopened scheme has fresh I/O counters; every committed LID
+    resolves to its pre-crash label.  The backend's ``recovery_report``
+    says what recovery found and did.
+    """
+    backend = FileBackend(path, page_bytes=page_bytes, fsync=fsync)
+    header = backend.metadata
+    if not header or "scheme" not in header:
+        backend.close()
+        raise PersistError(
+            f"{path} carries no scheme metadata; was it written without "
+            "attach_scheme_to_backend()?"
+        )
+    # Build the scheme shell first (it allocates its empty root into a
+    # throwaway memory store), then swap in the recovered file-backed
+    # store so the backend's allocation state is untouched.
+    scheme = _instantiate_scheme(header)
+    store = BlockStore(scheme.config, backend=backend)
+    scheme.store = store
+    scheme.lidf = HeapFile(store, scheme.config)
+    _restore_scheme_state(scheme, header)
+    store.stats.reset()
+    attach_scheme_to_backend(scheme)
+    return scheme

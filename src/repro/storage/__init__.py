@@ -1,12 +1,32 @@
 """I/O-counting block storage substrate.
 
-This package replaces the paper's TPIE layer: it provides fixed-size blocks,
-an I/O counter, per-operation scratch buffering (the paper's measurement
-methodology), an optional LRU cache, and the LIDF heap file of Section 3.
+This package replaces the paper's TPIE layer with a composable stack:
+pluggable backends (in-memory live objects, or a real fixed-size-page file
+with write-ahead logging and crash recovery), per-operation scratch
+buffering (the paper's measurement methodology), an optional LRU/SLRU
+cache, an I/O counter, and the LIDF heap file of Section 3.
 """
 
 from .stats import IOStats, OperationCost
-from .blockstore import BlockStore
+from .backend import MemoryBackend, StorageBackend
+from .cache import BlockCache
+from .blockstore import BlockStore, OperationBuffer
+from .filebackend import FileBackend, default_page_bytes, read_superblock
 from .heapfile import HeapFile
+from .wal import WALScan, scan_wal
 
-__all__ = ["IOStats", "OperationCost", "BlockStore", "HeapFile"]
+__all__ = [
+    "IOStats",
+    "OperationCost",
+    "StorageBackend",
+    "MemoryBackend",
+    "FileBackend",
+    "default_page_bytes",
+    "read_superblock",
+    "BlockCache",
+    "OperationBuffer",
+    "BlockStore",
+    "HeapFile",
+    "WALScan",
+    "scan_wal",
+]

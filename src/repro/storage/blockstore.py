@@ -1,10 +1,19 @@
-"""Block store with I/O counting and per-operation buffering.
+"""Block store: I/O counting and per-operation buffering over a backend.
 
-The store models a disk of fixed-size blocks.  Payloads are Python objects
-(tree nodes, LIDF record arrays); the store never serializes them in the hot
-path — capacities are enforced by the structures themselves from
-:class:`~repro.config.BoxConfig`, and :mod:`repro.storage.codec` proves the
-node layouts actually fit the configured block size.
+The store models a disk of fixed-size blocks.  It is now a *stack*:
+
+* a pluggable :class:`~repro.storage.backend.StorageBackend` owns payload
+  residency and allocation ids — :class:`~repro.storage.backend.MemoryBackend`
+  (the default) keeps live Python objects and never serializes on the hot
+  path, while :class:`~repro.storage.filebackend.FileBackend` round-trips
+  every block through :mod:`repro.storage.codec` into a real page file
+  with write-ahead logging;
+* an :class:`OperationBuffer` scopes one logical operation's scratch
+  blocks (the paper's measurement methodology);
+* a :class:`~repro.storage.cache.BlockCache` optionally keeps blocks hot
+  across operations (LRU or segmented LRU);
+* :class:`~repro.storage.stats.IOStats` tallies what the two layers above
+  decide is a counted I/O.
 
 Measurement methodology (matches Section 7 of the paper):
 
@@ -12,33 +21,72 @@ Measurement methodology (matches Section 7 of the paper):
   logical operation, however, "a small number of memory blocks are available
   for buffering blocks that need to be immediately revisited; they are always
   evicted from the memory as soon as the operation completes."  We implement
-  exactly that: inside a :meth:`operation` context the first read of each
+  exactly that: inside an :meth:`operation` context the first read of each
   block costs one I/O and later reads are free; each block dirtied during the
-  operation costs one write when the operation completes.
+  operation costs one write when the operation completes.  With a file
+  backend, that flush is also the durability point: the dirty blocks are
+  journaled and committed as one WAL transaction (group commit).
 * An optional cache (``cache_capacity > 0``) reproduces the paper's
   "caching turned on" remark — reads served from the cache are free (the
   root then tends to be cached at all times); writes are write-through and
   still counted.  Two replacement policies are available: plain LRU
   (``cache_mode="lru"``, the default) and segmented LRU
-  (``cache_mode="slru"``), which splits the capacity into a probationary
-  and a protected segment so one-shot scans (bulk loads, subtree sweeps)
-  cannot flush the hot upper tree levels out of the cache.  Hits and misses
-  are tallied in :class:`IOStats` (``hit_ratio``).
+  (``cache_mode="slru"``); see :mod:`repro.storage.cache`.
+
+The counters are *logical*: a given sequence of operations produces the
+same :class:`IOStats` on every backend.  What changes with the backend is
+the physical work behind each counted I/O — which is exactly what the
+backend-correlation benchmark measures.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Iterator
 
 from ..config import BoxConfig
 from ..errors import BlockNotFoundError, StorageError
+from .backend import MemoryBackend, StorageBackend
+from .cache import BlockCache
 from .stats import IOStats, OperationCost
 
 
+class OperationBuffer:
+    """Scratch-buffer state of the current logical operation.
+
+    Tracks the nesting depth plus the blocks read (buffered, later reads
+    free) and dirtied (one write each at the outermost exit) since the
+    outermost scope opened.
+    """
+
+    __slots__ = ("depth", "read", "dirty")
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self.read: set[int] = set()
+        self.dirty: set[int] = set()
+
+    @property
+    def active(self) -> bool:
+        return self.depth > 0
+
+    def buffered(self, block_id: int) -> bool:
+        """Whether a read of ``block_id`` is free inside this operation."""
+        return block_id in self.read or block_id in self.dirty
+
+    def forget(self, block_id: int) -> None:
+        """Drop a freed block from the scratch buffers (its pending write,
+        if any, is cancelled)."""
+        self.read.discard(block_id)
+        self.dirty.discard(block_id)
+
+    def clear(self) -> None:
+        self.read.clear()
+        self.dirty.clear()
+
+
 class BlockStore:
-    """A counted collection of fixed-size blocks.
+    """A counted collection of fixed-size blocks over a storage backend.
 
     Parameters
     ----------
@@ -51,10 +99,11 @@ class BlockStore:
         Number of blocks kept in a persistent cache across operations.
         ``0`` (the default) reproduces the paper's caching-off measurements.
     cache_mode:
-        ``"lru"`` (default) for a single LRU list, ``"slru"`` for a
-        segmented LRU: a miss enters a probationary segment, a probationary
-        hit promotes the block to a protected segment holding 4/5 of the
-        capacity, and protected overflow demotes back to probation.
+        ``"lru"`` (default) or ``"slru"``; see :class:`BlockCache`.
+    backend:
+        Payload residency layer; a fresh :class:`MemoryBackend` when
+        omitted (the historical in-memory behaviour, byte-identical I/O
+        counts included).
     """
 
     def __init__(
@@ -63,25 +112,14 @@ class BlockStore:
         stats: IOStats | None = None,
         cache_capacity: int = 0,
         cache_mode: str = "lru",
+        backend: StorageBackend | None = None,
     ) -> None:
-        if cache_mode not in ("lru", "slru"):
-            raise StorageError(f"cache_mode must be 'lru' or 'slru', got {cache_mode!r}")
         self.config = config
         self.stats = stats if stats is not None else IOStats()
-        self._blocks: dict[int, Any] = {}
-        self._next_id = 1  # block id 0 is reserved as "null pointer"
-        self._free_ids: list[int] = []
-        self._op_depth = 0
-        self._op_read: set[int] = set()
-        self._op_dirty: set[int] = set()
+        self.backend = backend if backend is not None else MemoryBackend()
+        self.buffer = OperationBuffer()
+        self.cache = BlockCache(cache_capacity, cache_mode)
         self._cache_capacity = cache_capacity
-        self._cache_mode = cache_mode
-        #: LRU list in "lru" mode; the probationary segment in "slru" mode.
-        self._lru: OrderedDict[int, None] = OrderedDict()
-        #: Protected segment ("slru" mode only).
-        self._protected: OrderedDict[int, None] = OrderedDict()
-        self._protected_capacity = (4 * cache_capacity) // 5
-        self._probation_capacity = cache_capacity - self._protected_capacity
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -94,36 +132,37 @@ class BlockStore:
         as written (once) when the current operation completes, like any
         other dirtied block.
         """
-        block_id = self._free_ids.pop() if self._free_ids else self._next_id
-        if block_id == self._next_id:
-            self._next_id += 1
-        self._blocks[block_id] = payload
+        block_id = self.backend.allocate(payload)
         self.stats.allocs += 1
         self._mark_dirty(block_id)
         return block_id
 
     def free(self, block_id: int) -> None:
-        """Release a block; its id may be recycled by later allocations."""
-        self._require(block_id)
-        del self._blocks[block_id]
-        self._free_ids.append(block_id)
+        """Release a block; its id may be recycled by later allocations.
+
+        The id is evicted from the operation buffers *and* every cache
+        segment: a later allocation may recycle it for an unrelated block,
+        which must not inherit the stale cache entry.
+        """
+        try:
+            self.backend.free(block_id)
+        except KeyError:
+            raise BlockNotFoundError(f"block {block_id} is not allocated") from None
         self.stats.frees += 1
-        self._op_read.discard(block_id)
-        self._op_dirty.discard(block_id)
-        self._lru.pop(block_id, None)
-        self._protected.pop(block_id, None)
+        self.buffer.forget(block_id)
+        self.cache.evict(block_id)
 
     def exists(self, block_id: int) -> bool:
         """Whether ``block_id`` is currently allocated."""
-        return block_id in self._blocks
+        return self.backend.exists(block_id)
 
     def __len__(self) -> int:
-        return len(self._blocks)
+        return len(self.backend)
 
     @property
     def block_count(self) -> int:
         """Number of currently allocated blocks."""
-        return len(self._blocks)
+        return len(self.backend)
 
     # ------------------------------------------------------------------
     # I/O
@@ -132,19 +171,23 @@ class BlockStore:
     def read(self, block_id: int) -> Any:
         """Fetch a block's payload, counting one read I/O unless the block
         is already buffered by the current operation or the LRU cache."""
-        self._require(block_id)
-        if self._op_depth > 0 and (block_id in self._op_read or block_id in self._op_dirty):
+        try:
+            payload = self.backend.read(block_id)
+        except KeyError:
+            raise BlockNotFoundError(f"block {block_id} is not allocated") from None
+        buffer = self.buffer
+        if buffer.depth > 0 and buffer.buffered(block_id):
             pass  # buffered within this operation: free
-        elif self._cache_capacity > 0 and self._cache_lookup(block_id):
+        elif self._cache_capacity > 0 and self.cache.lookup(block_id):
             self.stats.cache_hits += 1
         else:
             self.stats.reads += 1
             if self._cache_capacity > 0:
                 self.stats.cache_misses += 1
-                self._cache_insert(block_id)
-        if self._op_depth > 0:
-            self._op_read.add(block_id)
-        return self._blocks[block_id]
+                self.cache.insert(block_id)
+        if buffer.depth > 0:
+            buffer.read.add(block_id)
+        return payload
 
     def write(self, block_id: int, payload: Any = ...) -> None:
         """Mark a block dirty (optionally replacing its payload).
@@ -153,17 +196,22 @@ class BlockStore:
         mutate the object returned by :meth:`read` and then call
         ``write(block_id)`` to record the I/O.  Within an operation each
         dirty block is counted once, at operation end; outside an operation
-        every call counts one write immediately.
+        every call counts one write immediately (and, on a durable backend,
+        commits immediately).
         """
-        self._require(block_id)
-        if payload is not ...:
-            self._blocks[block_id] = payload
+        try:
+            if payload is not ...:
+                self.backend.write(block_id, payload)
+                target = payload
+            else:
+                target = self.backend.read(block_id)
+        except KeyError:
+            raise BlockNotFoundError(f"block {block_id} is not allocated") from None
         # Dirtying a block is the one event every structural mutation passes
         # through, so it doubles as the invalidation point for the payload's
         # cached prefix sums (see repro.core.kernels).  LIDF blocks are plain
         # lists and by far the most frequently written payload; skip the
         # attribute probe for them.
-        target = self._blocks[block_id]
         if target.__class__ is not list:
             touch = getattr(target, "touch", None)
             if touch is not None:
@@ -176,12 +224,14 @@ class BlockStore:
         For assertions, invariant checkers and test oracles only — never
         used by the data-structure code on measured paths.
         """
-        self._require(block_id)
-        return self._blocks[block_id]
+        try:
+            return self.backend.read(block_id)
+        except KeyError:
+            raise BlockNotFoundError(f"block {block_id} is not allocated") from None
 
     def block_ids(self) -> Iterator[int]:
         """All currently allocated block ids (uncounted; diagnostics only)."""
-        return iter(tuple(self._blocks))
+        return self.backend.block_ids()
 
     # ------------------------------------------------------------------
     # operation scoping
@@ -193,15 +243,16 @@ class BlockStore:
 
         Within the context, repeated reads of the same block are free and
         each dirtied block costs exactly one write.  Contexts nest; buffers
-        flush when the outermost context exits.  Yields the shared stats
-        object so callers can snapshot around the context.
+        flush (and, on a durable backend, commit) when the outermost
+        context exits.  Yields the shared stats object so callers can
+        snapshot around the context.
         """
-        self._op_depth += 1
+        self.buffer.depth += 1
         try:
             yield self.stats
         finally:
-            self._op_depth -= 1
-            if self._op_depth == 0:
+            self.buffer.depth -= 1
+            if self.buffer.depth == 0:
                 self._flush()
 
     def measured(self) -> "_MeasuredOperation":
@@ -217,69 +268,52 @@ class BlockStore:
     @property
     def in_operation(self) -> bool:
         """Whether an operation context is currently open."""
-        return self._op_depth > 0
+        return self.buffer.depth > 0
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 
-    def _require(self, block_id: int) -> None:
-        if block_id not in self._blocks:
-            raise BlockNotFoundError(f"block {block_id} is not allocated")
-
     def _mark_dirty(self, block_id: int) -> None:
-        if self._op_depth > 0:
-            self._op_dirty.add(block_id)
+        if self.buffer.depth > 0:
+            self.buffer.dirty.add(block_id)
         else:
             self.stats.writes += 1
-            self._cache_insert(block_id)
+            self.cache.insert(block_id)
+            self.backend.commit((block_id,))
 
     def _flush(self) -> None:
-        self.stats.writes += len(self._op_dirty)
-        for block_id in self._op_dirty:
-            self._cache_insert(block_id)
-        self._op_dirty.clear()
-        self._op_read.clear()
+        dirty = self.buffer.dirty
+        if dirty:
+            self.stats.writes += len(dirty)
+            for block_id in dirty:
+                self.cache.insert(block_id)
+            # Read-only operations skip the backend entirely: they change
+            # nothing durable, so they are not commit points.
+            self.backend.commit(dirty)
+        self.buffer.clear()
 
-    def _cache_lookup(self, block_id: int) -> bool:
-        """Probe the cache; on a hit, apply the policy's promotion rules."""
-        if self._cache_mode == "lru":
-            if block_id not in self._lru:
-                return False
-            self._lru.move_to_end(block_id)
-            return True
-        if block_id in self._protected:
-            self._protected.move_to_end(block_id)
-            return True
-        if block_id in self._lru:  # probationary hit: promote
-            del self._lru[block_id]
-            self._protected[block_id] = None
-            while len(self._protected) > self._protected_capacity:
-                demoted, _ = self._protected.popitem(last=False)
-                self._lru[demoted] = None
-                while len(self._lru) > self._probation_capacity:
-                    self._lru.popitem(last=False)
-            return True
-        return False
+    # ------------------------------------------------------------------
+    # legacy accessors (tests and diagnostics reach into the cache)
+    # ------------------------------------------------------------------
 
-    def _cache_insert(self, block_id: int) -> None:
-        if self._cache_capacity <= 0:
-            return
-        if self._cache_mode == "lru":
-            self._lru[block_id] = None
-            self._lru.move_to_end(block_id)
-            while len(self._lru) > self._cache_capacity:
-                self._lru.popitem(last=False)
-            return
-        # SLRU: refresh a resident block in place; admit new blocks to the
-        # probationary segment only.
-        if block_id in self._protected:
-            self._protected.move_to_end(block_id)
-            return
-        self._lru[block_id] = None
-        self._lru.move_to_end(block_id)
-        while len(self._lru) > self._probation_capacity:
-            self._lru.popitem(last=False)
+    @property
+    def _lru(self):
+        """The LRU list / probationary segment (compatibility alias)."""
+        return self.cache._probation
+
+    @property
+    def _protected(self):
+        """The protected SLRU segment (compatibility alias)."""
+        return self.cache._protected
+
+    @property
+    def _protected_capacity(self) -> int:
+        return self.cache.protected_capacity
+
+    @property
+    def _probation_capacity(self) -> int:
+        return self.cache.probation_capacity
 
 
 class _MeasuredOperation:
@@ -292,12 +326,12 @@ class _MeasuredOperation:
 
     def __enter__(self) -> "_MeasuredOperation":
         self._before = self._store.stats.snapshot()
-        self._store._op_depth += 1
+        self._store.buffer.depth += 1
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self._store._op_depth -= 1
-        if self._store._op_depth == 0:
+        self._store.buffer.depth -= 1
+        if self._store.buffer.depth == 0:
             self._store._flush()
         assert self._before is not None
         self._cost = self._store.stats.snapshot() - self._before

@@ -1,0 +1,450 @@
+"""File-backed block storage: real fixed-size pages + WAL + recovery.
+
+The :class:`FileBackend` stores every block as one fixed-size page in a
+single file, round-tripping payloads through the live-payload codec of
+:mod:`repro.storage.codec`.  Layout::
+
+    ┌──────────┬──────────────────────┬────────┬────────┬─────┐
+    │ magic 8B │ superblock (fixed)   │ page 1 │ page 2 │ ... │
+    └──────────┴──────────────────────┴────────┴────────┴─────┘
+
+* The **superblock** is a CRC-guarded JSON blob: page geometry, the
+  allocation state (next id + free list, in recycling order), and the
+  owner's metadata (a labeling scheme checkpoints its LIDF directory and
+  scheme parameters here on every commit, which is what makes crash
+  recovery end-to-end: reopening yields a working scheme, not just bytes).
+* A **page** is ``u32 payload length + encoded payload``, zero-padded to
+  ``page_bytes``.  Page *i* lives at a fixed offset, so a block write is
+  one positioned write.
+
+Durability runs through the write-ahead log (:mod:`repro.storage.wal`):
+pages are only written after their transaction's commit record is in the
+log, so any crash leaves the file recoverable — see that module for the
+protocol and :meth:`FileBackend._recover` for the read side.
+
+**Consistency model.**  Decoded payloads live in an object table and are
+mutated in place by the tree code, exactly like the memory backend — the
+object table is the "buffer pool" and keeps object identity stable within
+a process.  Serialization happens at commit (encode) and on a cold read
+(decode).  Only *committed* state survives a crash: an operation's
+mutations become durable when the operation scope closes and
+:meth:`commit` runs.
+
+**Fault injection.**  ``crash_after_n_writes`` budgets every physical
+write (WAL records, pages, the superblock).  When the budget runs out the
+backend writes a *prefix* of the data — a torn write, as real disks
+produce — raises :class:`~repro.errors.CrashError`, and refuses all
+further writes until reopened.  Tests use this to prove recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any, Iterable, Iterator
+
+from ..errors import CrashError, PersistError, RecoveryError, StorageError
+from .backend import StorageBackend
+from .codec import decode_block_payload, encode_block_payload
+from .wal import WALWriter, scan_wal
+
+MAGIC = b"BOXPAGE1"
+
+#: Fixed byte length of the superblock region (magic excluded).
+SUPERBLOCK_BYTES = 8192
+
+#: Default page size when no block geometry is given.
+DEFAULT_PAGE_BYTES = 4096
+
+_PAGE_HEADER = struct.Struct(">I")  # payload length
+_SUPER_HEADER = struct.Struct(">II")  # JSON length, CRC-32
+
+
+def decode_superblock_image(image: bytes) -> dict[str, Any] | None:
+    """Decode a raw superblock region, or ``None`` if torn/corrupt."""
+    if len(image) < _SUPER_HEADER.size:
+        return None
+    length, crc = _SUPER_HEADER.unpack_from(image)
+    payload = image[_SUPER_HEADER.size : _SUPER_HEADER.size + length]
+    if len(payload) != length or zlib.crc32(payload) != crc:
+        return None
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+
+
+def resolve_superblock(handle: Any) -> dict[str, Any] | None:
+    """Read the superblock through ``handle`` (positioned anywhere),
+    following the overflow pointer when the state outgrew the fixed
+    region.  Returns ``None`` if either image is torn/corrupt."""
+    handle.seek(len(MAGIC))
+    state = decode_superblock_image(handle.read(SUPERBLOCK_BYTES))
+    if state is None or "overflow" not in state:
+        return state
+    pointer = state["overflow"]
+    handle.seek(pointer["offset"])
+    return decode_superblock_image(
+        handle.read(_SUPER_HEADER.size + pointer["length"])
+    )
+
+
+def read_superblock(path: str) -> dict[str, Any] | None:
+    """Read a page file's superblock without opening a backend.
+
+    Read-only and recovery-free: diagnostics (``repro info``) must not
+    mutate the file they describe.  Raises
+    :class:`~repro.errors.PersistError` on bad magic; returns ``None``
+    when the superblock itself is torn or corrupt.
+    """
+    with open(path, "rb") as handle:
+        if handle.read(len(MAGIC)) != MAGIC:
+            raise PersistError(f"{path} is not a page file (bad magic)")
+        return resolve_superblock(handle)
+
+
+def default_page_bytes(block_bytes: int) -> int:
+    """Page size for a given logical block size.
+
+    Varint page images of a maximally full node can exceed the bit-packed
+    block size (a varint spends up to 5 bytes on a 32-bit field), so pages
+    get 2x headroom, floored at 4 KB.
+    """
+    return max(DEFAULT_PAGE_BYTES, 2 * block_bytes)
+
+
+class FileBackend(StorageBackend):
+    """Block residency in a real page file with WAL durability.
+
+    Parameters
+    ----------
+    path:
+        The page file.  Created if missing; otherwise opened, running
+        crash recovery first when the write-ahead log (``path + ".wal"``)
+        is non-empty.
+    page_bytes:
+        Fixed page size.  Must match the file's on opening an existing
+        file (omit to accept the stored geometry).
+    fsync:
+        Issue ``os.fsync`` at the two durability points of each commit.
+        Off by default: simulated crashes (the only kind tests can make)
+        do not lose OS-buffered writes, and benchmarks should measure the
+        protocol, not the host's disk.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        page_bytes: int | None = None,
+        fsync: bool = False,
+    ) -> None:
+        super().__init__()
+        self.path = path
+        self.wal_path = path + ".wal"
+        self.fsync = fsync
+        #: Decoded live payloads (the buffer pool); identity-stable.
+        self._objects: dict[int, Any] = {}
+        #: Ids with a page image on disk (committed at some point).
+        self._on_disk: set[int] = set()
+        #: Owner metadata journaled with every commit (see metadata_provider).
+        self.metadata: dict[str, Any] = {}
+        #: Optional zero-arg callable returning fresh owner metadata; when
+        #: set, every commit journals its result (schemes use this to keep
+        #: their LIDF directory recoverable).
+        self.metadata_provider: Any = None
+        #: Fault injection: remaining physical writes, or None (unlimited).
+        self.crash_after_n_writes: int | None = None
+        self._crashed = False
+        # Physical-I/O counters (the honest cost the logical IOStats models).
+        self.page_writes = 0
+        self.page_reads = 0
+        self.commits = 0
+        self.bytes_written = 0
+        #: Filled when opening an existing file: what recovery found/did.
+        self.recovery_report: dict[str, Any] = {}
+
+        existing = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        if existing:
+            self._handle = open(self.path, "r+b")
+            self._open_existing(page_bytes)
+        else:
+            self.page_bytes = (
+                page_bytes if page_bytes is not None else DEFAULT_PAGE_BYTES
+            )
+            self._handle = open(self.path, "w+b")
+            self._raw_write_at(0, MAGIC)
+            self._write_superblock()
+        self._wal = WALWriter(self.wal_path, self._raw_write)
+
+    # ------------------------------------------------------------------
+    # physical writes (single funnel; fault injection lives here)
+    # ------------------------------------------------------------------
+
+    def _raw_write(self, handle: Any, data: bytes) -> None:
+        """Append/write ``data`` through the crash-injection budget."""
+        if self._crashed:
+            raise CrashError("backend has crashed; reopen to recover")
+        budget = self.crash_after_n_writes
+        if budget is not None:
+            if budget <= 0:
+                self._crashed = True
+                raise CrashError("simulated crash: write budget exhausted")
+            self.crash_after_n_writes = budget - 1
+            if self.crash_after_n_writes == 0 and len(data) > 1:
+                # Tear the final granted write in half, like a power loss
+                # mid-sector: the next write attempt raises.
+                handle.write(data[: len(data) // 2])
+                self._crashed = True
+                raise CrashError("simulated crash: torn write")
+        handle.write(data)
+        self.bytes_written += len(data)
+
+    def _raw_write_at(self, offset: int, data: bytes) -> None:
+        self._handle.seek(offset)
+        self._raw_write(self._handle, data)
+
+    def _sync(self, handle: Any) -> None:
+        handle.flush()  # surface buffered writes to the OS (and readers)
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    # superblock
+    # ------------------------------------------------------------------
+
+    def _superblock_dict(self) -> dict[str, Any]:
+        return {
+            "page_bytes": self.page_bytes,
+            "next_id": self._next_id,
+            "free_ids": list(self._free_ids),
+            "on_disk": sorted(self._on_disk),
+            "meta": self.metadata,
+        }
+
+    def _write_superblock(self, state: dict[str, Any] | None = None) -> None:
+        payload = json.dumps(
+            state if state is not None else self._superblock_dict(),
+            sort_keys=True,
+        ).encode("utf-8")
+        if _SUPER_HEADER.size + len(payload) > SUPERBLOCK_BYTES:
+            # State outgrew the fixed region: write it as an overflow blob
+            # just past the last page (later page growth overwrites dead
+            # blobs; each commit re-points) and store only a pointer
+            # inline.  The blob lands before the pointer, and the WAL's
+            # committed META can rebuild both, so every crash window stays
+            # recoverable.
+            blob_offset = self._page_offset(self._next_id)
+            blob = _SUPER_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+            self._raw_write_at(blob_offset, blob)
+            payload = json.dumps(
+                {"overflow": {"offset": blob_offset, "length": len(payload)}}
+            ).encode("utf-8")
+        image = _SUPER_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        self._raw_write_at(len(MAGIC), image.ljust(SUPERBLOCK_BYTES, b"\0"))
+        self._sync(self._handle)
+
+    def _read_superblock(self) -> dict[str, Any] | None:
+        """Decode the superblock (following overflow), or None if torn."""
+        return resolve_superblock(self._handle)
+
+    def _apply_superblock(self, state: dict[str, Any]) -> None:
+        self.page_bytes = state["page_bytes"]
+        self._next_id = state["next_id"]
+        self._free_ids = list(state["free_ids"])
+        self._on_disk = set(state["on_disk"])
+        self.metadata = state.get("meta", {})
+
+    # ------------------------------------------------------------------
+    # open / recovery
+    # ------------------------------------------------------------------
+
+    def _open_existing(self, page_bytes: int | None) -> None:
+        self._handle.seek(0)
+        if self._handle.read(len(MAGIC)) != MAGIC:
+            raise PersistError(f"{self.path} is not a page file (bad magic)")
+        state = self._read_superblock()
+        scan = scan_wal(self.wal_path)
+        if scan.committed:
+            # Committed-but-unapplied transactions: replay them (page
+            # writes are idempotent), newest metadata wins.
+            last_meta: dict[str, Any] | None = None
+            for txn in scan.transactions:
+                if txn.meta is not None:
+                    last_meta = txn.meta
+            if last_meta is None:
+                raise RecoveryError(
+                    f"{self.wal_path}: committed transaction carries no metadata"
+                )
+            self._apply_superblock(last_meta["superblock"])
+            for txn in scan.transactions:
+                for block_id, image in txn.puts.items():
+                    self._write_page_image(block_id, image)
+            self._write_superblock()
+            self._sync(self._handle)
+        elif state is not None:
+            self._apply_superblock(state)
+        else:
+            raise RecoveryError(
+                f"{self.path}: superblock unreadable and no committed WAL "
+                "transaction supplies a replacement"
+            )
+        if scan.committed or scan.torn_tail:
+            WALWriter(self.wal_path, self._raw_write).truncate()
+        if page_bytes is not None and page_bytes != self.page_bytes:
+            raise StorageError(
+                f"{self.path} has {self.page_bytes}-byte pages, not {page_bytes}"
+            )
+        self.recovery_report = {
+            "replayed_transactions": scan.committed,
+            "discarded_tail_bytes": scan.tail_bytes if scan.torn_tail else 0,
+            "superblock_source": "wal" if scan.committed else "file",
+        }
+
+    # ------------------------------------------------------------------
+    # pages
+    # ------------------------------------------------------------------
+
+    def _page_offset(self, block_id: int) -> int:
+        return len(MAGIC) + SUPERBLOCK_BYTES + (block_id - 1) * self.page_bytes
+
+    def _write_page_image(self, block_id: int, image: bytes) -> None:
+        framed = _PAGE_HEADER.pack(len(image)) + image
+        if len(framed) > self.page_bytes:
+            raise StorageError(
+                f"block {block_id} needs {len(framed)} bytes but pages hold "
+                f"{self.page_bytes}; raise page_bytes"
+            )
+        self._raw_write_at(
+            self._page_offset(block_id), framed.ljust(self.page_bytes, b"\0")
+        )
+        self._on_disk.add(block_id)
+        self.page_writes += 1
+
+    def _read_page(self, block_id: int) -> Any:
+        self._handle.seek(self._page_offset(block_id))
+        framed = self._handle.read(self.page_bytes)
+        self.page_reads += 1
+        (length,) = _PAGE_HEADER.unpack_from(framed)
+        return decode_block_payload(framed[_PAGE_HEADER.size : _PAGE_HEADER.size + length])
+
+    # ------------------------------------------------------------------
+    # StorageBackend interface
+    # ------------------------------------------------------------------
+
+    def read(self, block_id: int) -> Any:
+        payload = self._objects.get(block_id)
+        if payload is not None:
+            return payload
+        if block_id in self._objects:  # a stored literal None payload
+            return None
+        if not self.exists(block_id):
+            raise KeyError(block_id)
+        payload = self._read_page(block_id)
+        self._objects[block_id] = payload
+        return payload
+
+    def write(self, block_id: int, payload: Any) -> None:
+        if not self.exists(block_id):
+            raise KeyError(block_id)
+        self._objects[block_id] = payload
+
+    def exists(self, block_id: int) -> bool:
+        if block_id in self._objects:
+            return True
+        return (
+            0 < block_id < self._next_id
+            and block_id not in self._free_set()
+            and block_id in self._on_disk
+        )
+
+    def _free_set(self) -> set[int]:
+        return set(self._free_ids)
+
+    def block_ids(self) -> Iterator[int]:
+        free = self._free_set()
+        ids = set(self._objects) | {
+            block_id for block_id in self._on_disk if block_id not in free
+        }
+        return iter(sorted(ids))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.block_ids())
+
+    def _install(self, block_id: int, payload: Any) -> None:
+        self._objects[block_id] = payload
+
+    def _discard(self, block_id: int) -> None:
+        present = block_id in self._objects
+        if not present and not self.exists(block_id):
+            raise KeyError(block_id)
+        self._objects.pop(block_id, None)
+        self._on_disk.discard(block_id)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    def commit(self, dirty_ids: Iterable[int]) -> None:
+        """Make the listed blocks + allocation state + metadata durable.
+
+        WAL first (with commit record), then pages, then superblock, then
+        truncate the log — the protocol documented in
+        :mod:`repro.storage.wal`.
+        """
+        puts: dict[int, bytes] = {}
+        for block_id in dirty_ids:
+            if block_id in self._objects:
+                puts[block_id] = encode_block_payload(self._objects[block_id])
+        if self.metadata_provider is not None:
+            self.metadata = self.metadata_provider()
+        # The WAL's META record embeds the full superblock so replay can
+        # rebuild it even if the on-file superblock write was torn.
+        after_state = self._superblock_dict()
+        after_state["on_disk"] = sorted(self._on_disk | set(puts))
+        self._wal.append_transaction(puts, {"superblock": after_state})
+        self._sync(self._wal._handle)
+        for block_id, image in puts.items():
+            self._write_page_image(block_id, image)
+        self._write_superblock(after_state)
+        self._wal.truncate()
+        self.commits += 1
+
+    def checkpoint(self) -> None:
+        """Force a commit of every resident object (plus metadata)."""
+        self.commit(list(self._objects))
+
+    def drop_clean_objects(self) -> None:
+        """Evict the object table (committed blocks only).
+
+        Diagnostics/tests: forces subsequent reads down the page-decode
+        path, proving the on-disk images are the real structure.  Blocks
+        never committed stay resident — dropping them would lose data.
+        """
+        for block_id in list(self._objects):
+            if block_id in self._on_disk:
+                del self._objects[block_id]
+
+    def close(self) -> None:
+        self._wal.close()
+        if not self._handle.closed:
+            self._handle.close()
+
+    def bulk_restore(
+        self, blocks: dict[int, Any], next_id: int, free_ids: list[int]
+    ) -> None:
+        """Import a full structure (snapshot conversion) and commit it."""
+        self._objects = dict(blocks)
+        self._on_disk = set()
+        self._next_id = next_id
+        self._free_ids = list(free_ids)
+        self.checkpoint()
+
+    @property
+    def wal_records(self) -> int:
+        return self._wal.records_written
+
+    @property
+    def describes_as(self) -> str:
+        return f"FileBackend({self.path!r}, page_bytes={self.page_bytes})"

@@ -1,0 +1,201 @@
+"""Write-ahead log for the file backend.
+
+Durability protocol (classic redo-only WAL):
+
+1. When an operation scope closes, the dirty blocks' encoded pages, the
+   allocation state, and the owner's metadata are **appended to the log**
+   as one transaction, terminated by a COMMIT record carrying a CRC-32 of
+   the transaction body.
+2. Only after the commit record is on disk are the pages applied to the
+   page file and the superblock rewritten.
+3. The log is then truncated.
+
+A crash therefore leaves one of three states, all recoverable:
+
+* **torn transaction** (crash during step 1): the log's tail has no valid
+  commit record.  Recovery discards the tail; the page file was never
+  touched, so the structure is exactly its last committed state.
+* **committed but unapplied** (crash during step 2): the log ends with a
+  valid commit.  Recovery replays the transaction onto the page file —
+  page writes are idempotent — and the structure is the new committed
+  state.  A torn *page* or *superblock* write is repaired by the same
+  replay.
+* **clean** (crash after step 3, or no crash): the log is empty.
+
+Record format: ``u8 type │ u32 length │ body``.  Types: PUT (uvarint
+block id + page image), META (JSON: allocation state + owner metadata),
+COMMIT (u32 CRC-32 over every record byte since the previous commit).
+The file starts with an 8-byte magic.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import WALError
+from .codec import read_uvarint, write_uvarint
+
+MAGIC = b"BOXWAL01"
+
+REC_PUT = 1
+REC_META = 2
+REC_COMMIT = 3
+
+_HEADER = struct.Struct(">BI")  # record type, body length
+
+
+@dataclass
+class WALTransaction:
+    """One decoded committed transaction: page images plus metadata."""
+
+    puts: dict[int, bytes] = field(default_factory=dict)
+    meta: dict[str, Any] | None = None
+
+
+@dataclass
+class WALScan:
+    """Result of scanning a log file: committed transactions in order,
+    plus whether a torn (uncommitted) tail was found and discarded."""
+
+    transactions: list[WALTransaction] = field(default_factory=list)
+    torn_tail: bool = False
+    tail_bytes: int = 0
+
+    @property
+    def committed(self) -> int:
+        return len(self.transactions)
+
+
+def _encode_record(rec_type: int, body: bytes) -> bytes:
+    return _HEADER.pack(rec_type, len(body)) + body
+
+
+class WALWriter:
+    """Appends transactions to a log file through a raw-write callable.
+
+    The ``raw_write`` indirection is what makes fault injection honest:
+    the backend routes *every* physical write — log records included —
+    through one budgeted function, so a simulated crash can tear a record
+    mid-append.
+    """
+
+    def __init__(self, path: str, raw_write: Callable[[Any, bytes], None]) -> None:
+        self.path = path
+        self._raw_write = raw_write
+        self._handle: Any = None
+        self.records_written = 0
+        self.bytes_written = 0
+
+    def _ensure_open(self) -> None:
+        if self._handle is None:
+            fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
+            self._handle = open(self.path, "ab")
+            if fresh:
+                self._raw_write(self._handle, MAGIC)
+
+    def append_transaction(
+        self, puts: dict[int, bytes], meta: dict[str, Any]
+    ) -> None:
+        """Append one transaction: PUT records, a META record, COMMIT."""
+        self._ensure_open()
+        crc = 0
+        for block_id, image in puts.items():
+            body_stream = io.BytesIO()
+            write_uvarint(body_stream, block_id)
+            body_stream.write(image)
+            record = _encode_record(REC_PUT, body_stream.getvalue())
+            crc = zlib.crc32(record, crc)
+            self._write(record)
+        meta_record = _encode_record(
+            REC_META, json.dumps(meta, sort_keys=True).encode("utf-8")
+        )
+        crc = zlib.crc32(meta_record, crc)
+        self._write(meta_record)
+        self._write(_encode_record(REC_COMMIT, struct.pack(">I", crc)))
+        self._handle.flush()
+
+    def _write(self, record: bytes) -> None:
+        self._raw_write(self._handle, record)
+        self.records_written += 1
+        self.bytes_written += len(record)
+
+    def truncate(self) -> None:
+        """Empty the log (step 3 of the protocol)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        with open(self.path, "wb"):
+            pass
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def scan_wal(path: str) -> WALScan:
+    """Decode a log file into committed transactions plus torn-tail info.
+
+    A missing or empty file scans as zero transactions.  Structurally
+    impossible content (bad magic) raises :class:`~repro.errors.WALError`;
+    an incomplete or CRC-mismatched tail is expected after a crash and is
+    reported, not raised.
+    """
+    scan = WALScan()
+    if not os.path.exists(path) or os.path.getsize(path) == 0:
+        return scan
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if data[: len(MAGIC)] != MAGIC:
+        if MAGIC.startswith(data[: len(MAGIC)]):
+            # The very first physical write (the magic itself) was torn:
+            # nothing was ever committed, the whole file is a torn tail.
+            scan.torn_tail = True
+            scan.tail_bytes = len(data)
+            return scan
+        raise WALError(f"{path} is not a write-ahead log (bad magic)")
+    offset = len(MAGIC)
+    pending = WALTransaction()
+    pending_start = offset
+    crc = 0
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            break  # torn header
+        rec_type, length = _HEADER.unpack_from(data, offset)
+        body_start = offset + _HEADER.size
+        if rec_type not in (REC_PUT, REC_META, REC_COMMIT):
+            raise WALError(f"{path}: impossible record type {rec_type}")
+        if body_start + length > len(data):
+            break  # torn body
+        body = data[body_start : body_start + length]
+        record = data[offset : body_start + length]
+        if rec_type == REC_COMMIT:
+            if length != 4 or struct.unpack(">I", body)[0] != crc:
+                break  # corrupt commit: treat like a torn tail
+            scan.transactions.append(pending)
+            pending = WALTransaction()
+            crc = 0
+            offset = body_start + length
+            pending_start = offset
+            continue
+        crc = zlib.crc32(record, crc)
+        if rec_type == REC_PUT:
+            stream = io.BytesIO(body)
+            block_id = read_uvarint(stream)
+            pending.puts[block_id] = body[stream.tell() :]
+        else:  # REC_META
+            try:
+                pending.meta = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                break  # torn/corrupt metadata: discard the tail
+        offset = body_start + length
+    if pending_start < len(data):
+        scan.torn_tail = True
+        scan.tail_bytes = len(data) - pending_start
+    return scan

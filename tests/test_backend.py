@@ -1,0 +1,469 @@
+"""The layered storage stack's file side: page files, the WAL protocol,
+crash injection + recovery, and cross-backend equivalence.
+
+The crash tests use the backend's ``crash_after_n_writes`` budget, which
+tears the final granted physical write in half — sweeping the budget
+walks the crash point through every window of the commit protocol
+(mid-WAL-record, between WAL and pages, mid-page, mid-superblock).  After
+every simulated crash, reopening must yield exactly the last committed
+state: every LID looks up its pre-crash committed label.
+"""
+
+import os
+
+import pytest
+
+from repro import BBox, BatchExecutor, BatchOp, NaiveScheme, OrdPath, WBox, WBoxO
+from repro.config import TINY_CONFIG
+from repro.errors import CrashError, PersistError, RecoveryError, StorageError, WALError
+from repro.persist import (
+    attach_scheme_to_backend,
+    checkpoint_scheme,
+    open_file_scheme,
+)
+from repro.storage import (
+    BlockStore,
+    FileBackend,
+    MemoryBackend,
+    default_page_bytes,
+    read_superblock,
+    scan_wal,
+)
+from repro.storage import filebackend as filebackend_module
+from repro.storage.wal import WALWriter
+
+
+def make_backend(tmp_path, name="t.pages", **kwargs):
+    return FileBackend(str(tmp_path / name), **kwargs)
+
+
+def make_file_scheme(tmp_path, factory, name="s.pages", config=TINY_CONFIG):
+    backend = FileBackend(
+        str(tmp_path / name), page_bytes=default_page_bytes(config.block_bytes)
+    )
+    scheme = factory(config, store=BlockStore(config, backend=backend))
+    attach_scheme_to_backend(scheme)
+    return scheme, backend
+
+
+def bulk(scheme, count):
+    """Bulk load ``count`` labels as sibling start/end pairs (W-BOX-O
+    requires the tag pairing; the others accept and ignore it)."""
+    assert count % 2 == 0
+    return scheme.bulk_load(count, [i ^ 1 for i in range(count)])
+
+
+SCHEME_FACTORIES = {
+    "wbox": lambda config, store: WBox(config, store=store),
+    "wboxo": lambda config, store: WBoxO(config, store=store),
+    "bbox": lambda config, store: BBox(config, store=store),
+    "bbox-o": lambda config, store: BBox(config, store=store, ordinal=True),
+    "naive-8": lambda config, store: NaiveScheme(8, config, store=store),
+    "ordpath": lambda config, store: OrdPath(config, store=store),
+}
+
+
+class TestAllocationSharing:
+    """Both backends share the historical allocation bookkeeping."""
+
+    @pytest.mark.parametrize("kind", ["memory", "file"])
+    def test_lifo_id_recycling(self, tmp_path, kind):
+        backend = MemoryBackend() if kind == "memory" else make_backend(tmp_path)
+        ids = [backend.allocate([i]) for i in range(4)]
+        assert ids == [1, 2, 3, 4]
+        backend.free(2)
+        backend.free(4)
+        assert backend.free_ids == [2, 4]
+        assert backend.allocate(["new"]) == 4  # LIFO: last freed first
+        assert backend.allocate(["new"]) == 2
+        assert backend.allocate(["new"]) == 5
+        backend.close()
+
+    @pytest.mark.parametrize("kind", ["memory", "file"])
+    def test_missing_block_raises_keyerror(self, tmp_path, kind):
+        backend = MemoryBackend() if kind == "memory" else make_backend(tmp_path)
+        with pytest.raises(KeyError):
+            backend.read(7)
+        with pytest.raises(KeyError):
+            backend.write(7, [1])
+        with pytest.raises(KeyError):
+            backend.free(7)
+        backend.close()
+
+
+class TestFileBackendPages:
+    def test_cold_read_decodes_from_page(self, tmp_path):
+        backend = make_backend(tmp_path)
+        block_id = backend.allocate([1, 2, (3, 4)])
+        backend.commit([block_id])
+        backend.drop_clean_objects()
+        assert block_id not in backend._objects
+        assert backend.read(block_id) == [1, 2, (3, 4)]
+        assert backend.page_reads == 1
+        backend.close()
+
+    def test_uncommitted_blocks_survive_drop(self, tmp_path):
+        backend = make_backend(tmp_path)
+        block_id = backend.allocate([9])
+        backend.drop_clean_objects()  # never committed: must stay resident
+        assert backend.read(block_id) == [9]
+        backend.close()
+
+    def test_reopen_preserves_alloc_state_in_lifo_order(self, tmp_path):
+        backend = make_backend(tmp_path)
+        for i in range(5):
+            backend.allocate([i])
+        backend.free(3)
+        backend.free(1)
+        backend.commit(backend.block_ids())
+        backend.close()
+        reopened = make_backend(tmp_path)
+        assert reopened.next_id == 6
+        assert reopened.free_ids == [3, 1]
+        assert reopened.allocate(["x"]) == 1
+        assert reopened.read(2) == [1]
+        reopened.close()
+
+    def test_page_bytes_mismatch_rejected(self, tmp_path):
+        backend = make_backend(tmp_path, page_bytes=4096)
+        backend.close()
+        with pytest.raises(StorageError, match="4096-byte pages"):
+            make_backend(tmp_path, page_bytes=8192)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.pages"
+        path.write_bytes(b"NOTAPAGE" + b"\0" * 64)
+        with pytest.raises(PersistError, match="bad magic"):
+            FileBackend(str(path))
+
+    def test_oversized_payload_rejected(self, tmp_path):
+        backend = make_backend(tmp_path, page_bytes=4096)
+        block_id = backend.allocate(list(range(100_000)))
+        with pytest.raises(StorageError, match="raise page_bytes"):
+            backend.commit([block_id])
+        backend.close()
+
+    def test_superblock_overflow_blob(self, tmp_path, monkeypatch):
+        """State larger than the fixed region spills to an overflow blob
+        that reopening (and read-only inspection) follows transparently."""
+        monkeypatch.setattr(filebackend_module, "SUPERBLOCK_BYTES", 128)
+        backend = make_backend(tmp_path)
+        ids = [backend.allocate([i]) for i in range(30)]
+        backend.metadata = {"payload": "x" * 200}
+        backend.commit(ids)
+        state = read_superblock(backend.path)
+        assert state is not None and state["meta"] == {"payload": "x" * 200}
+        backend.close()
+        reopened = make_backend(tmp_path)
+        assert reopened.metadata == {"payload": "x" * 200}
+        assert reopened.read(ids[7]) == [7]
+        reopened.close()
+
+
+class TestWALScan:
+    def test_missing_or_empty_is_clean(self, tmp_path):
+        assert scan_wal(str(tmp_path / "absent.wal")).committed == 0
+        empty = tmp_path / "empty.wal"
+        empty.write_bytes(b"")
+        scan = scan_wal(str(empty))
+        assert scan.committed == 0 and not scan.torn_tail
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        writer = WALWriter(path, lambda handle, data: handle.write(data))
+        writer.append_transaction({1: b"abc", 9: b"de"}, {"superblock": {"k": 1}})
+        writer.append_transaction({2: b"xyz"}, {"superblock": {"k": 2}})
+        writer.close()
+        scan = scan_wal(path)
+        assert scan.committed == 2 and not scan.torn_tail
+        assert scan.transactions[0].puts == {1: b"abc", 9: b"de"}
+        assert scan.transactions[1].meta == {"superblock": {"k": 2}}
+
+    def test_torn_tail_discarded_committed_prefix_kept(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        writer = WALWriter(path, lambda handle, data: handle.write(data))
+        writer.append_transaction({1: b"abc"}, {"superblock": {"k": 1}})
+        writer.append_transaction({2: b"def"}, {"superblock": {"k": 2}})
+        writer.close()
+        intact = os.path.getsize(path)
+        first_end = len(scan_wal(path).transactions)  # sanity: both committed
+        assert first_end == 2
+        # Cut the log anywhere inside the second transaction: the first
+        # must survive, the tail must be reported torn.
+        with open(path, "rb") as handle:
+            data = handle.read()
+        for cut in range(intact - 1, intact - 20, -7):
+            with open(path, "wb") as handle:
+                handle.write(data[:cut])
+            scan = scan_wal(path)
+            assert scan.committed == 1
+            assert scan.torn_tail and scan.tail_bytes > 0
+
+    def test_corrupt_commit_crc_treated_as_torn(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        writer = WALWriter(path, lambda handle, data: handle.write(data))
+        writer.append_transaction({1: b"abc"}, {"superblock": {}})
+        writer.close()
+        with open(path, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            last = handle.read(1)
+            handle.seek(-1, os.SEEK_END)
+            handle.write(bytes([last[0] ^ 0xFF]))
+        scan = scan_wal(path)
+        assert scan.committed == 0 and scan.torn_tail
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "bogus.wal"
+        path.write_bytes(b"NOTAWAL!" + b"\0" * 16)
+        with pytest.raises(WALError, match="bad magic"):
+            scan_wal(str(path))
+
+
+class TestRecoveryWindows:
+    """Walk the crash point through the whole commit protocol."""
+
+    def _committed_file(self, tmp_path):
+        backend = make_backend(tmp_path)
+        ids = [backend.allocate([i, i]) for i in range(6)]
+        backend.commit(ids)
+        return backend, ids
+
+    def test_crash_sweep_always_recovers_committed_state(self, tmp_path):
+        baseline, ids = self._committed_file(tmp_path)
+        committed = {i: list(baseline.read(i)) for i in baseline.block_ids()}
+        baseline.close()
+        with open(baseline.path, "rb") as handle:
+            image = handle.read()
+        for budget in range(1, 30):
+            path = tmp_path / f"sweep{budget}.pages"
+            path.write_bytes(image)
+            backend = FileBackend(str(path))
+            backend.crash_after_n_writes = budget
+            crashed = False
+            try:
+                for i in ids:
+                    backend.write(i, [i, i, budget])
+                backend.commit(ids)
+            except CrashError:
+                crashed = True
+            backend.close()
+            reopened = FileBackend(str(path))
+            after = {i: list(reopened.read(i)) for i in reopened.block_ids()}
+            if crashed and reopened.recovery_report["replayed_transactions"] == 0:
+                # Crash before the commit record hit the log: old state.
+                assert after == committed
+            else:
+                # Commit record made it (or no crash): new state, even if
+                # pages/superblock were torn and had to be replayed.
+                assert after == {i: [i, i, budget] for i in ids}
+            assert scan_wal(reopened.wal_path).committed == 0  # log truncated
+            reopened.close()
+            if not crashed:
+                break  # budget exceeds a full commit; later sweeps identical
+
+    def test_committed_but_unapplied_is_replayed(self, tmp_path):
+        backend, ids = self._committed_file(tmp_path)
+        # The next commit's physical writes: WAL magic (the log was
+        # truncated) + PUT + META + COMMIT, then the page, then the
+        # superblock.  Granting exactly the first five tears the page
+        # write — after the commit record is durable.
+        backend.write(ids[0], [404, 405])
+        backend.crash_after_n_writes = 5
+        with pytest.raises(CrashError):
+            backend.commit([ids[0]])
+        backend.close()
+        assert scan_wal(backend.wal_path).committed == 1
+        reopened = FileBackend(str(backend.path))
+        assert reopened.recovery_report["replayed_transactions"] == 1
+        assert reopened.recovery_report["superblock_source"] == "wal"
+        assert reopened.read(ids[0]) == [404, 405]
+        reopened.close()
+
+    def test_torn_superblock_repaired_from_wal(self, tmp_path):
+        backend, ids = self._committed_file(tmp_path)
+        backend.write(ids[1], [777])
+        backend.commit([ids[1]])
+        backend.close()
+        # Corrupt the superblock region after the fact and plant the WAL
+        # of that commit back (as if the truncate never happened and the
+        # superblock write was torn).
+        wal = WALWriter(backend.path + ".wal", lambda h, d: h.write(d))
+        state = read_superblock(backend.path)
+        wal.append_transaction({}, {"superblock": state})
+        wal.close()
+        with open(backend.path, "r+b") as handle:
+            handle.seek(len(filebackend_module.MAGIC) + 2)
+            handle.write(b"\xff\xff\xff\xff")
+        assert read_superblock(backend.path) is None
+        reopened = FileBackend(str(backend.path))
+        assert reopened.recovery_report["superblock_source"] == "wal"
+        assert reopened.read(ids[1]) == [777]
+        reopened.close()
+
+    def test_unreadable_superblock_without_wal_is_unrecoverable(self, tmp_path):
+        backend, _ = self._committed_file(tmp_path)
+        backend.close()
+        with open(backend.path, "r+b") as handle:
+            handle.seek(len(filebackend_module.MAGIC) + 2)
+            handle.write(b"\xff\xff\xff\xff")
+        with pytest.raises(RecoveryError, match="superblock unreadable"):
+            FileBackend(str(backend.path))
+
+    def test_crashed_backend_refuses_further_writes(self, tmp_path):
+        backend = make_backend(tmp_path)
+        block_id = backend.allocate([1])
+        backend.crash_after_n_writes = 0
+        with pytest.raises(CrashError):
+            backend.commit([block_id])
+        with pytest.raises(CrashError, match="reopen to recover"):
+            backend.commit([block_id])
+        backend.close()
+
+
+class TestSchemeCrashRecovery:
+    """The acceptance bar: after any mid-operation crash, every LID of the
+    reopened scheme looks up its pre-crash *committed* label."""
+
+    @pytest.mark.parametrize("budget", [3, 17, 40])
+    @pytest.mark.parametrize("name", sorted(SCHEME_FACTORIES))
+    def test_lookups_match_committed_labels(self, tmp_path, name, budget):
+        """An insert whose commit tears either never happened (no commit
+        record in the log) or fully happened (record present, replayed on
+        reopen) — never anything in between.  A twin scheme on the memory
+        backend replays exactly the committed prefix and must agree on
+        every label."""
+        factory = SCHEME_FACTORIES[name]
+        scheme, backend = make_file_scheme(tmp_path, factory, f"{name}.pages")
+        lids = bulk(scheme, 24)
+        backend.crash_after_n_writes = budget
+        crashed = False
+        try:
+            for round_index in range(1000):
+                anchor = lids[(7 * round_index) % len(lids)]
+                lids.append(scheme.insert_before(anchor))
+        except CrashError:
+            crashed = True
+        assert crashed, "budget never ran out; raise the op count"
+        backend.close()
+
+        reopened = open_file_scheme(str(tmp_path / f"{name}.pages"))
+        committed_ops = len(lids) - 24
+        if reopened.store.backend.recovery_report["replayed_transactions"]:
+            committed_ops += 1  # the torn op's commit record made the log
+        twin = factory(TINY_CONFIG, store=None)
+        twin_lids = bulk(twin, 24)
+        for round_index in range(committed_ops):
+            anchor = twin_lids[(7 * round_index) % len(twin_lids)]
+            twin_lids.append(twin.insert_before(anchor))
+        assert [reopened.lookup(lid) for lid in twin_lids] == [
+            twin.lookup(lid) for lid in twin_lids
+        ]
+        # And the recovered structure is consistent enough to keep working.
+        reopened.insert_before(twin_lids[0])
+        if hasattr(reopened, "check_invariants"):
+            reopened.check_invariants()
+        reopened.store.backend.close()
+
+    def test_read_only_operations_are_not_commit_points(self, tmp_path):
+        """Lookups never write: a zero write budget still allows them, and
+        they append nothing to the WAL."""
+        scheme, backend = make_file_scheme(tmp_path, SCHEME_FACTORIES["wbox"])
+        lids = bulk(scheme, 10)
+        checkpoint_scheme(scheme)
+        commits = backend.commits
+        backend.crash_after_n_writes = 0
+        assert [scheme.lookup(lid) for lid in lids] == sorted(
+            scheme.lookup(lid) for lid in lids
+        )
+        assert backend.commits == commits
+        backend.close()
+
+
+class TestOpenFileScheme:
+    def test_requires_scheme_metadata(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.commit([backend.allocate([1])])
+        backend.close()
+        with pytest.raises(PersistError, match="no scheme metadata"):
+            open_file_scheme(str(tmp_path / "t.pages"))
+
+    @pytest.mark.parametrize("name", sorted(SCHEME_FACTORIES))
+    def test_round_trip_and_continue(self, tmp_path, name):
+        scheme, backend = make_file_scheme(tmp_path, SCHEME_FACTORIES[name], f"{name}.pages")
+        lids = bulk(scheme, 30)
+        for i in range(10):
+            lids.append(scheme.insert_before(lids[i * 2]))
+        order = sorted(lids, key=scheme.lookup)
+        clock = scheme.clock
+        checkpoint_scheme(scheme)
+        backend.close()
+
+        reopened = open_file_scheme(str(tmp_path / f"{name}.pages"))
+        assert reopened.stats.reads == 0 and reopened.stats.writes == 0
+        assert reopened.clock == clock
+        assert sorted(lids, key=reopened.lookup) == order
+        # Cold-decode path: same answers straight off the pages.
+        reopened.store.backend.drop_clean_objects()
+        assert sorted(lids, key=reopened.lookup) == order
+        # The reopened scheme keeps working (derived order lists, LIDF
+        # directory and allocation state were all restored).
+        new_lid = reopened.insert_before(order[3])
+        assert reopened.compare(new_lid, order[3]) < 0
+        reopened.store.backend.close()
+
+
+class TestBatchOnFileBackend:
+    """The batch engine's equivalence oracle, rerun on a durable backend,
+    plus the group-commit surfacing."""
+
+    def _mixed_ops(self, scheme, count=40):
+        """A deterministic mixed insert/delete/lookup tape, built against
+        ``scheme`` (which it mutates).  Anchor choices follow the live list
+        so the same concrete LIDs replay on an identical twin scheme."""
+        lids = bulk(scheme, 16)
+        ops = []
+        for i in range(count):
+            anchor = lids[(5 * i) % len(lids)]
+            if i % 7 == 3 and len(lids) > 10:
+                ops.append(BatchOp("delete", (anchor,)))
+                scheme.delete(anchor)
+                lids.remove(anchor)
+            elif i % 3 == 0:
+                ops.append(BatchOp("lookup", (anchor,)))
+                scheme.lookup(anchor)
+            else:
+                ops.append(BatchOp("insert_before", (anchor,)))
+                lids.append(scheme.insert_before(anchor))
+        return lids, ops
+
+    @pytest.mark.parametrize("name", sorted(SCHEME_FACTORIES))
+    def test_equivalence_oracle(self, tmp_path, name):
+        factory = SCHEME_FACTORIES[name]
+        oracle = factory(TINY_CONFIG, store=None)
+        live, ops = self._mixed_ops(oracle)
+        subject, backend = make_file_scheme(tmp_path, factory, f"{name}.pages")
+        bulk(subject, 16)
+        result = BatchExecutor(subject, group_size=8).execute(ops)
+        # Each group that dirtied at least one block is one WAL commit;
+        # groups whose ops were all read-only are not commit points.
+        assert 0 < result.backend_commits <= result.group_count
+        assert sorted(live, key=subject.lookup) == sorted(live, key=oracle.lookup)
+        assert [subject.lookup(lid) for lid in live] == [
+            oracle.lookup(lid) for lid in live
+        ]
+        # Durability: the batched state survives checkpoint + reopen.
+        checkpoint_scheme(subject)
+        backend.close()
+        reopened = open_file_scheme(str(tmp_path / f"{name}.pages"))
+        assert [reopened.lookup(lid) for lid in live] == [
+            oracle.lookup(lid) for lid in live
+        ]
+        reopened.store.backend.close()
+
+    def test_memory_backend_reports_zero_commits(self):
+        scheme = BBox(TINY_CONFIG)
+        scheme.bulk_load(8)
+        result = BatchExecutor(scheme, group_size=4).execute(
+            [BatchOp("lookup", (0,))] * 6
+        )
+        assert result.backend_commits == 0

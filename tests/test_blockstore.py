@@ -172,6 +172,23 @@ class TestLRUCache:
         if replacement == block:
             assert store.read(replacement) == "b"
 
+    def test_reused_id_does_not_inherit_stale_lru_entry(self):
+        """free() must evict the id from the cache: a recycled id belongs to
+        an unrelated block and its first cold read is a real (counted) I/O."""
+        store = BlockStore(TINY_CONFIG, cache_capacity=4)
+        block = store.allocate("old")
+        store.read(block)  # cached
+        store.free(block)
+        reborn = store.allocate("new")
+        assert reborn == block  # LIFO recycling
+        # Allocation write-through re-caches the reborn block, which is
+        # correct — but only the *eviction on free* makes the hit below
+        # belong to the new payload, never the old one.
+        store.cache.evict(reborn)
+        reads = store.stats.reads
+        assert store.read(reborn) == "new"
+        assert store.stats.reads == reads + 1  # counted: no stale hit
+
 
 class TestOperationScopeRegression:
     """Semantics the batch engine's group commit depends on."""
@@ -348,6 +365,25 @@ class TestSLRUCache:
         block = store.allocate("a")
         store.read(block)
         assert store.stats.hit_ratio == 0.0
+
+    def test_freed_block_evicted_from_protected_segment(self):
+        """A block promoted into the SLRU protected segment must be evicted
+        by free(): the id can be recycled, and a stale protected entry would
+        hand the unrelated new block free (uncounted) reads forever."""
+        store = BlockStore(TINY_CONFIG, cache_capacity=10, cache_mode="slru")
+        hot = store.allocate("hot")
+        store.read(hot)
+        store.read(hot)  # promoted to protected
+        assert hot in store._protected
+        store.free(hot)
+        assert hot not in store._protected
+        assert hot not in store._lru
+        reborn = store.allocate("cold")
+        assert reborn == hot  # LIFO recycling reuses the id
+        store.cache.evict(reborn)  # drop the allocation write-through entry
+        reads = store.stats.reads
+        assert store.read(reborn) == "cold"
+        assert store.stats.reads == reads + 1  # cold read, honestly counted
 
 
 class TestStatsReset:
