@@ -1,0 +1,123 @@
+"""Concurrent label service: read throughput vs. reader count.
+
+Not a paper figure — this measures the repo's epoch-snapshot read
+protocol (:mod:`repro.service`) under the closed-loop client model every
+service benchmark uses: each reader thread issues a read, "thinks" for a
+fixed interval, and repeats, so aggregate throughput grows with reader
+count until service time (not think time) dominates.  A single writer
+streams steady-state churn batches (insert + delete of the same
+elements, shift-only effects) through the bounded queue the whole time.
+
+Claims pinned by assertions, not just reported:
+
+* aggregate read throughput at 4 readers is at least 2x the 1-reader
+  rate — the read path takes no locks, so concurrent sessions cannot
+  serialize each other;
+* while the modification log covers the write window (churn mode, hot
+  working set, generous log), NO read falls through to a latched BOX
+  lookup: every read is served fresh or by log replay.
+
+Scale note: readers spend almost all their time in ``think``, so the
+wall-clock cost of this file is ``~2 x duration`` regardless of machine;
+the GIL costs a little fairness, not correctness, at this service-time /
+think-time ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG, SCALE_NAME, fmt, record_table
+from repro import WBox
+from repro.workloads import run_service_stress
+
+READER_COUNTS = [1, 2, 4]
+DURATION = {"smoke": 0.6, "small": 1.5, "medium": 3.0}.get(SCALE_NAME, 1.5)
+# W-BOX schedules a global rebuild (invalidate_all -> fallthroughs) once
+# cumulative deletions reach the live-label count, so the base document
+# must outgrow the whole run's churn: <= duration/write_pause batches,
+# each deleting 2*write_batch labels, against 2*(base+1) live labels.
+BASE_ELEMENTS = {"smoke": 2000, "small": 5000, "medium": 9000}.get(SCALE_NAME, 5000)
+
+STRESS_KWARGS = dict(
+    base_elements=BASE_ELEMENTS,
+    write_batch=8,
+    group_size=16,
+    log_capacity=65536,       # covers ~10s of effect traffic; re-reads of the
+                              # hot set happen every few hundred ms
+    think_seconds=0.002,
+    write_pause=0.004,
+    refresh_every=32,
+    write_mode="churn",
+    hot_elements=64,
+)
+
+_results = {}
+
+
+def get_stress(readers: int):
+    if readers not in _results:
+        _results[readers] = run_service_stress(
+            WBox(BENCH_CONFIG), readers=readers, duration=DURATION, **STRESS_KWARGS
+        )
+    return _results[readers]
+
+
+@pytest.mark.parametrize("readers", READER_COUNTS)
+def test_service_read_throughput(benchmark, readers):
+    result = benchmark.pedantic(lambda: get_stress(readers), rounds=1, iterations=1)
+    assert not result.reader_errors, result.reader_errors
+    assert result.read_ops > 0 and result.write_ops > 0
+
+
+def test_service_throughput_table(benchmark):
+    benchmark.pedantic(
+        lambda: [get_stress(readers) for readers in READER_COUNTS],
+        rounds=1,
+        iterations=1,
+    )
+    one = _results[1]
+    four = _results[4]
+
+    # Readers scale: no lock on the hot read path.
+    assert four.reads_per_second >= 2.0 * one.reads_per_second, (
+        f"4 readers: {four.reads_per_second:.0f}/s, "
+        f"1 reader: {one.reads_per_second:.0f}/s"
+    )
+    # The log covered the write window: nothing fell through.
+    for readers, result in _results.items():
+        counters = result.counters
+        assert counters.fallthrough_reads == 0, (readers, counters)
+        assert counters.repair_hit_ratio == 1.0, (readers, counters)
+        assert counters.write_errors == 0, (readers, counters)
+
+    rows = []
+    for readers in READER_COUNTS:
+        result = _results[readers]
+        counters = result.counters
+        rows.append([
+            readers,
+            result.read_ops,
+            fmt(result.reads_per_second, 0),
+            fmt(result.reads_per_second / one.reads_per_second, 2),
+            result.write_ops,
+            counters.epochs_published,
+            counters.fresh_hits,
+            counters.replay_hits,
+            counters.fallthrough_reads,
+            fmt(counters.mean_epoch_lag, 2),
+        ])
+    record_table(
+        "service_throughput",
+        "Service read throughput vs. reader count "
+        f"(W-BOX, churn writer, think={STRESS_KWARGS['think_seconds']*1000:.0f} ms)",
+        ["readers", "reads", "reads/s", "speedup", "writes", "epochs",
+         "fresh", "replayed", "fallthrough", "mean lag"],
+        rows,
+        extra={
+            "duration_seconds": DURATION,
+            "stress_kwargs": {
+                k: v for k, v in STRESS_KWARGS.items() if not callable(v)
+            },
+        },
+    )

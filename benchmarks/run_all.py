@@ -44,6 +44,7 @@ TARGETS = [
     ("bench_table_caching_on", "test_caching_on_table"),
     ("bench_batch_throughput", "test_batch_throughput_table"),
     ("bench_backend_correlation", "test_backend_correlation_table"),
+    ("bench_service_throughput", "test_service_throughput_table"),
     ("bench_table_update_summary", "test_update_summary_table"),
     ("bench_table_ordpath", "test_ordpath_table"),
     ("bench_table_related_work", "test_related_work_table"),

@@ -33,6 +33,7 @@ from .core import (
     WBoxO,
 )
 from .errors import ReproError
+from .service import Epoch, LabelService, ReaderSession, ServiceStats
 from .storage import BlockStore, HeapFile, IOStats
 from .xml import Element, parse, serialize
 
@@ -55,6 +56,10 @@ __all__ = [
     "LabeledDocument",
     "CachedLabelStore",
     "ModificationLog",
+    "LabelService",
+    "ReaderSession",
+    "Epoch",
+    "ServiceStats",
     "BlockStore",
     "HeapFile",
     "IOStats",

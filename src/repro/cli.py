@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands, all built on the public API::
+Eight subcommands, all built on the public API::
 
     python -m repro label    doc.xml --scheme bbox --save labels.box
     python -m repro query    doc.xml "//item[mailbox/mail]" --scheme wbox
@@ -8,6 +8,8 @@ Six subcommands, all built on the public API::
     python -m repro inspect  labels.box
     python -m repro recover  labels.pages
     python -m repro info     labels.pages
+    python -m repro stress   --scheme wbox --readers 4 --seconds 5
+    python -m repro serve    doc.xml --scheme bbox
 
 ``label`` parses and bulk-loads a document and reports structure statistics
 (optionally persisting the labeled structure); ``query`` evaluates an
@@ -21,6 +23,12 @@ in-memory backend — the counted I/Os are identical, the file survives the
 process.  ``recover`` reopens such a file (replaying or discarding any
 interrupted commit) and verifies the structure; ``info`` prints what a
 saved file contains — snapshot or page file — without modifying it.
+
+``stress`` spins up the concurrent :class:`~repro.service.LabelService`
+over a synthetic document and hammers it with reader threads plus a write
+stream for a fixed duration, printing throughput and the service counters;
+``serve`` labels a document and answers lookup/compare/insert commands on
+stdin through a reader session and the bounded write queue.
 """
 
 from __future__ import annotations
@@ -259,6 +267,98 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stress(args: argparse.Namespace) -> int:
+    from .workloads import run_service_stress
+
+    config = BoxConfig(block_bytes=args.block_bytes)
+    scheme = make_scheme(args.scheme, config, args.storage, args.storage_path)
+    result = run_service_stress(
+        scheme,
+        base_elements=args.base,
+        readers=args.readers,
+        duration=args.seconds,
+        write_batch=args.write_batch,
+        group_size=args.group_size,
+        log_capacity=args.log_capacity,
+        think_seconds=args.think_ms / 1000.0,
+        write_pause=args.write_pause_ms / 1000.0,
+        write_mode=args.write_mode,
+        hot_elements=args.hot or None,
+    )
+    counters = result.counters
+    print(f"stress: scheme={result.scheme} readers={result.readers} "
+          f"mode={args.write_mode} seconds={result.wall_seconds:.2f}")
+    print(f"  read ops:          {result.read_ops} "
+          f"({result.reads_per_second:.0f}/s aggregate)")
+    print(f"  write ops:         {result.write_ops}")
+    print(f"  epochs published:  {counters.epochs_published}")
+    print(f"  repair hit ratio:  {counters.repair_hit_ratio:.3f} "
+          f"(fresh {counters.fresh_hits}, replayed {counters.replay_hits})")
+    print(f"  fallthrough reads: {counters.fallthrough_reads}")
+    print(f"  backpressure:      {counters.backpressure_waits} wait(s)")
+    print(f"  epoch lag:         mean {counters.mean_epoch_lag:.2f}, "
+          f"max {counters.max_epoch_lag}")
+    print(f"  write errors:      {counters.write_errors}")
+    _finish_scheme(scheme)
+    if result.reader_errors:
+        for error in result.reader_errors:
+            print(f"error: reader failed: {error!r}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import LabelService
+
+    config = BoxConfig(block_bytes=args.block_bytes)
+    scheme = make_scheme(args.scheme, config, args.storage, args.storage_path)
+    doc = _load_document(args.document, scheme)
+    print(f"serving {args.document} ({element_count(doc.root)} elements) "
+          f"on {scheme.name}; commands: lookup LID | compare LID LID | "
+          "insert LID | stats | epoch | quit")
+    with LabelService(doc, log_capacity=args.log_capacity) as service:
+        session = service.session()
+        stream = open(args.input, "r", encoding="utf-8") if args.input else sys.stdin
+        try:
+            for line in stream:
+                words = line.split()
+                if not words:
+                    continue
+                command, rest = words[0].lower(), words[1:]
+                try:
+                    if command in ("quit", "exit"):
+                        break
+                    elif command == "lookup":
+                        session.refresh()
+                        print(session.lookup(int(rest[0])))
+                    elif command == "compare":
+                        session.refresh()
+                        order = session.compare(int(rest[0]), int(rest[1]))
+                        print({-1: "before", 0: "equal", 1: "after"}[order])
+                    elif command == "insert":
+                        from .core import BatchOp
+                        ticket = service.submit_ops(
+                            [BatchOp("insert_element_before", (int(rest[0]),))],
+                            timeout=30,
+                        )
+                        result = ticket.wait(timeout=30)
+                        print(f"inserted lids {result.results[0]}")
+                    elif command == "epoch":
+                        print(service.current_epoch)
+                    elif command == "stats":
+                        for key, value in service.describe().items():
+                            print(f"  {key}: {value}")
+                    else:
+                        print(f"unknown command: {command}", file=sys.stderr)
+                except (IndexError, ValueError, KeyError) as error:
+                    print(f"bad arguments: {error}", file=sys.stderr)
+        finally:
+            if stream is not sys.stdin:
+                stream.close()
+    _finish_scheme(scheme)
+    return 0
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     scheme = load_scheme(args.file)
     info = scheme.describe()
@@ -378,6 +478,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(workload)
     workload.set_defaults(handler=cmd_workload)
+
+    stress = subparsers.add_parser(
+        "stress", help="hammer the concurrent label service and print counters"
+    )
+    stress.add_argument("--base", type=int, default=2000, help="base document elements")
+    stress.add_argument("--readers", type=int, default=4, help="reader threads")
+    stress.add_argument("--seconds", type=float, default=5.0, help="stress duration")
+    stress.add_argument("--write-batch", type=int, default=8, help="elements per write batch")
+    stress.add_argument("--group-size", type=int, default=16, help="commit group size")
+    stress.add_argument(
+        "--log-capacity", type=int, default=65536, help="modification log capacity"
+    )
+    stress.add_argument(
+        "--think-ms", type=float, default=0.5, help="reader think time per op (ms)"
+    )
+    stress.add_argument(
+        "--write-pause-ms", type=float, default=4.0, help="writer pause between batches (ms)"
+    )
+    stress.add_argument(
+        "--write-mode",
+        choices=["insert", "churn"],
+        default="churn",
+        help="writer stream: growing inserts, or steady-state churn (default)",
+    )
+    stress.add_argument(
+        "--hot", type=int, default=64, help="hot working set (elements read); 0 = all"
+    )
+    _add_common(stress)
+    stress.set_defaults(handler=cmd_stress)
+
+    serve = subparsers.add_parser(
+        "serve", help="interactive label service over a document (stdin commands)"
+    )
+    serve.add_argument("document", help="XML file to label and serve")
+    serve.add_argument(
+        "--log-capacity", type=int, default=4096, help="modification log capacity"
+    )
+    serve.add_argument(
+        "--input", metavar="FILE", help="read commands from FILE instead of stdin"
+    )
+    _add_common(serve)
+    serve.set_defaults(handler=cmd_serve)
 
     inspect = subparsers.add_parser("inspect", help="inspect a saved structure")
     inspect.add_argument("file", help="file written by 'label --save'")

@@ -11,7 +11,7 @@ from .wbox.tree import WBox
 from .wbox.pairs import WBoxO
 from .bbox.tree import BBox
 from .document import LabeledDocument
-from .cachelog import CachedLabelStore, ModificationLog, RangeShift, Invalidate
+from .cachelog import CachedLabelStore, LogSnapshot, ModificationLog, RangeShift, Invalidate
 
 __all__ = [
     "LabelingScheme",
@@ -30,6 +30,7 @@ __all__ = [
     "BBox",
     "LabeledDocument",
     "CachedLabelStore",
+    "LogSnapshot",
     "ModificationLog",
     "RangeShift",
     "Invalidate",

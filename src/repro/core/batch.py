@@ -29,7 +29,7 @@ current group, since its anchor was created there.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from ..errors import LabelingError
 from ..storage.stats import OperationCost
@@ -151,6 +151,16 @@ class BatchExecutor:
     locality_grouping:
         Additionally close a group when the anchor LID moves to a
         different LIDF block (see module docstring).
+    on_group_start:
+        Optional hook invoked before each group's operation scope opens.
+        The label service uses it to take the store's exclusive latch, so
+        fallthrough readers never see a half-committed group.
+    on_group_commit:
+        Optional hook invoked after each group's operation scope has
+        closed — i.e. after the group's dirty blocks are flushed and (on a
+        durable backend) WAL-committed.  This is the service's epoch
+        publication point.  Runs even when the group raised, so a paired
+        ``on_group_start`` latch is always released.
     """
 
     def __init__(
@@ -158,12 +168,16 @@ class BatchExecutor:
         scheme: "LabelingScheme",
         group_size: int = 64,
         locality_grouping: bool = True,
+        on_group_start: Callable[[], None] | None = None,
+        on_group_commit: Callable[[], None] | None = None,
     ) -> None:
         if group_size < 1:
             raise LabelingError(f"group_size must be >= 1, got {group_size}")
         self.scheme = scheme
         self.group_size = group_size
         self.locality_grouping = locality_grouping
+        self.on_group_start = on_group_start
+        self.on_group_commit = on_group_commit
         self._lids_per_block = max(1, scheme.config.lidf_records_per_block)
 
     # ------------------------------------------------------------------
@@ -216,11 +230,17 @@ class BatchExecutor:
         backend = self.scheme.store.backend
         commits_before = getattr(backend, "commits", 0)
         for group in self.plan(ops):
-            with self.scheme.store.measured() as measured:
-                for position in group:
-                    op = ops[position]
-                    args = self._resolve(op, position, result.results)
-                    result.results[position] = getattr(self.scheme, op.kind)(*args)
+            if self.on_group_start is not None:
+                self.on_group_start()
+            try:
+                with self.scheme.store.measured() as measured:
+                    for position in group:
+                        op = ops[position]
+                        args = self._resolve(op, position, result.results)
+                        result.results[position] = getattr(self.scheme, op.kind)(*args)
+            finally:
+                if self.on_group_commit is not None:
+                    self.on_group_commit()
             result.group_costs.append(measured.cost)
             result.group_sizes.append(len(group))
         result.backend_commits = getattr(backend, "commits", 0) - commits_before

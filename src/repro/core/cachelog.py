@@ -28,8 +28,10 @@ range bounds compare with the same operators.  A tuple bound may be a
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..errors import CacheError
 from .interface import Label, LabelingScheme
@@ -136,12 +138,72 @@ class LabelRef:
     channel: str = LABEL_CHANNEL
 
 
+def replay_effects(
+    entries: Iterable[Effect],
+    dropped_through: int,
+    last_modified: int,
+    label: Label,
+    last_cached: int,
+    channel: str = LABEL_CHANNEL,
+) -> Label | None:
+    """Replay kernel shared by the live log and its immutable snapshots.
+
+    Brings a cached ``label`` (valid as of ``last_cached``) up to the state
+    ``entries`` describes.  Returns the repaired label, or ``None`` when the
+    cache cannot be used — either the history needed has been dropped from
+    the log, or a logged effect invalidated a range containing the label.
+    """
+    if last_cached >= last_modified:
+        return label  # nothing happened since; cache is fresh
+    if last_cached < dropped_through:
+        return None  # history lost
+    for effect in entries:
+        if effect.timestamp <= last_cached or effect.channel != channel:
+            continue
+        if effect.invalidates:
+            if effect.hits(label):
+                return None
+        else:
+            label = effect.apply(label)
+    return label
+
+
+@dataclass(frozen=True)
+class LogSnapshot:
+    """Immutable, epoch-stamped view of a :class:`ModificationLog`.
+
+    The label service's writer takes one at every group commit and
+    publishes it inside the epoch object; any number of readers may then
+    :meth:`replay` against it concurrently without synchronization,
+    because nothing here ever mutates.
+    """
+
+    epoch: int
+    entries: tuple[Effect, ...]
+    dropped_through: int
+    last_modified: int
+
+    def replay(self, label: Label, last_cached: int, channel: str = LABEL_CHANNEL) -> Label | None:
+        """Repair ``label`` to this snapshot's state (None = unrepairable)."""
+        return replay_effects(
+            self.entries, self.dropped_through, self.last_modified, label, last_cached, channel
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
 class ModificationLog:
     """FIFO log of the last ``capacity`` modification effects.
 
     ``capacity=0`` degenerates to the paper's *basic caching approach*: the
     log remembers nothing, so any modification after ``last_cached`` forces
     a full lookup — exactly the single last-modified-timestamp behaviour.
+
+    :meth:`record` and :meth:`snapshot` are serialized by an internal lock
+    so a writer thread can append effects while other threads take epoch
+    snapshots; :meth:`replay` on the live log remains a single-threaded
+    convenience (concurrent readers replay against snapshots instead).
     """
 
     def __init__(self, capacity: int) -> None:
@@ -149,6 +211,10 @@ class ModificationLog:
             raise CacheError("log capacity must be >= 0")
         self.capacity = capacity
         self._entries: deque[Effect] = deque()
+        self._lock = threading.Lock()
+        #: Epoch stamp: bumped by :meth:`snapshot`; the label service
+        #: publishes one epoch per group commit.
+        self.epoch = 0
         #: Timestamp of the newest modification no longer in the log; a
         #: cached value older than this cannot be repaired.
         self.dropped_through = 0
@@ -158,14 +224,29 @@ class ModificationLog:
 
     def record(self, effect: Effect) -> None:
         """Append one effect, evicting the oldest beyond capacity."""
-        self.last_modified = max(self.last_modified, effect.timestamp)
-        if self.capacity == 0:
-            self.dropped_through = self.last_modified
-            return
-        self._entries.append(effect)
-        while len(self._entries) > self.capacity:
-            dropped = self._entries.popleft()
-            self.dropped_through = max(self.dropped_through, dropped.timestamp)
+        with self._lock:
+            self.last_modified = max(self.last_modified, effect.timestamp)
+            if self.capacity == 0:
+                self.dropped_through = self.last_modified
+                return
+            self._entries.append(effect)
+            while len(self._entries) > self.capacity:
+                dropped = self._entries.popleft()
+                self.dropped_through = max(self.dropped_through, dropped.timestamp)
+
+    def snapshot(self, advance_epoch: bool = True) -> LogSnapshot:
+        """Immutable view of the current log state, stamped with the next
+        epoch number (``advance_epoch=False`` re-reads the current epoch
+        without claiming a new one)."""
+        with self._lock:
+            if advance_epoch:
+                self.epoch += 1
+            return LogSnapshot(
+                epoch=self.epoch,
+                entries=tuple(self._entries),
+                dropped_through=self.dropped_through,
+                last_modified=self.last_modified,
+            )
 
     def replay(self, label: Label, last_cached: int, channel: str = LABEL_CHANNEL) -> Label | None:
         """Bring a cached ``label`` (valid as of ``last_cached``) up to date.
@@ -174,19 +255,9 @@ class ModificationLog:
         used — either the history needed has been dropped from the log, or
         a logged effect invalidated a range containing the label.
         """
-        if last_cached >= self.last_modified:
-            return label  # nothing happened since; cache is fresh
-        if last_cached < self.dropped_through:
-            return None  # history lost
-        for effect in self._entries:
-            if effect.timestamp <= last_cached or effect.channel != channel:
-                continue
-            if effect.invalidates:
-                if effect.hits(label):
-                    return None
-            else:
-                label = effect.apply(label)
-        return label
+        return replay_effects(
+            self._entries, self.dropped_through, self.last_modified, label, last_cached, channel
+        )
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -194,17 +194,25 @@ class LabelingScheme(ABC):
         ops: Sequence[Any],
         group_size: int = 64,
         locality_grouping: bool = True,
+        on_group_start: Callable[[], None] | None = None,
+        on_group_commit: Callable[[], None] | None = None,
     ) -> Any:
         """Run a sequence of :class:`~repro.core.batch.BatchOp` items with
         group commit: ops are executed in submission order, partitioned
         into groups that each share one operation scope, so block I/O is
         coalesced across the group.  Returns a
-        :class:`~repro.core.batch.BatchResult`.
+        :class:`~repro.core.batch.BatchResult`.  The optional hooks fire
+        around every committed group (the label service's latch and epoch
+        publication points; see :class:`~repro.core.batch.BatchExecutor`).
         """
         from .batch import BatchExecutor
 
         executor = BatchExecutor(
-            self, group_size=group_size, locality_grouping=locality_grouping
+            self,
+            group_size=group_size,
+            locality_grouping=locality_grouping,
+            on_group_start=on_group_start,
+            on_group_commit=on_group_commit,
         )
         return executor.execute(ops)
 

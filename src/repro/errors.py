@@ -94,3 +94,15 @@ class OrdinalUnsupportedError(LabelingError):
 
 class CacheError(ReproError):
     """Failures in the caching/logging layer of Section 6."""
+
+
+class ServiceError(ReproError):
+    """Base class for label-service failures."""
+
+
+class ServiceClosedError(ServiceError):
+    """An operation was submitted to a stopped (or stopping) service."""
+
+
+class BackpressureTimeout(ServiceError):
+    """A bounded write-queue put timed out while the queue stayed full."""

@@ -1,0 +1,24 @@
+"""Concurrent label service: snapshot-consistent reads over one writer.
+
+Turns a labeling scheme (Sections 3-6 of the paper) into a service: a
+single writer applies group-committed batches and publishes an immutable
+epoch at every commit, while any number of reader sessions serve label
+reads from epoch-pinned caches repaired by modification-log replay —
+falling through to a latched BOX read only when the log no longer covers
+their history.  See DESIGN.md section 8 for the protocol.
+"""
+
+from .epoch import Epoch, WriteTicket
+from .queue import WriteQueue
+from .service import LabelService, ReaderSession
+from .stats import ServiceCounters, ServiceStats
+
+__all__ = [
+    "Epoch",
+    "WriteTicket",
+    "WriteQueue",
+    "LabelService",
+    "ReaderSession",
+    "ServiceCounters",
+    "ServiceStats",
+]

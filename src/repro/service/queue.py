@@ -1,0 +1,84 @@
+"""Bounded write queue with backpressure.
+
+The single writer drains this queue; any number of producer threads feed
+it.  When the queue is full, :meth:`WriteQueue.put` blocks — that *is* the
+backpressure: a producer can never get more than ``capacity`` batches
+ahead of the committed state, which bounds both memory and the epoch lag a
+reader can observe from a just-submitted write.  Every blocked put is
+counted (``backpressure_waits``) so saturation shows up in the service
+stats rather than only as latency.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from ..errors import BackpressureTimeout, ServiceClosedError, ServiceError
+from .stats import ServiceStats
+
+
+class WriteQueue:
+    """A bounded FIFO between write submitters and the writer thread."""
+
+    def __init__(self, capacity: int, stats: ServiceStats | None = None) -> None:
+        if capacity < 1:
+            raise ServiceError(f"write queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = stats
+        self._items: deque[Any] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def put(self, item: Any, timeout: float | None = None) -> None:
+        """Enqueue one write batch, blocking while the queue is full.
+
+        Raises :class:`BackpressureTimeout` if the queue stays full past
+        ``timeout`` seconds, and :class:`ServiceClosedError` if the queue
+        is closed (before or while waiting).
+        """
+        with self._cond:
+            if not self._closed and len(self._items) >= self.capacity:
+                if self.stats is not None:
+                    self.stats.add(backpressure_waits=1)
+                if not self._cond.wait_for(
+                    lambda: self._closed or len(self._items) < self.capacity, timeout
+                ):
+                    raise BackpressureTimeout(
+                        f"write queue full ({self.capacity} pending) for {timeout}s"
+                    )
+            if self._closed:
+                raise ServiceClosedError("write queue is closed")
+            self._items.append(item)
+            self._cond.notify_all()
+
+    def get(self, timeout: float | None = None) -> Any | None:
+        """Dequeue the next batch, blocking while the queue is empty.
+
+        Returns ``None`` once the queue is closed *and* drained (the
+        writer's shutdown signal), or — only when a ``timeout`` is given —
+        on timeout.
+        """
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._items or self._closed, timeout):
+                return None
+            if self._items:
+                item = self._items.popleft()
+                self._cond.notify_all()
+                return item
+            return None  # closed and drained
+
+    def close(self) -> None:
+        """Refuse further puts; pending items remain gettable (drain)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)

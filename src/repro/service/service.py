@@ -1,0 +1,427 @@
+"""Multi-reader / single-writer label service with snapshot-consistent reads.
+
+The service wraps one :class:`~repro.core.interface.LabelingScheme` (or a
+:class:`~repro.core.document.LabeledDocument` over one) behind an
+epoch-based snapshot protocol:
+
+* **One writer.**  Writes are submitted as batches into a bounded
+  :class:`~repro.service.queue.WriteQueue` (backpressure: producers block
+  when it fills) and drained by a single writer thread that applies them
+  through the group-commit :class:`~repro.core.batch.BatchExecutor`.  The
+  writer holds the store's exclusive latch across each group and, still
+  holding it, publishes a fresh :class:`~repro.service.epoch.Epoch` —
+  an immutable modification-log snapshot — at every group commit.
+* **Many readers.**  A :class:`ReaderSession` pins the current epoch and
+  serves ``lookup`` / ``compare`` / pair / ancestor-axis calls entirely
+  from per-session :class:`~repro.core.cachelog.LabelRef` caches, repaired
+  by replaying the pinned epoch's log snapshot (Section 6 of the paper).
+  Neither path touches the BOX or takes any lock, so reads run
+  concurrently with the writer and with each other.
+* **Fallthrough.**  Only when the log no longer covers a cached value's
+  history (log overflow, or a range invalidation) does a reader fall
+  through to a real BOX lookup, holding the store's latch in shared mode;
+  the session then advances its pin to the epoch the lookup observed, so
+  the session stays consistent with exactly one epoch at all times.
+
+Consistency contract: every value a session returns equals the true label
+value at the session's pinned epoch at the moment of the read, and a pin
+only ever moves forward (never past the latest published epoch).  The
+deterministic interleaving harness in ``tests/conc`` sweeps reader/writer
+schedules to prove no torn or stale-beyond-log value can be observed.
+
+All writes must go through the service (``submit_*`` or the ``apply_*_sync``
+writer-context variants); mutating the scheme behind the service's back
+leaves published epochs stale until the next commit.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+from ..core.batch import BatchOp, BatchResult
+from ..core.cachelog import LABEL_CHANNEL, ORDINAL_CHANNEL, LabelRef, ModificationLog
+from ..core.document import LabeledDocument
+from ..core.interface import Label, LabelingScheme
+from ..errors import ServiceClosedError, ServiceError
+from .epoch import Epoch, WriteTicket
+from .queue import WriteQueue
+from .stats import ServiceStats
+
+
+def _noop_yield(tag: str) -> None:
+    """Production yield hook: do nothing, cost one call."""
+
+
+class LabelService:
+    """Concurrent label-read service over one labeling scheme.
+
+    Parameters
+    ----------
+    target:
+        A :class:`LabeledDocument` (enables element-level ``submit_edits``)
+        or a bare :class:`LabelingScheme` (op-level ``submit_ops`` only).
+    log_capacity:
+        Effects retained by the modification log.  This is the *write
+        window* readers can ride without fallthrough: size it to cover the
+        writes arriving between a session's reads.
+    queue_capacity:
+        Bounded write-queue depth (backpressure threshold).
+    group_size / locality_grouping:
+        Group-commit parameters passed to the batch executor; each group
+        commit publishes one epoch.
+    latch:
+        Shared/exclusive latch guarding direct BOX access.  Defaults to the
+        scheme's ``store.latch``; the deterministic test harness injects a
+        scheduler-aware one.
+    yield_hook:
+        Called with a tag string at each concurrency-relevant point
+        (``read:begin``, ``read:fallthrough``, ``write:latch``,
+        ``write:apply``, ``write:publish``).  Production default is a no-op;
+        the interleaving harness uses it as its preemption points.
+    epoch_hook:
+        Called with each published :class:`Epoch` while the exclusive latch
+        is still held — the test oracles use it to snapshot ground truth
+        atomically with publication.
+    """
+
+    def __init__(
+        self,
+        target: LabeledDocument | LabelingScheme,
+        *,
+        log_capacity: int = 1024,
+        queue_capacity: int = 64,
+        group_size: int = 64,
+        locality_grouping: bool = True,
+        latch: Any | None = None,
+        yield_hook: Callable[[str], None] | None = None,
+        epoch_hook: Callable[[Epoch], None] | None = None,
+    ) -> None:
+        if isinstance(target, LabeledDocument):
+            self.document: LabeledDocument | None = target
+            self.scheme = target.scheme
+        else:
+            self.document = None
+            self.scheme = target
+        self.group_size = group_size
+        self.locality_grouping = locality_grouping
+        self.stats = ServiceStats()
+        self.log = ModificationLog(log_capacity)
+        self.scheme.add_log_listener(self.log.record)
+        self._latch = latch if latch is not None else self.scheme.store.latch
+        self._yield = yield_hook if yield_hook is not None else _noop_yield
+        self._epoch_hook = epoch_hook
+        self._queue = WriteQueue(queue_capacity, stats=self.stats)
+        self._writer: threading.Thread | None = None
+        self._closed = False
+        # Epoch 0: the state at service start (no effects to replay).
+        self._current = Epoch(
+            number=0,
+            clock=self.scheme.clock,
+            snapshot=self.log.snapshot(advance_epoch=False),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "LabelService":
+        """Spawn the writer thread (idempotent)."""
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        if self._writer is None:
+            self._writer = threading.Thread(
+                target=self._writer_loop, name="label-service-writer", daemon=True
+            )
+            self._writer.start()
+        return self
+
+    def stop(self, timeout: float | None = None) -> None:
+        """Close the write queue, drain it, and join the writer."""
+        self._queue.close()
+        if self._writer is not None:
+            self._writer.join(timeout)
+            if self._writer.is_alive():
+                raise ServiceError("writer thread did not stop in time")
+            self._writer = None
+
+    def close(self) -> None:
+        """Stop and detach from the scheme's effect stream."""
+        if self._closed:
+            return
+        self.stop()
+        self.scheme.remove_log_listener(self.log.record)
+        self._closed = True
+
+    def __enter__(self) -> "LabelService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # epochs
+    # ------------------------------------------------------------------
+
+    @property
+    def current_epoch(self) -> Epoch:
+        """The most recently published epoch (atomic reference read)."""
+        return self._current
+
+    @property
+    def queue_depth(self) -> int:
+        """Write batches accepted but not yet applied."""
+        return len(self._queue)
+
+    def _publish(self) -> None:
+        """Publish a new epoch; caller holds the exclusive latch."""
+        snapshot = self.log.snapshot()
+        epoch = Epoch(number=snapshot.epoch, clock=self.scheme.clock, snapshot=snapshot)
+        self._current = epoch
+        self.stats.add(epochs_published=1)
+        if self._epoch_hook is not None:
+            self._epoch_hook(epoch)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def submit_ops(self, ops: Sequence[BatchOp], timeout: float | None = None) -> WriteTicket:
+        """Queue a batch of scheme-level :class:`BatchOp` items.
+
+        Blocks (backpressure) while the queue is full; returns a
+        :class:`WriteTicket` resolved after the batch's last group commit.
+        """
+        return self._submit("ops", list(ops), timeout)
+
+    def submit_edits(self, edits: Sequence[tuple], timeout: float | None = None) -> WriteTicket:
+        """Queue a batch of element-level edits (see
+        :meth:`LabeledDocument.apply_edits` for the tuple forms)."""
+        if self.document is None:
+            raise ServiceError("service wraps a bare scheme; use submit_ops")
+        return self._submit("edits", list(edits), timeout)
+
+    def _submit(self, kind: str, payload: list, timeout: float | None) -> WriteTicket:
+        if self._writer is None:
+            raise ServiceError("service not started; call start() or use apply_*_sync")
+        ticket = WriteTicket()
+        self._queue.put((ticket, kind, payload), timeout=timeout)
+        return ticket
+
+    def apply_ops_sync(self, ops: Sequence[BatchOp]) -> BatchResult:
+        """Apply a batch on the calling thread (writer context).
+
+        This is the writer loop's own code path; call it directly only
+        when no writer thread is running (single-threaded use, or the
+        deterministic harness's virtual writer).
+        """
+        result = self.scheme.execute_batch(
+            ops,
+            group_size=self.group_size,
+            locality_grouping=self.locality_grouping,
+            on_group_start=self._on_group_start,
+            on_group_commit=self._on_group_commit,
+        )
+        self.stats.add(batches_applied=1, ops_applied=len(ops))
+        return result
+
+    def apply_edits_sync(self, edits: Sequence[tuple]) -> BatchResult:
+        """Element-level counterpart of :meth:`apply_ops_sync`."""
+        if self.document is None:
+            raise ServiceError("service wraps a bare scheme; use apply_ops_sync")
+        result = self.document.apply_edits(
+            edits,
+            group_size=self.group_size,
+            locality_grouping=self.locality_grouping,
+            on_group_start=self._on_group_start,
+            on_group_commit=self._on_group_commit,
+        )
+        self.stats.add(batches_applied=1, ops_applied=len(edits))
+        return result
+
+    def _on_group_start(self) -> None:
+        self._yield("write:latch")
+        self._latch.acquire_exclusive()
+        self._yield("write:apply")
+
+    def _on_group_commit(self) -> None:
+        # Runs after the group's dirty blocks flushed (and WAL-committed on
+        # a durable backend).  Publish before releasing the latch so a
+        # fallthrough reader can never see structure state ahead of the
+        # published epoch.
+        try:
+            self._yield("write:publish")
+            self._publish()
+        finally:
+            self._latch.release_exclusive()
+
+    def _writer_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            ticket, kind, payload = item
+            try:
+                if kind == "ops":
+                    result = self.apply_ops_sync(payload)
+                else:
+                    result = self.apply_edits_sync(payload)
+            except BaseException as error:  # keep serving later batches
+                self.stats.add(write_errors=1)
+                ticket._fail(error)
+            else:
+                ticket._resolve(result)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def session(self) -> "ReaderSession":
+        """A new reader session pinned to the current epoch.
+
+        Sessions are cheap; give each reader thread its own (a session is
+        not itself thread-safe — its ref cache is private by design).
+        """
+        return ReaderSession(self, self._current)
+
+    def describe(self) -> dict[str, Any]:
+        """Diagnostic summary for CLIs and tests."""
+        counters = self.stats.snapshot()
+        return {
+            "scheme": self.scheme.name,
+            "epoch": self._current.number,
+            "queue_depth": self.queue_depth,
+            "log_capacity": self.log.capacity,
+            "reads": counters.reads,
+            "repair_hit_ratio": counters.repair_hit_ratio,
+            "fallthrough_reads": counters.fallthrough_reads,
+            "epochs_published": counters.epochs_published,
+            "backpressure_waits": counters.backpressure_waits,
+            "max_epoch_lag": counters.max_epoch_lag,
+        }
+
+
+class ReaderSession:
+    """A pinned-epoch read view over a :class:`LabelService`.
+
+    All reads reflect exactly the pinned epoch's state.  The pin advances
+    only via :meth:`refresh` or a fallthrough read (log overflow), and
+    never moves backwards.
+    """
+
+    def __init__(self, service: LabelService, epoch: Epoch) -> None:
+        self._service = service
+        self._epoch = epoch
+        self._refs: dict[tuple[int, str], LabelRef] = {}
+
+    @property
+    def epoch(self) -> Epoch:
+        """The session's currently pinned epoch."""
+        return self._epoch
+
+    def refresh(self) -> Epoch:
+        """Advance the pin to the latest published epoch."""
+        current = self._service._current
+        if current.number > self._epoch.number:
+            self._epoch = current
+        return self._epoch
+
+    # -- reads ---------------------------------------------------------
+
+    def lookup(self, lid: int) -> Label:
+        """The label behind ``lid`` at the pinned epoch."""
+        return self._get(lid, LABEL_CHANNEL)
+
+    def ordinal_lookup(self, lid: int) -> int:
+        """The ordinal label behind ``lid`` at the pinned epoch."""
+        return self._get(lid, ORDINAL_CHANNEL)
+
+    def lookup_pair(self, start_lid: int, end_lid: int) -> tuple[Label, Label]:
+        """(start, end) labels of one element, both at the pinned epoch."""
+        start, end = self._get_consistent((start_lid, end_lid))
+        return start, end
+
+    def compare(self, lid1: int, lid2: int) -> int:
+        """Document-order comparison at the pinned epoch: -1, 0, or +1."""
+        label1, label2 = self._get_consistent((lid1, lid2))
+        return (label1 > label2) - (label1 < label2)
+
+    def is_ancestor(
+        self,
+        ancestor: tuple[int, int],
+        descendant: tuple[int, int],
+    ) -> bool:
+        """Label-based ancestor-axis test between two (start LID, end LID)
+        element pairs: ``l<(a) < l<(d)`` and ``l>(d) < l>(a)``."""
+        if ancestor == descendant:
+            return False
+        a_start, a_end = ancestor
+        d_start, d_end = descendant
+        la_start, ld_start, ld_end, la_end = self._get_consistent(
+            (a_start, d_start, d_end, a_end)
+        )
+        return la_start < ld_start and ld_end < la_end
+
+    # -- internals -----------------------------------------------------
+
+    def _get_consistent(self, lids: Sequence[int]) -> list[Label]:
+        """Labels for several LIDs, all at one pinned epoch.
+
+        A fallthrough on any component advances the pin mid-read, which
+        would mix labels from two epochs (a torn multi-label read — the
+        interleaving harness catches exactly this).  Retry the whole set
+        whenever the pin moved; terminates because the pin only ever
+        advances, and each retry starts from the newest pin.
+        """
+        while True:
+            epoch = self._epoch
+            values = [self._get(lid, LABEL_CHANNEL) for lid in lids]
+            if self._epoch is epoch:
+                return values
+
+    def _get(self, lid: int, channel: str) -> Label:
+        service = self._service
+        epoch = self._epoch
+        service._yield("read:begin")
+        service.stats.observe_lag(service._current.number - epoch.number)
+        key = (lid, channel)
+        ref = self._refs.get(key)
+        if ref is None:
+            ref = LabelRef(lid, channel=channel)
+            self._refs[key] = ref
+        if ref.value is not None:
+            if ref.last_cached >= epoch.snapshot.last_modified:
+                service.stats.add(reads=1, fresh_hits=1)
+                return ref.value
+            repaired = epoch.snapshot.replay(ref.value, ref.last_cached, channel)
+            if repaired is not None:
+                ref.value = repaired
+                ref.last_cached = epoch.clock
+                service.stats.add(reads=1, replay_hits=1)
+                return repaired
+        return self._fallthrough(ref)
+
+    def _fallthrough(self, ref: LabelRef) -> Label:
+        """Latched BOX read; advances the session pin to the epoch the
+        structure state belongs to."""
+        service = self._service
+        service._yield("read:fallthrough")
+        latch = service._latch
+        latch.acquire_shared()
+        try:
+            # Holding the shared latch excludes the writer's group commits,
+            # so the structure state and the published epoch agree.
+            current = service._current
+            if ref.channel == ORDINAL_CHANNEL:
+                value = service.scheme.ordinal_lookup(ref.lid)
+            else:
+                value = service.scheme.lookup(ref.lid)
+            clock = service.scheme.clock
+        finally:
+            latch.release_shared()
+        if current.number > self._epoch.number:
+            self._epoch = current
+        ref.value = value
+        ref.last_cached = clock
+        service.stats.add(reads=1, fallthrough_reads=1)
+        return value

@@ -1,0 +1,165 @@
+"""Per-service counters, in the style of :class:`~repro.storage.stats.IOStats`.
+
+The label service's health is visible through three families of numbers:
+
+* **read path** — how many reads were served fresh from a pinned cache,
+  repaired by modification-log replay, or forced through to a latched BOX
+  lookup (the expensive, writer-excluding path);
+* **write path** — epochs published, batches and ops applied, and how often
+  producers had to wait on the bounded queue (backpressure);
+* **staleness** — how far behind the writer's published epoch reader
+  sessions were when they served reads (epoch lag).
+
+All increments are serialized under an internal lock, like
+:meth:`IOStats.add`; attribute reads stay lock-free (stale reads of
+monotone counters are harmless), and :meth:`snapshot` takes the lock so
+the values it returns are mutually consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServiceCounters:
+    """Immutable snapshot of a service's counters."""
+
+    reads: int
+    fresh_hits: int
+    replay_hits: int
+    fallthrough_reads: int
+    epochs_published: int
+    batches_applied: int
+    ops_applied: int
+    backpressure_waits: int
+    write_errors: int
+    max_epoch_lag: int
+    lag_sum: int
+    lag_samples: int
+
+    @property
+    def repair_hit_ratio(self) -> float:
+        """Reads answered without touching the BOX, over all reads."""
+        return (self.fresh_hits + self.replay_hits) / self.reads if self.reads else 0.0
+
+    @property
+    def mean_epoch_lag(self) -> float:
+        return self.lag_sum / self.lag_samples if self.lag_samples else 0.0
+
+
+class ServiceStats:
+    """Mutable running totals for one :class:`~repro.service.LabelService`."""
+
+    __slots__ = (
+        "reads",
+        "fresh_hits",
+        "replay_hits",
+        "fallthrough_reads",
+        "epochs_published",
+        "batches_applied",
+        "ops_applied",
+        "backpressure_waits",
+        "write_errors",
+        "max_epoch_lag",
+        "lag_sum",
+        "lag_samples",
+        "_lock",
+    )
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.fresh_hits = 0
+        self.replay_hits = 0
+        self.fallthrough_reads = 0
+        self.epochs_published = 0
+        self.batches_applied = 0
+        self.ops_applied = 0
+        self.backpressure_waits = 0
+        self.write_errors = 0
+        self.max_epoch_lag = 0
+        self.lag_sum = 0
+        self.lag_samples = 0
+        self._lock = threading.Lock()
+
+    def add(
+        self,
+        *,
+        reads: int = 0,
+        fresh_hits: int = 0,
+        replay_hits: int = 0,
+        fallthrough_reads: int = 0,
+        epochs_published: int = 0,
+        batches_applied: int = 0,
+        ops_applied: int = 0,
+        backpressure_waits: int = 0,
+        write_errors: int = 0,
+    ) -> None:
+        """Atomically bump any subset of the counters."""
+        with self._lock:
+            self.reads += reads
+            self.fresh_hits += fresh_hits
+            self.replay_hits += replay_hits
+            self.fallthrough_reads += fallthrough_reads
+            self.epochs_published += epochs_published
+            self.batches_applied += batches_applied
+            self.ops_applied += ops_applied
+            self.backpressure_waits += backpressure_waits
+            self.write_errors += write_errors
+
+    def observe_lag(self, lag: int) -> None:
+        """Record one reader's epoch lag (published epoch - pinned epoch)."""
+        with self._lock:
+            if lag > self.max_epoch_lag:
+                self.max_epoch_lag = lag
+            self.lag_sum += lag
+            self.lag_samples += 1
+
+    def reset(self) -> None:
+        """Zero every counter (e.g. after a warmup phase)."""
+        with self._lock:
+            self.reads = 0
+            self.fresh_hits = 0
+            self.replay_hits = 0
+            self.fallthrough_reads = 0
+            self.epochs_published = 0
+            self.batches_applied = 0
+            self.ops_applied = 0
+            self.backpressure_waits = 0
+            self.write_errors = 0
+            self.max_epoch_lag = 0
+            self.lag_sum = 0
+            self.lag_samples = 0
+
+    def snapshot(self) -> ServiceCounters:
+        """Current totals as an immutable, mutually consistent value."""
+        with self._lock:
+            return ServiceCounters(
+                reads=self.reads,
+                fresh_hits=self.fresh_hits,
+                replay_hits=self.replay_hits,
+                fallthrough_reads=self.fallthrough_reads,
+                epochs_published=self.epochs_published,
+                batches_applied=self.batches_applied,
+                ops_applied=self.ops_applied,
+                backpressure_waits=self.backpressure_waits,
+                write_errors=self.write_errors,
+                max_epoch_lag=self.max_epoch_lag,
+                lag_sum=self.lag_sum,
+                lag_samples=self.lag_samples,
+            )
+
+    @property
+    def repair_hit_ratio(self) -> float:
+        """Reads answered without touching the BOX, over all reads."""
+        reads = self.reads
+        return (self.fresh_hits + self.replay_hits) / reads if reads else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceStats(reads={self.reads}, fresh={self.fresh_hits}, "
+            f"replayed={self.replay_hits}, fallthrough={self.fallthrough_reads}, "
+            f"epochs={self.epochs_published}, batches={self.batches_applied}, "
+            f"backpressure_waits={self.backpressure_waits})"
+        )

@@ -10,7 +10,7 @@ cache, an I/O counter, and the LIDF heap file of Section 3.
 from .stats import IOStats, OperationCost
 from .backend import MemoryBackend, StorageBackend
 from .cache import BlockCache
-from .blockstore import BlockStore, OperationBuffer
+from .blockstore import BlockStore, OperationBuffer, ReaderWriterLatch
 from .filebackend import FileBackend, default_page_bytes, read_superblock
 from .heapfile import HeapFile
 from .wal import WALScan, scan_wal
@@ -26,6 +26,7 @@ __all__ = [
     "BlockCache",
     "OperationBuffer",
     "BlockStore",
+    "ReaderWriterLatch",
     "HeapFile",
     "WALScan",
     "scan_wal",

@@ -41,6 +41,7 @@ backend-correlation benchmark measures.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Any, Iterator
 
@@ -49,6 +50,74 @@ from ..errors import BlockNotFoundError, StorageError
 from .backend import MemoryBackend, StorageBackend
 from .cache import BlockCache
 from .stats import IOStats, OperationCost
+
+
+class ReaderWriterLatch:
+    """A shared/exclusive latch guarding direct structure reads.
+
+    The label service's snapshot protocol keeps readers off the BOX
+    entirely (they serve from epoch-pinned caches); only *fallthrough*
+    reads — a cache too stale for the modification log to repair — touch
+    the structure, and they do so holding this latch in shared mode while
+    the writer holds it exclusively across each group commit.
+
+    Writer preference: once a writer is waiting, new shared acquirers
+    queue behind it, so a steady reader stream cannot starve the write
+    path.  The latch is advisory — single-threaded code never takes it —
+    and re-entrant acquisition is deliberately unsupported (latch scopes
+    in this codebase never nest).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_shared(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+
+    def release_shared(self) -> None:
+        with self._cond:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    def acquire_exclusive(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_exclusive(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def shared(self) -> Iterator[None]:
+        """Hold the latch in shared (reader) mode for the context."""
+        self.acquire_shared()
+        try:
+            yield
+        finally:
+            self.release_shared()
+
+    @contextmanager
+    def exclusive(self) -> Iterator[None]:
+        """Hold the latch in exclusive (writer) mode for the context."""
+        self.acquire_exclusive()
+        try:
+            yield
+        finally:
+            self.release_exclusive()
 
 
 class OperationBuffer:
@@ -117,9 +186,26 @@ class BlockStore:
         self.config = config
         self.stats = stats if stats is not None else IOStats()
         self.backend = backend if backend is not None else MemoryBackend()
-        self.buffer = OperationBuffer()
+        # One scratch buffer per thread: operation scopes are a per-caller
+        # measurement device, and concurrent latched readers must not share
+        # (or flush) each other's read sets.  Single-threaded code always
+        # sees the same buffer, preserving the historical semantics.
+        self._buffers = threading.local()
         self.cache = BlockCache(cache_capacity, cache_mode)
         self._cache_capacity = cache_capacity
+        #: Shared/exclusive latch for concurrent direct reads (advisory;
+        #: taken by the label service, never by single-threaded paths).
+        self.latch = ReaderWriterLatch()
+
+    @property
+    def buffer(self) -> OperationBuffer:
+        """The calling thread's operation scratch buffer."""
+        try:
+            return self._buffers.value
+        except AttributeError:
+            buffer = OperationBuffer()
+            self._buffers.value = buffer
+            return buffer
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -133,7 +219,7 @@ class BlockStore:
         other dirtied block.
         """
         block_id = self.backend.allocate(payload)
-        self.stats.allocs += 1
+        self.stats.add(allocs=1)
         self._mark_dirty(block_id)
         return block_id
 
@@ -148,7 +234,7 @@ class BlockStore:
             self.backend.free(block_id)
         except KeyError:
             raise BlockNotFoundError(f"block {block_id} is not allocated") from None
-        self.stats.frees += 1
+        self.stats.add(frees=1)
         self.buffer.forget(block_id)
         self.cache.evict(block_id)
 
@@ -179,12 +265,13 @@ class BlockStore:
         if buffer.depth > 0 and buffer.buffered(block_id):
             pass  # buffered within this operation: free
         elif self._cache_capacity > 0 and self.cache.lookup(block_id):
-            self.stats.cache_hits += 1
+            self.stats.add(cache_hits=1)
         else:
-            self.stats.reads += 1
             if self._cache_capacity > 0:
-                self.stats.cache_misses += 1
+                self.stats.add(reads=1, cache_misses=1)
                 self.cache.insert(block_id)
+            else:
+                self.stats.add(reads=1)
         if buffer.depth > 0:
             buffer.read.add(block_id)
         return payload
@@ -278,14 +365,14 @@ class BlockStore:
         if self.buffer.depth > 0:
             self.buffer.dirty.add(block_id)
         else:
-            self.stats.writes += 1
+            self.stats.add(writes=1)
             self.cache.insert(block_id)
             self.backend.commit((block_id,))
 
     def _flush(self) -> None:
         dirty = self.buffer.dirty
         if dirty:
-            self.stats.writes += len(dirty)
+            self.stats.add(writes=len(dirty))
             for block_id in dirty:
                 self.cache.insert(block_id)
             # Read-only operations skip the backend entirely: they change

@@ -16,10 +16,17 @@ two replacement policies:
 The cache never counts I/O itself: :class:`BlockStore` consults
 :meth:`lookup` / :meth:`insert` and does the :class:`~repro.storage.stats.IOStats`
 accounting.
+
+Every probe, admission, and eviction takes an internal lock: the label
+service lets many readers fall through to latched BOX reads concurrently,
+and each such read probes (and possibly reorders) these ``OrderedDict``
+segments.  The lock serializes those structural mutations; the latch alone
+does not, because readers share it with each other.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from ..errors import StorageError
@@ -43,6 +50,7 @@ class BlockCache:
         "_protected",
         "protected_capacity",
         "probation_capacity",
+        "_lock",
     )
 
     def __init__(self, capacity: int = 0, mode: str = "lru") -> None:
@@ -59,6 +67,7 @@ class BlockCache:
         numerator, denominator = _PROTECTED_FRACTION
         self.protected_capacity = (numerator * capacity) // denominator
         self.probation_capacity = capacity - self.protected_capacity
+        self._lock = threading.Lock()
 
     @property
     def enabled(self) -> bool:
@@ -73,53 +82,57 @@ class BlockCache:
 
     def lookup(self, block_id: int) -> bool:
         """Probe the cache; on a hit, apply the policy's promotion rules."""
-        if self.mode == "lru":
-            if block_id not in self._probation:
-                return False
-            self._probation.move_to_end(block_id)
-            return True
-        if block_id in self._protected:
-            self._protected.move_to_end(block_id)
-            return True
-        if block_id in self._probation:  # probationary hit: promote
-            del self._probation[block_id]
-            self._protected[block_id] = None
-            while len(self._protected) > self.protected_capacity:
-                demoted, _ = self._protected.popitem(last=False)
-                self._probation[demoted] = None
-                while len(self._probation) > self.probation_capacity:
-                    self._probation.popitem(last=False)
-            return True
-        return False
+        with self._lock:
+            if self.mode == "lru":
+                if block_id not in self._probation:
+                    return False
+                self._probation.move_to_end(block_id)
+                return True
+            if block_id in self._protected:
+                self._protected.move_to_end(block_id)
+                return True
+            if block_id in self._probation:  # probationary hit: promote
+                del self._probation[block_id]
+                self._protected[block_id] = None
+                while len(self._protected) > self.protected_capacity:
+                    demoted, _ = self._protected.popitem(last=False)
+                    self._probation[demoted] = None
+                    while len(self._probation) > self.probation_capacity:
+                        self._probation.popitem(last=False)
+                return True
+            return False
 
     def insert(self, block_id: int) -> None:
         """Admit (or refresh) a block after a counted read or a write."""
         if self.capacity <= 0:
             return
-        if self.mode == "lru":
+        with self._lock:
+            if self.mode == "lru":
+                self._probation[block_id] = None
+                self._probation.move_to_end(block_id)
+                while len(self._probation) > self.capacity:
+                    self._probation.popitem(last=False)
+                return
+            # SLRU: refresh a resident block in place; admit new blocks to
+            # the probationary segment only.
+            if block_id in self._protected:
+                self._protected.move_to_end(block_id)
+                return
             self._probation[block_id] = None
             self._probation.move_to_end(block_id)
-            while len(self._probation) > self.capacity:
+            while len(self._probation) > self.probation_capacity:
                 self._probation.popitem(last=False)
-            return
-        # SLRU: refresh a resident block in place; admit new blocks to the
-        # probationary segment only.
-        if block_id in self._protected:
-            self._protected.move_to_end(block_id)
-            return
-        self._probation[block_id] = None
-        self._probation.move_to_end(block_id)
-        while len(self._probation) > self.probation_capacity:
-            self._probation.popitem(last=False)
 
     def evict(self, block_id: int) -> None:
         """Drop a block from every segment (the ``free()`` path: a freed id
         may be recycled by a later allocation, and the stale entry must not
         masquerade as a hit for the reborn block)."""
-        self._probation.pop(block_id, None)
-        self._protected.pop(block_id, None)
+        with self._lock:
+            self._probation.pop(block_id, None)
+            self._protected.pop(block_id, None)
 
     def clear(self) -> None:
         """Empty the cache (both segments)."""
-        self._probation.clear()
-        self._protected.clear()
+        with self._lock:
+            self._probation.clear()
+            self._protected.clear()

@@ -7,6 +7,7 @@ counters: performance "is measured by the number of I/Os" (Section 7).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 
@@ -35,9 +36,16 @@ class IOStats:
     The counters accumulate forever; callers that want per-operation or
     per-phase costs take a :meth:`snapshot` before and subtract after, or
     use :meth:`BlockStore.operation` which returns the delta directly.
+
+    Increments go through :meth:`add`, which serializes them under an
+    internal lock: a Python ``+=`` on an attribute is a read-modify-write
+    that can lose updates when concurrent readers count I/Os under the
+    store's shared latch.  Reading individual attributes stays lock-free
+    (a stale read of a monotone counter is harmless); :meth:`snapshot`
+    takes the lock so the (reads, writes) pair is mutually consistent.
     """
 
-    __slots__ = ("reads", "writes", "allocs", "frees", "cache_hits", "cache_misses")
+    __slots__ = ("reads", "writes", "allocs", "frees", "cache_hits", "cache_misses", "_lock")
 
     def __init__(self) -> None:
         self.reads = 0
@@ -46,19 +54,41 @@ class IOStats:
         self.frees = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self._lock = threading.Lock()
+
+    def add(
+        self,
+        *,
+        reads: int = 0,
+        writes: int = 0,
+        allocs: int = 0,
+        frees: int = 0,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+    ) -> None:
+        """Atomically bump any subset of the counters."""
+        with self._lock:
+            self.reads += reads
+            self.writes += writes
+            self.allocs += allocs
+            self.frees += frees
+            self.cache_hits += cache_hits
+            self.cache_misses += cache_misses
 
     def snapshot(self) -> OperationCost:
         """Current totals as an immutable value."""
-        return OperationCost(self.reads, self.writes)
+        with self._lock:
+            return OperationCost(self.reads, self.writes)
 
     def reset(self) -> None:
         """Zero every counter (useful between benchmark phases)."""
-        self.reads = 0
-        self.writes = 0
-        self.allocs = 0
-        self.frees = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
+        with self._lock:
+            self.reads = 0
+            self.writes = 0
+            self.allocs = 0
+            self.frees = 0
+            self.cache_hits = 0
+            self.cache_misses = 0
 
     @property
     def total_io(self) -> int:

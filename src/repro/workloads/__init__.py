@@ -1,20 +1,30 @@
 """The paper's experimental workloads (Section 7) and cost metrics."""
 
 from .sequences import (
+    churn_edit_batches,
+    concentrated_edit_batches,
+    read_op_stream,
     run_churn,
     run_concentrated,
     run_concentrated_batched,
     run_scattered,
     run_scattered_batched,
+    run_service_stress,
     run_xmark_build,
     run_xmark_build_batched,
     two_level_pairing,
     BatchedWorkloadResult,
+    ServiceStressResult,
     WorkloadResult,
 )
 from .metrics import amortized_cost, ccdf, summarize
 
 __all__ = [
+    "churn_edit_batches",
+    "concentrated_edit_batches",
+    "read_op_stream",
+    "run_service_stress",
+    "ServiceStressResult",
     "run_churn",
     "run_concentrated",
     "run_concentrated_batched",

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..core.batch import BatchOp, BatchRef, BatchResult
 from ..core.document import tag_pairing
@@ -350,6 +351,235 @@ def run_churn(
     result.wall_seconds = time.perf_counter() - started
     result.final_labels = scheme.label_count()
     return result
+
+
+def read_op_stream(
+    lids: Sequence[int],
+    n_ops: int,
+    seed: int = 1,
+    mix: tuple[float, float, float] = (0.6, 0.25, 0.15),
+):
+    """Generate a reader op stream over a fixed LID population.
+
+    Yields ``("lookup", lid)``, ``("pair", start_lid, end_lid)``, or
+    ``("compare", lid1, lid2)`` tuples with the given probability ``mix``.
+    Pairs assume the two-level layout of :func:`two_level_pairing` (LIDs
+    ``1+2i`` / ``2+2i`` are element i's start/end); deterministic per seed,
+    so concurrent readers can each run their own seeded stream.
+    """
+    import random
+
+    rng = random.Random(seed)
+    lookup_w, pair_w, _compare_w = mix
+    n_children = (len(lids) - 2) // 2
+    for _ in range(n_ops):
+        roll = rng.random()
+        if roll < lookup_w or n_children < 1:
+            yield ("lookup", lids[rng.randrange(len(lids))])
+        elif roll < lookup_w + pair_w:
+            child = rng.randrange(n_children)
+            yield ("pair", lids[1 + 2 * child], lids[2 + 2 * child])
+        else:
+            yield ("compare", lids[rng.randrange(len(lids))], lids[rng.randrange(len(lids))])
+
+
+def concentrated_edit_batches(
+    anchor_lid: int,
+    n_batches: int,
+    batch_size: int,
+):
+    """Writer-side stream for the service: batches of concentrated inserts.
+
+    Each batch squeezes ``batch_size`` element insertions before
+    ``anchor_lid`` — the paper's adversarial pattern, expressed as the
+    :class:`~repro.core.batch.BatchOp` lists a service client would submit.
+    Later elements anchor on earlier ones through BatchRefs within each
+    batch; across batches all inserts share the original anchor, keeping
+    the write window concentrated on the same few blocks.
+    """
+    for _ in range(n_batches):
+        ops = [BatchOp("insert_element_before", (anchor_lid,))]
+        for index in range(1, batch_size):
+            ops.append(BatchOp("insert_element_before", (BatchRef(index - 1, 0),)))
+        yield ops
+
+
+def churn_edit_batches(
+    anchor_lid: int,
+    n_batches: int,
+    batch_size: int,
+):
+    """Steady-state writer stream: each batch inserts ``batch_size``
+    elements before ``anchor_lid`` and then deletes those same elements
+    (via BatchRefs), so the structure's live size never grows.
+
+    After one priming batch, every insert reclaims a ghost slot left by
+    the previous batch's deletes — no node splits, so the scheme emits
+    only :class:`RangeShift` effects and log replay repairs every cached
+    ref.  This is the regime where a warmed reader never falls through.
+    """
+    for _ in range(n_batches):
+        ops = [BatchOp("insert_element_before", (anchor_lid,)) for _ in range(batch_size)]
+        ops.extend(
+            BatchOp("delete_element", (BatchRef(i, 0), BatchRef(i, 1)))
+            for i in range(batch_size)
+        )
+        yield ops
+
+
+@dataclass
+class ServiceStressResult:
+    """Outcome of one concurrent service stress run."""
+
+    scheme: str
+    readers: int
+    wall_seconds: float
+    read_ops: int
+    write_ops: int
+    counters: object  #: final ServiceCounters snapshot
+    reader_errors: list = field(default_factory=list)
+
+    @property
+    def reads_per_second(self) -> float:
+        return self.read_ops / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def run_service_stress(
+    scheme: LabelingScheme,
+    base_elements: int = 500,
+    readers: int = 4,
+    duration: float = 2.0,
+    write_batch: int = 16,
+    group_size: int = 16,
+    log_capacity: int = 4096,
+    think_seconds: float = 0.0002,
+    write_pause: float = 0.002,
+    refresh_every: int = 32,
+    warm_sessions: bool = True,
+    write_mode: str = "insert",
+    hot_elements: int | None = None,
+    seed: int = 1,
+) -> ServiceStressResult:
+    """Drive a :class:`~repro.service.LabelService` with concurrent load.
+
+    ``readers`` closed-loop reader threads each run a seeded
+    :func:`read_op_stream` against their own pinned session, re-pinning
+    every ``refresh_every`` ops, with ``think_seconds`` of client think
+    time between ops (the open/closed-loop load model every service
+    benchmark uses: aggregate throughput scales with connections until
+    service time dominates think time).  One writer feeds concentrated
+    insert batches through the bounded queue for the whole duration,
+    pausing ``write_pause`` between submissions so the modification log
+    keeps covering the write window (the regime where warmed reads never
+    fall through).  With ``warm_sessions`` each reader touches every LID
+    once before the timed loop, so measured reads run from warmed caches.
+
+    ``write_mode`` picks the writer stream: ``"insert"`` grows the
+    document with :func:`concentrated_edit_batches` (splits and range
+    invalidations happen, so some reads fall through); ``"churn"`` uses
+    :func:`churn_edit_batches` (steady-state, shift-only effects — the
+    zero-fallthrough regime).  ``hot_elements`` restricts reads to the
+    first N elements of the base document, modelling a hot working set
+    small enough that the log always covers the gap between re-reads.
+    """
+    import threading
+
+    from ..service import LabelService
+
+    if write_mode not in ("insert", "churn"):
+        raise ValueError(f"unknown write_mode: {write_mode!r}")
+    lids = _bulk_load_two_level(scheme, base_elements)
+    if hot_elements is not None:
+        read_lids = lids[: 2 + 2 * min(hot_elements, base_elements)]
+    else:
+        read_lids = list(lids)
+    service = LabelService(
+        scheme,
+        log_capacity=log_capacity,
+        group_size=group_size,
+        queue_capacity=8,
+    )
+    service.start()
+    if write_mode == "churn":
+        # Priming batch: grows leaf weights once so every later insert
+        # reclaims a ghost — no splits inside the measured window.
+        prime = next(churn_edit_batches(lids[-1], 1, write_batch))
+        service.submit_ops(prime, timeout=60).wait(timeout=60)
+    stop_flag = threading.Event()
+    # Readers warm up, then everyone (readers + the coordinating thread)
+    # meets here; the clock starts and counters reset only after the
+    # barrier, so warmup fallthroughs don't pollute the measured window.
+    barrier = threading.Barrier(readers + 1)
+    read_counts = [0] * readers
+    errors: list = []
+    write_ops = 0
+
+    def reader(index: int) -> None:
+        session = service.session()
+        count = 0
+        try:
+            if warm_sessions:
+                for lid in read_lids:
+                    session.lookup(lid)
+            barrier.wait(timeout=60)
+            while not stop_flag.is_set():
+                session.refresh()
+                for op in read_op_stream(read_lids, refresh_every, seed=seed + index + count):
+                    if op[0] == "lookup":
+                        session.lookup(op[1])
+                    elif op[0] == "pair":
+                        session.lookup_pair(op[1], op[2])
+                    else:
+                        session.compare(op[1], op[2])
+                    count += 1
+                    if think_seconds:
+                        time.sleep(think_seconds)
+                    if stop_flag.is_set():
+                        break
+        except Exception as error:  # surfaced to the caller, fails the run
+            errors.append(error)
+        finally:
+            read_counts[index] = count
+
+    threads = [
+        threading.Thread(target=reader, args=(i,), name=f"stress-reader-{i}", daemon=True)
+        for i in range(readers)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60)
+    service.stats.reset()
+    started = time.perf_counter()
+    deadline = started + duration
+    tickets = []
+    if write_mode == "churn":
+        batches = churn_edit_batches(lids[-1], n_batches=10**9, batch_size=write_batch)
+    else:
+        batches = concentrated_edit_batches(lids[-1], n_batches=10**9, batch_size=write_batch)
+    while time.perf_counter() < deadline:
+        batch = next(batches)
+        tickets.append(service.submit_ops(batch, timeout=max(duration, 10.0)))
+        write_ops += len(batch)
+        if write_pause:
+            time.sleep(write_pause)
+    stop_flag.set()
+    for thread in threads:
+        thread.join(timeout=30)
+    wall = time.perf_counter() - started
+    for ticket in tickets:
+        ticket.wait(timeout=30)
+    service.close()
+    if any(thread.is_alive() for thread in threads):
+        errors.append(RuntimeError("reader thread failed to stop"))
+    return ServiceStressResult(
+        scheme=scheme.name,
+        readers=readers,
+        wall_seconds=wall,
+        read_ops=sum(read_counts),
+        write_ops=write_ops,
+        counters=service.stats.snapshot(),
+        reader_errors=errors,
+    )
 
 
 def subtree_tags_and_pairing(root: Element) -> tuple[list[Tag], list[int]]:

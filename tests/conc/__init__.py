@@ -1,0 +1,8 @@
+"""Deterministic concurrency tests for the label service.
+
+``scheduler`` is the harness: a cooperative scheduler that runs real
+threads one at a time and enumerates every interleaving of their
+preemption points.  The test modules sweep reader/writer schedules
+through the service's yield hooks and check its snapshot-consistency
+contract against a per-epoch oracle.
+"""

@@ -1,0 +1,336 @@
+"""Deterministic interleaving harness (stateless model checking).
+
+The scheduler runs each test actor on a real thread but lets exactly one
+run at a time.  An actor pauses at every *preemption point* — a
+``yield_point(tag)`` call, wired into the service's ``yield_hook`` — and
+the scheduler then picks which actor runs next.  The sequence of picks is
+a *schedule*; replaying a recorded decision prefix reproduces a schedule
+exactly, and :func:`explore` walks the whole schedule tree depth-first,
+re-running the (deterministic) test body once per schedule:
+
+* every decision records ``(choice, n_enabled)``;
+* after a run, the deepest decision with an untried alternative is
+  bumped and everything after it is discarded — the next run replays the
+  prefix and diverges there;
+* exploration ends when no decision has alternatives left, i.e. every
+  interleaving of the actors' preemption points has been executed.
+
+``preempt_on`` filters which tags are decision points: coarse tag sets
+keep the schedule count tractable (three actors with three preemption
+points each = 9!/(3!·3!·3!) = 1680 schedules), fine sets explore latch
+handoff in detail.
+
+:class:`SchedulerLatch` is a drop-in for the store's
+:class:`~repro.storage.blockstore.ReaderWriterLatch` that blocks
+*cooperatively*: a blocked actor is excluded from the enabled set instead
+of parking its OS thread, so the scheduler sees latch waits and can
+detect deadlocks (no enabled actor, some not done).  Since only one actor
+ever runs, the latch needs no lock of its own.
+
+Everything waits with internal timeouts — a hung schedule fails the test
+instead of hanging pytest (the CI job adds pytest-timeout on top, but the
+harness must not depend on it locally).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterable
+
+#: Safety net for every internal wait: generous enough for a loaded CI
+#: machine, finite so a scheduling bug fails fast instead of hanging.
+WAIT_SECONDS = 60.0
+
+READY = "ready"
+RUNNING = "running"
+BLOCKED = "blocked"
+DONE = "done"
+
+
+class SchedulerError(AssertionError):
+    """The harness itself misbehaved (timeout, stale replay prefix)."""
+
+
+class DeadlockError(AssertionError):
+    """No actor is runnable but some have not finished."""
+
+
+class Actor:
+    """One scheduled thread of control."""
+
+    __slots__ = ("name", "fn", "state", "thread", "error")
+
+    def __init__(self, name: str, fn: Callable[[], None]) -> None:
+        self.name = name
+        self.fn = fn
+        self.state = READY
+        self.thread: threading.Thread | None = None
+        self.error: BaseException | None = None
+
+    def __repr__(self) -> str:
+        return f"Actor({self.name!r}, {self.state})"
+
+
+class DeterministicScheduler:
+    """Cooperative scheduler over real threads; one actor runs at a time.
+
+    Usage::
+
+        sched = DeterministicScheduler(preempt_on={"read:begin"})
+        sched.spawn("reader", reader_fn)   # fns call sched.yield_point
+        sched.spawn("writer", writer_fn)
+        sched.run()                        # executes one full schedule
+
+    ``forced`` (a decision prefix) makes the run replay a specific
+    schedule; decisions beyond the prefix default to choice 0.  After
+    ``run`` returns, :attr:`decisions` holds the full decision list for
+    backtracking.
+    """
+
+    def __init__(
+        self,
+        preempt_on: Iterable[str] | None = None,
+        forced: Iterable[int] | None = None,
+    ) -> None:
+        self.preempt_on = frozenset(preempt_on) if preempt_on is not None else None
+        self.forced = list(forced or [])
+        self.actors: list[Actor] = []
+        #: ``(choice, n_enabled)`` per decision point, in order.
+        self.decisions: list[tuple[int, int]] = []
+        self._cv = threading.Condition()
+        self._current: Actor | None = None
+        self._aborted = False
+        self._local = threading.local()
+
+    # -- setup ---------------------------------------------------------
+
+    def spawn(self, name: str, fn: Callable[[], None]) -> Actor:
+        """Register an actor (threads start when :meth:`run` is called)."""
+        actor = Actor(name, fn)
+        self.actors.append(actor)
+        return actor
+
+    # -- actor-side API (called from inside actor functions) -----------
+
+    def yield_point(self, tag: str) -> None:
+        """Preemption point: maybe hand control back to the scheduler.
+
+        No-op when called from a non-actor thread (setup code), or when
+        ``tag`` is filtered out by ``preempt_on``.
+        """
+        actor = getattr(self._local, "actor", None)
+        if actor is None:
+            return
+        if self.preempt_on is not None and tag not in self.preempt_on:
+            return
+        self._pause(actor, READY)
+
+    def block(self) -> None:
+        """Current actor waits for a resource: unschedulable until
+        :meth:`wake_blocked`.  No-op outside actor threads (where real
+        blocking can't happen — setup code runs with no concurrency)."""
+        actor = getattr(self._local, "actor", None)
+        if actor is None:
+            return
+        self._pause(actor, BLOCKED)
+
+    def wake_blocked(self) -> None:
+        """Make every blocked actor runnable again (they re-check their
+        wait condition when next scheduled)."""
+        with self._cv:
+            for actor in self.actors:
+                if actor.state == BLOCKED:
+                    actor.state = READY
+
+    def _pause(self, actor: Actor, new_state: str) -> None:
+        with self._cv:
+            actor.state = new_state
+            self._current = None
+            self._cv.notify_all()
+            if not self._cv.wait_for(
+                lambda: self._current is actor or self._aborted, timeout=WAIT_SECONDS
+            ):
+                raise SchedulerError(f"{actor.name}: not rescheduled within {WAIT_SECONDS}s")
+            if self._aborted:
+                raise SchedulerError("scheduler aborted")
+            actor.state = RUNNING
+
+    # -- controller ----------------------------------------------------
+
+    def run(self) -> None:
+        """Execute one complete schedule; raises the first actor error."""
+        if not self.actors:
+            return
+        for actor in self.actors:
+            actor.thread = threading.Thread(
+                target=self._actor_main, args=(actor,), daemon=True,
+                name=f"sched-{actor.name}",
+            )
+            actor.thread.start()
+        try:
+            self._control_loop()
+        except BaseException:
+            self._abort()
+            raise
+        for actor in self.actors:
+            assert actor.thread is not None
+            actor.thread.join(timeout=WAIT_SECONDS)
+            if actor.thread.is_alive():
+                self._abort()
+                raise SchedulerError(f"{actor.name}: thread did not finish")
+        for actor in self.actors:
+            if actor.error is not None:
+                raise actor.error
+
+    def _control_loop(self) -> None:
+        step = 0
+        while True:
+            with self._cv:
+                if all(actor.state == DONE for actor in self.actors):
+                    return
+                enabled = [a for a in self.actors if a.state == READY]
+                if not enabled:
+                    states = ", ".join(f"{a.name}={a.state}" for a in self.actors)
+                    raise DeadlockError(f"no runnable actor: {states}")
+                if step < len(self.forced):
+                    choice = self.forced[step]
+                    if choice >= len(enabled):
+                        raise SchedulerError(
+                            f"replay prefix stale at step {step}: "
+                            f"choice {choice} of {len(enabled)} enabled"
+                        )
+                else:
+                    choice = 0
+                self.decisions.append((choice, len(enabled)))
+                picked = enabled[choice]
+                self._current = picked
+                self._cv.notify_all()
+                if not self._cv.wait_for(
+                    lambda: self._current is None, timeout=WAIT_SECONDS
+                ):
+                    raise SchedulerError(
+                        f"{picked.name}: did not yield within {WAIT_SECONDS}s"
+                    )
+                # Fail fast on actor errors so exploration doesn't keep
+                # scheduling around a corpse.
+                if picked.error is not None:
+                    raise picked.error
+            step += 1
+
+    def _actor_main(self, actor: Actor) -> None:
+        self._local.actor = actor
+        try:
+            # Wait to be scheduled for the first time.
+            with self._cv:
+                if not self._cv.wait_for(
+                    lambda: self._current is actor or self._aborted,
+                    timeout=WAIT_SECONDS,
+                ):
+                    raise SchedulerError(f"{actor.name}: never scheduled")
+                if self._aborted:
+                    return
+                actor.state = RUNNING
+            actor.fn()
+        except BaseException as error:
+            actor.error = error
+        finally:
+            with self._cv:
+                actor.state = DONE
+                self._current = None
+                self._cv.notify_all()
+
+    def _abort(self) -> None:
+        with self._cv:
+            self._aborted = True
+            self._cv.notify_all()
+
+
+class SchedulerLatch:
+    """Cooperative shared/exclusive latch with writer preference.
+
+    API-compatible with :class:`repro.storage.blockstore.ReaderWriterLatch`
+    so tests can inject it into a :class:`~repro.service.LabelService`.
+    State needs no lock: only one actor runs at any moment.
+    """
+
+    def __init__(self, scheduler: DeterministicScheduler) -> None:
+        self._sched = scheduler
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_shared(self) -> None:
+        while self._writer or self._writers_waiting:
+            self._sched.block()
+        self._readers += 1
+
+    def release_shared(self) -> None:
+        self._readers -= 1
+        self._sched.wake_blocked()
+
+    def acquire_exclusive(self) -> None:
+        self._writers_waiting += 1
+        try:
+            while self._writer or self._readers:
+                self._sched.block()
+        finally:
+            self._writers_waiting -= 1
+        self._writer = True
+
+    def release_exclusive(self) -> None:
+        self._writer = False
+        self._sched.wake_blocked()
+
+    @contextmanager
+    def shared(self):
+        self.acquire_shared()
+        try:
+            yield
+        finally:
+            self.release_shared()
+
+    @contextmanager
+    def exclusive(self):
+        self.acquire_exclusive()
+        try:
+            yield
+        finally:
+            self.release_exclusive()
+
+
+def explore(
+    setup: Callable[[DeterministicScheduler], Callable[[], None] | None],
+    preempt_on: Iterable[str] | None = None,
+    max_schedules: int = 200_000,
+) -> int:
+    """Exhaustively execute every interleaving of a deterministic scenario.
+
+    ``setup`` receives a fresh scheduler, builds the world from scratch
+    (scheme, service, actors — everything must be deterministic), spawns
+    the actors, and may return a final check to run after the schedule
+    completes.  Returns the number of schedules executed; raises if the
+    tree exceeds ``max_schedules`` (a tag-filtering mistake, usually).
+    """
+    preempt = frozenset(preempt_on) if preempt_on is not None else None
+    prefix: list[int] = []
+    executed = 0
+    while True:
+        scheduler = DeterministicScheduler(preempt_on=preempt, forced=prefix)
+        finish = setup(scheduler)
+        scheduler.run()
+        if finish is not None:
+            finish()
+        executed += 1
+        if executed > max_schedules:
+            raise SchedulerError(
+                f"more than {max_schedules} schedules; coarsen preempt_on"
+            )
+        decisions = scheduler.decisions
+        deepest = len(decisions) - 1
+        while deepest >= 0 and decisions[deepest][0] + 1 >= decisions[deepest][1]:
+            deepest -= 1
+        if deepest < 0:
+            return executed
+        prefix = [choice for choice, _ in decisions[:deepest]]
+        prefix.append(decisions[deepest][0] + 1)
