@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands, all built on the public API::
+Ten subcommands, all built on the public API::
 
     python -m repro label    doc.xml --scheme bbox --save labels.box
     python -m repro query    doc.xml "//item[mailbox/mail]" --scheme wbox
@@ -10,6 +10,8 @@ Eight subcommands, all built on the public API::
     python -m repro info     labels.pages
     python -m repro stress   --scheme wbox --readers 4 --seconds 5
     python -m repro serve    doc.xml --scheme bbox
+    python -m repro metrics  --scheme wbox
+    python -m repro trace    --op insert --scheme wbox
 
 ``label`` parses and bulk-loads a document and reports structure statistics
 (optionally persisting the labeled structure); ``query`` evaluates an
@@ -29,6 +31,13 @@ over a synthetic document and hammers it with reader threads plus a write
 stream for a fixed duration, printing throughput and the service counters;
 ``serve`` labels a document and answers lookup/compare/insert commands on
 stdin through a reader session and the bounded write queue.
+
+``metrics`` runs a small sample workload through the service and prints the
+process metrics registry (Prometheus text or JSON); ``trace`` enables the
+tracer, runs one operation against an XMark document on a file-backed
+store, and prints the resulting span tree — service through batch engine,
+scheme, block store, backend, and WAL — verifying that the tree's counted
+I/Os sum to the scheme's :class:`~repro.storage.stats.IOStats` delta.
 """
 
 from __future__ import annotations
@@ -443,6 +452,106 @@ def cmd_info(args: argparse.Namespace) -> int:
     raise PersistError(f"{args.file} is neither a snapshot nor a page file")
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from .core import BatchOp
+    from .obs.metrics import get_registry
+    from .service import LabelService
+    from .xml.xmark import xmark_document
+
+    config = BoxConfig(block_bytes=args.block_bytes)
+    scheme = make_scheme(args.scheme, config, args.storage, args.storage_path)
+    doc = LabeledDocument(scheme, xmark_document(args.items, seed=args.seed))
+    with LabelService(doc, group_size=16) as service:
+        elements = list(doc.elements())
+        anchor = elements[len(elements) // 2]
+        lid = doc.start_lid(anchor)
+        session = service.session()
+        session.lookup(lid)
+        ticket = service.submit_ops(
+            [BatchOp("insert_element_before", (lid,))], timeout=30
+        )
+        ticket.wait(timeout=30)
+        session.refresh()
+        session.lookup(lid)
+    registry = get_registry()
+    if args.format == "json":
+        print(registry.to_json())
+    else:
+        print(registry.render_prometheus(), end="")
+    _finish_scheme(scheme)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .core import BatchOp
+    from .obs import trace as trace_mod
+    from .obs.trace import Tracer
+    from .service import LabelService
+    from .xml.xmark import xmark_document
+
+    config = BoxConfig(block_bytes=args.block_bytes)
+    tmp: tempfile.TemporaryDirectory | None = None
+    storage_path = args.storage_path
+    if args.storage == "file" and not storage_path:
+        # A throwaway page file: the point of defaulting to file storage is
+        # that the trace then includes the backend-commit and WAL layers.
+        tmp = tempfile.TemporaryDirectory(prefix="repro-trace-")
+        storage_path = os.path.join(tmp.name, "trace.pages")
+    try:
+        scheme = make_scheme(args.scheme, config, args.storage, storage_path)
+        doc = LabeledDocument(scheme, xmark_document(args.items, seed=args.seed))
+        elements = list(doc.elements())
+        anchor = elements[len(elements) // 2]
+        start_lid = doc.start_lid(anchor)
+        if args.op == "insert":
+            ops = [BatchOp("insert_element_before", (start_lid,))]
+        elif args.op == "delete":
+            # Delete a freshly inserted childless element, leaving the
+            # document intact; the insert itself runs before tracing starts.
+            new_start, new_end = scheme.insert_element_before(start_lid)
+            ops = [BatchOp("delete_element", (new_start, new_end))]
+        else:  # lookup
+            ops = [BatchOp("lookup_pair", (start_lid, doc.end_lid(anchor)))]
+        service = LabelService(doc)
+        tracer = Tracer(enabled=True, sample_every=1)
+        previous = trace_mod.set_tracer(tracer)
+        before = scheme.stats.snapshot()
+        try:
+            # Writer context on the calling thread: the whole operation —
+            # service, batch engine, scheme, store, backend, WAL — lands in
+            # one span tree.
+            service.apply_ops_sync(ops)
+        finally:
+            trace_mod.set_tracer(previous)
+        delta = scheme.stats.snapshot() - before
+        root = tracer.take()
+        service.close()
+        if root is None:
+            print("error: tracer recorded no span", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(root.to_dict(), indent=2))
+        else:
+            print(root.render())
+        span_reads = root.total("io.reads")
+        span_writes = root.total("io.writes")
+        consistent = span_reads == delta.reads and span_writes == delta.writes
+        print(
+            f"span I/O: {span_reads:g} reads, {span_writes:g} writes | "
+            f"IOStats delta: {delta.reads} reads, {delta.writes} writes | "
+            f"{'consistent' if consistent else 'MISMATCH'}",
+            # With --json, stdout must stay parseable JSON.
+            file=sys.stderr if args.json else sys.stdout,
+        )
+        _finish_scheme(scheme)
+        return 0 if consistent else 1
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -536,6 +645,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     info.add_argument("file", help="snapshot from 'label --save' or page file")
     info.set_defaults(handler=cmd_info)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="run a sample workload and print the metrics registry"
+    )
+    metrics.add_argument(
+        "--items", type=int, default=25, help="XMark items in the sample document"
+    )
+    metrics.add_argument("--seed", type=int, default=1, help="document generator seed")
+    metrics.add_argument(
+        "--format",
+        choices=["prom", "json"],
+        default="prom",
+        help="exposition format (default: Prometheus text)",
+    )
+    _add_common(metrics)
+    metrics.set_defaults(handler=cmd_metrics)
+
+    trace_cmd = subparsers.add_parser(
+        "trace", help="trace one operation and print its span tree"
+    )
+    trace_cmd.add_argument(
+        "--op",
+        choices=["insert", "delete", "lookup"],
+        default="insert",
+        help="operation to trace (default: insert)",
+    )
+    trace_cmd.add_argument(
+        "--items", type=int, default=25, help="XMark items in the sample document"
+    )
+    trace_cmd.add_argument("--seed", type=int, default=1, help="document generator seed")
+    trace_cmd.add_argument(
+        "--json", action="store_true", help="emit the span tree as JSON"
+    )
+    _add_common(trace_cmd)
+    # Default to a (temporary) file backend so the trace reaches the WAL.
+    trace_cmd.set_defaults(storage="file", handler=cmd_trace)
 
     return parser
 

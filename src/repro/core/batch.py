@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from ..errors import LabelingError
+from ..obs import trace
 from ..storage.stats import OperationCost
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -229,20 +230,48 @@ class BatchExecutor:
         result = BatchResult(results=[None] * len(ops))
         backend = self.scheme.store.backend
         commits_before = getattr(backend, "commits", 0)
-        for group in self.plan(ops):
-            if self.on_group_start is not None:
-                self.on_group_start()
-            try:
-                with self.scheme.store.measured() as measured:
-                    for position in group:
-                        op = ops[position]
-                        args = self._resolve(op, position, result.results)
-                        result.results[position] = getattr(self.scheme, op.kind)(*args)
-            finally:
-                if self.on_group_commit is not None:
-                    self.on_group_commit()
-            result.group_costs.append(measured.cost)
-            result.group_sizes.append(len(group))
+        with trace.span("batch.execute") as batch_span:
+            if batch_span.recording:
+                batch_span.set("scheme", self.scheme.name)
+                batch_span.add("batch.ops", len(ops))
+            for group in self.plan(ops):
+                if self.on_group_start is not None:
+                    self.on_group_start()
+                try:
+                    with trace.span("batch.group") as group_span:
+                        recording = group_span.recording
+                        if recording:
+                            group_span.add("group.ops", len(group))
+                        with self.scheme.store.measured() as measured:
+                            stats = self.scheme.store.stats
+                            for position in group:
+                                op = ops[position]
+                                args = self._resolve(op, position, result.results)
+                                if recording:
+                                    # Per-op spans exist only under a recorded
+                                    # group: the per-op call site must cost
+                                    # nothing when unsampled.  Lock-free
+                                    # counter reads are safe here — the group
+                                    # runs single-writer under its scope.
+                                    with trace.span("scheme." + op.kind) as op_span:
+                                        before_reads = stats.reads
+                                        result.results[position] = getattr(
+                                            self.scheme, op.kind
+                                        )(*args)
+                                        # Informational (op.* not io.*): reads
+                                        # this op added to the group's scope.
+                                        op_span.add(
+                                            "op.reads", stats.reads - before_reads
+                                        )
+                                else:
+                                    result.results[position] = getattr(
+                                        self.scheme, op.kind
+                                    )(*args)
+                finally:
+                    if self.on_group_commit is not None:
+                        self.on_group_commit()
+                result.group_costs.append(measured.cost)
+                result.group_sizes.append(len(group))
         result.backend_commits = getattr(backend, "commits", 0) - commits_before
         return result
 

@@ -1,0 +1,351 @@
+"""Span-based tracing with explicit cross-thread propagation.
+
+A *span* is one timed node in a tree: it has a dotted name
+(``"wbox.insert"``), optional labels, numeric *annotations* (counted
+I/Os, cache hits, WAL bytes — accumulated with :meth:`Span.add`), and
+children.  One traced operation — an edit submitted to the label
+service, a CLI lookup — yields a single root span whose subtree crosses
+every layer it touched::
+
+    service.apply (2.1ms) ops=1
+      batch.group (2.0ms) size=1
+        scheme.insert_element_before (1.9ms)
+          store.operation (1.8ms) reads=4 writes=3
+            backend.commit (0.9ms) pages=3
+              wal.append (0.4ms) records=4 wal_bytes=612
+
+Cost model (the <3 % overhead budget):
+
+* **Tracer off (default):** every instrumentation site calls
+  :func:`span`, which returns a shared no-op singleton after one
+  attribute check.  No allocation, no locking, no timestamps.
+* **Tracer on, thread not sampled:** same no-op path — sampling decides
+  per *root* span, so an unsampled operation pays one counter bump.
+* **Sampled:** real spans with ``perf_counter`` timestamps; children of
+  an active span are always recorded so trees are never partial.
+
+Cross-thread propagation is explicit, not ambient: the label service
+captures the submitter's active span with :func:`current_span` and the
+writer thread re-activates it with :meth:`Tracer.attach` around the
+batch, so the submit-side trace and the apply-side spans join into one
+tree even though they ran on different threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterator
+
+
+class Span:
+    """One node of a trace tree.  Not thread-safe; a span is mutated only
+    by the thread it is active on (attach() hands it over explicitly)."""
+
+    __slots__ = (
+        "name", "labels", "start", "end", "children", "annotations", "parent",
+    )
+
+    #: Real spans record; the no-op singleton overrides this with False.
+    recording = True
+
+    def __init__(
+        self, name: str, labels: dict[str, Any] | None = None, parent: "Span | None" = None
+    ) -> None:
+        self.name = name
+        self.labels = labels or {}
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self.children: list[Span] = []
+        self.annotations: dict[str, float] = {}
+        self.parent = parent
+
+    # -- data ----------------------------------------------------------
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        """Accumulate a numeric annotation (counted I/Os, bytes, hits)."""
+        self.annotations[key] = self.annotations.get(key, 0.0) + amount
+
+    def set(self, key: str, value: Any) -> None:
+        """Set a label after creation."""
+        self.labels[key] = value
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    # -- aggregation ---------------------------------------------------
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def total(self, key: str) -> float:
+        """Sum of one annotation over the whole subtree."""
+        return sum(span.annotations.get(key, 0.0) for span in self.walk())
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable tree dump (the ``repro trace`` output)."""
+        parts = [f"{'  ' * indent}{self.name} ({self.duration * 1000:.3f}ms)"]
+        for key, value in sorted(self.labels.items()):
+            parts.append(f"{key}={value}")
+        for key, value in sorted(self.annotations.items()):
+            parts.append(f"{key}={value:g}")
+        lines = [" ".join(parts)]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form (the ``repro trace --json`` output)."""
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "duration_ms": self.duration * 1000,
+            "annotations": dict(self.annotations),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, children={len(self.children)})"
+
+
+class _ActiveScope:
+    """Context manager activating one real span on the current thread."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._span.end = time.perf_counter()
+        self._tracer._pop(self._span)
+
+
+class _NoopSpan:
+    """Shared do-nothing span: the disabled/unsampled fast path."""
+
+    __slots__ = ()
+    recording = False
+    name = ""
+    labels: dict[str, Any] = {}
+    annotations: dict[str, float] = {}
+    children: list = []
+    duration = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def walk(self):
+        return iter(())
+
+    def total(self, key: str) -> float:
+        return 0.0
+
+    def render(self, indent: int = 0) -> str:
+        return ""
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _NoopScope:
+    """Scope for an *unsampled root*: pushes the no-op singleton so every
+    span opened beneath it is suppressed too — otherwise a child would see
+    an empty stack, elect itself a fresh root, and emit a partial tree."""
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+
+    def __enter__(self) -> _NoopSpan:
+        self._tracer._stack().append(NOOP_SPAN)
+        return NOOP_SPAN
+
+    def __exit__(self, *exc_info: object) -> None:
+        stack = self._tracer._stack()
+        if stack and stack[-1] is NOOP_SPAN:
+            stack.pop()
+
+
+class Tracer:
+    """Builds span trees for sampled operations.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  Off (the default) means every :meth:`span` call
+        returns the no-op singleton immediately.
+    sample_every:
+        Record one of every N *root* spans (child spans of a recorded
+        root are always recorded).  ``1`` records everything.  Sampling
+        is a deterministic counter, not a coin flip, so tests and
+        benchmarks are reproducible.
+    keep:
+        Finished root spans retained (FIFO) for :meth:`take` /
+        :attr:`finished`.
+    """
+
+    def __init__(self, enabled: bool = False, sample_every: int = 1, keep: int = 64) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.enabled = enabled
+        self.sample_every = sample_every
+        self.keep = keep
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._root_seen = 0  # roots offered (sampled or not)
+
+    # -- thread-local stack --------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        try:
+            return self._local.stack
+        except AttributeError:
+            stack = []
+            self._local.stack = stack
+            return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if span.parent is None:
+            with self._lock:
+                self._finished.append(span)
+                if len(self._finished) > self.keep:
+                    del self._finished[0]
+
+    def current(self) -> Span | None:
+        """The active span on this thread, or None.  The no-op sentinel an
+        unsampled root pushes is reported as None — it must never be
+        captured for cross-thread propagation."""
+        stack = self._stack()
+        top = stack[-1] if stack else None
+        return None if top is NOOP_SPAN else top
+
+    # -- span creation -------------------------------------------------
+
+    def span(self, name: str, **labels: Any):
+        """A context manager yielding the (real or no-op) span.
+
+        A real span is created when a span is already active on this
+        thread (keep trees whole), or when this would start a new root
+        and the sampling counter elects it.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        if parent is NOOP_SPAN:
+            return NOOP_SPAN  # inside an unsampled root's subtree
+        if parent is None:
+            with self._lock:
+                self._root_seen += 1
+                if (self._root_seen - 1) % self.sample_every:
+                    return _NoopScope(self)
+        span = Span(name, labels or None, parent)
+        if parent is not None:
+            parent.children.append(span)
+        return _ActiveScope(self, span)
+
+    def attach(self, parent: Span | None):
+        """Adopt ``parent`` (captured on another thread via
+        :meth:`current`) as this thread's active span for the scope.
+        ``None`` parents make this a no-op scope."""
+        if parent is None or not self.enabled:
+            return NOOP_SPAN
+        return _AttachScope(self, parent)
+
+    # -- results -------------------------------------------------------
+
+    @property
+    def finished(self) -> list[Span]:
+        """Completed root spans, oldest first (copy)."""
+        with self._lock:
+            return list(self._finished)
+
+    def take(self) -> Span | None:
+        """Pop the most recently completed root span."""
+        with self._lock:
+            return self._finished.pop() if self._finished else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self._root_seen = 0
+
+
+class _AttachScope:
+    """Installs a foreign span as the thread's current without timing it."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: Tracer, span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack().append(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self._span:
+            stack.pop()
+
+
+#: Process-default tracer: disabled, so instrumented code pays only the
+#: ``enabled`` check.  ``repro trace`` and tests install their own.
+_default_tracer = Tracer(enabled=False)
+_tracer_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the default tracer (returns the previous one)."""
+    global _default_tracer
+    with _tracer_lock:
+        previous = _default_tracer
+        _default_tracer = tracer
+    return previous
+
+
+def span(name: str, **labels: Any):
+    """``trace.span("wbox.insert", lid=7)`` on the default tracer."""
+    return _default_tracer.span(name, **labels)
+
+
+def current_span() -> Span | None:
+    """The default tracer's active span on this thread."""
+    return _default_tracer.current()

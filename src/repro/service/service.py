@@ -44,6 +44,7 @@ from ..core.cachelog import LABEL_CHANNEL, ORDINAL_CHANNEL, LabelRef, Modificati
 from ..core.document import LabeledDocument
 from ..core.interface import Label, LabelingScheme
 from ..errors import ServiceClosedError, ServiceError
+from ..obs import trace
 from .epoch import Epoch, WriteTicket
 from .queue import WriteQueue
 from .stats import ServiceStats
@@ -205,7 +206,9 @@ class LabelService:
         if self._writer is None:
             raise ServiceError("service not started; call start() or use apply_*_sync")
         ticket = WriteTicket()
-        self._queue.put((ticket, kind, payload), timeout=timeout)
+        # Carry the submitter's active span across the thread hop so the
+        # writer's apply spans land in the submitting request's trace tree.
+        self._queue.put((ticket, kind, payload, trace.current_span()), timeout=timeout)
         return ticket
 
     def apply_ops_sync(self, ops: Sequence[BatchOp]) -> BatchResult:
@@ -215,13 +218,16 @@ class LabelService:
         when no writer thread is running (single-threaded use, or the
         deterministic harness's virtual writer).
         """
-        result = self.scheme.execute_batch(
-            ops,
-            group_size=self.group_size,
-            locality_grouping=self.locality_grouping,
-            on_group_start=self._on_group_start,
-            on_group_commit=self._on_group_commit,
-        )
+        with trace.span("service.apply", kind="ops") as span:
+            result = self.scheme.execute_batch(
+                ops,
+                group_size=self.group_size,
+                locality_grouping=self.locality_grouping,
+                on_group_start=self._on_group_start,
+                on_group_commit=self._on_group_commit,
+            )
+            if span.recording:
+                span.add("service.ops", len(ops))
         self.stats.add(batches_applied=1, ops_applied=len(ops))
         return result
 
@@ -229,13 +235,16 @@ class LabelService:
         """Element-level counterpart of :meth:`apply_ops_sync`."""
         if self.document is None:
             raise ServiceError("service wraps a bare scheme; use apply_ops_sync")
-        result = self.document.apply_edits(
-            edits,
-            group_size=self.group_size,
-            locality_grouping=self.locality_grouping,
-            on_group_start=self._on_group_start,
-            on_group_commit=self._on_group_commit,
-        )
+        with trace.span("service.apply", kind="edits") as span:
+            result = self.document.apply_edits(
+                edits,
+                group_size=self.group_size,
+                locality_grouping=self.locality_grouping,
+                on_group_start=self._on_group_start,
+                on_group_commit=self._on_group_commit,
+            )
+            if span.recording:
+                span.add("service.ops", len(edits))
         self.stats.add(batches_applied=1, ops_applied=len(edits))
         return result
 
@@ -260,12 +269,13 @@ class LabelService:
             item = self._queue.get()
             if item is None:
                 return
-            ticket, kind, payload = item
+            ticket, kind, payload, parent_span = item
             try:
-                if kind == "ops":
-                    result = self.apply_ops_sync(payload)
-                else:
-                    result = self.apply_edits_sync(payload)
+                with trace.get_tracer().attach(parent_span):
+                    if kind == "ops":
+                        result = self.apply_ops_sync(payload)
+                    else:
+                        result = self.apply_edits_sync(payload)
             except BaseException as error:  # keep serving later batches
                 self.stats.add(write_errors=1)
                 ticket._fail(error)
@@ -373,13 +383,14 @@ class ReaderSession:
         whenever the pin moved; terminates because the pin only ever
         advances, and each retry starts from the newest pin.
         """
+        counted: set[int] = set()
         while True:
             epoch = self._epoch
-            values = [self._get(lid, LABEL_CHANNEL) for lid in lids]
+            values = [self._get(lid, LABEL_CHANNEL, counted) for lid in lids]
             if self._epoch is epoch:
                 return values
 
-    def _get(self, lid: int, channel: str) -> Label:
+    def _get(self, lid: int, channel: str, counted: set[int] | None = None) -> Label:
         service = self._service
         epoch = self._epoch
         service._yield("read:begin")
@@ -399,9 +410,9 @@ class ReaderSession:
                 ref.last_cached = epoch.clock
                 service.stats.add(reads=1, replay_hits=1)
                 return repaired
-        return self._fallthrough(ref)
+        return self._fallthrough(ref, counted)
 
-    def _fallthrough(self, ref: LabelRef) -> Label:
+    def _fallthrough(self, ref: LabelRef, counted: set[int] | None = None) -> Label:
         """Latched BOX read; advances the session pin to the epoch the
         structure state belongs to."""
         service = self._service
@@ -423,5 +434,13 @@ class ReaderSession:
             self._epoch = current
         ref.value = value
         ref.last_cached = clock
-        service.stats.add(reads=1, fallthrough_reads=1)
+        # A multi-label read retries the whole set when a fallthrough moved
+        # the pin, so the same LID can fall through once per retry round.
+        # That is one logical read of one label: count it once.  Skipping
+        # the whole add (not just fallthrough_reads) keeps the invariant
+        # reads == fresh_hits + replay_hits + fallthrough_reads.
+        if counted is None or ref.lid not in counted:
+            if counted is not None:
+                counted.add(ref.lid)
+            service.stats.add(reads=1, fallthrough_reads=1)
         return value

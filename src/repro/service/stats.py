@@ -19,7 +19,10 @@ the values it returns are mutually consistent.
 from __future__ import annotations
 
 import threading
+import weakref
 from dataclasses import dataclass
+
+from ..obs.metrics import Sample, add_default_collector
 
 
 @dataclass(frozen=True)
@@ -66,6 +69,22 @@ class ServiceStats:
         "lag_sum",
         "lag_samples",
         "_lock",
+        "__weakref__",
+    )
+
+    #: Monotone counter attributes exported to the metrics registry.
+    FIELDS = (
+        "reads",
+        "fresh_hits",
+        "replay_hits",
+        "fallthrough_reads",
+        "epochs_published",
+        "batches_applied",
+        "ops_applied",
+        "backpressure_waits",
+        "write_errors",
+        "lag_sum",
+        "lag_samples",
     )
 
     def __init__(self) -> None:
@@ -82,6 +101,7 @@ class ServiceStats:
         self.lag_sum = 0
         self.lag_samples = 0
         self._lock = threading.Lock()
+        _LIVE_STATS.add(self)
 
     def add(
         self,
@@ -152,9 +172,16 @@ class ServiceStats:
 
     @property
     def repair_hit_ratio(self) -> float:
-        """Reads answered without touching the BOX, over all reads."""
-        reads = self.reads
-        return (self.fresh_hits + self.replay_hits) / reads if reads else 0.0
+        """Reads answered without touching the BOX, over all reads.
+
+        Takes the lock so the numerator and denominator come from one
+        consistent state even when :meth:`reset` or :meth:`add` land
+        mid-read; zero reads yields 0.0, never a division error.
+        """
+        with self._lock:
+            hits = self.fresh_hits + self.replay_hits
+            reads = self.reads
+        return hits / reads if reads else 0.0
 
     def __repr__(self) -> str:
         return (
@@ -163,3 +190,34 @@ class ServiceStats:
             f"epochs={self.epochs_published}, batches={self.batches_applied}, "
             f"backpressure_waits={self.backpressure_waits})"
         )
+
+
+#: Every live ServiceStats; aggregated into the metrics registry by the
+#: default collector below (hot-path ``add`` stays registry-free).
+_LIVE_STATS: "weakref.WeakSet[ServiceStats]" = weakref.WeakSet()
+
+
+def collect_service_samples() -> list[Sample]:
+    """Registry collector: summed counters over every live ServiceStats."""
+    totals = dict.fromkeys(ServiceStats.FIELDS, 0)
+    max_lag = 0
+    for stats in list(_LIVE_STATS):
+        with stats._lock:
+            for name in ServiceStats.FIELDS:
+                totals[name] += getattr(stats, name)
+            max_lag = max(max_lag, stats.max_epoch_lag)
+    samples = [
+        Sample(f"repro_service_{name}_total", (), float(value))
+        for name, value in totals.items()
+        if name not in ("lag_sum", "lag_samples")
+    ]
+    reads = totals["reads"]
+    ratio = (totals["fresh_hits"] + totals["replay_hits"]) / reads if reads else 0.0
+    samples.append(Sample("repro_service_repair_hit_ratio", (), ratio, "gauge"))
+    mean_lag = totals["lag_sum"] / totals["lag_samples"] if totals["lag_samples"] else 0.0
+    samples.append(Sample("repro_service_epoch_lag_mean", (), mean_lag, "gauge"))
+    samples.append(Sample("repro_service_epoch_lag_max", (), float(max_lag), "gauge"))
+    return samples
+
+
+add_default_collector(collect_service_samples)

@@ -47,6 +47,7 @@ from typing import Any, Iterator
 
 from ..config import BoxConfig
 from ..errors import BlockNotFoundError, StorageError
+from ..obs import trace
 from .backend import MemoryBackend, StorageBackend
 from .cache import BlockCache
 from .stats import IOStats, OperationCost
@@ -333,14 +334,27 @@ class BlockStore:
         flush (and, on a durable backend, commit) when the outermost
         context exits.  Yields the shared stats object so callers can
         snapshot around the context.
+
+        When a trace is being recorded on this thread, the outermost
+        scope becomes a ``store.operation`` span annotated with the
+        counted I/O delta; nested scopes add nothing (they are not
+        commit points).
         """
-        self.buffer.depth += 1
-        try:
-            yield self.stats
-        finally:
-            self.buffer.depth -= 1
-            if self.buffer.depth == 0:
-                self._flush()
+        buffer = self.buffer
+        scope = trace.span("store.operation") if buffer.depth == 0 else trace.NOOP_SPAN
+        with scope as span:
+            before = self.stats.snapshot() if span.recording else None
+            buffer.depth += 1
+            try:
+                yield self.stats
+            finally:
+                buffer.depth -= 1
+                if buffer.depth == 0:
+                    self._flush()
+                if before is not None:
+                    delta = self.stats.snapshot() - before
+                    span.add("io.reads", delta.reads)
+                    span.add("io.writes", delta.writes)
 
     def measured(self) -> "_MeasuredOperation":
         """Like :meth:`operation` but the context value reports the cost of
@@ -372,12 +386,17 @@ class BlockStore:
     def _flush(self) -> None:
         dirty = self.buffer.dirty
         if dirty:
-            self.stats.add(writes=len(dirty))
-            for block_id in dirty:
-                self.cache.insert(block_id)
-            # Read-only operations skip the backend entirely: they change
-            # nothing durable, so they are not commit points.
-            self.backend.commit(dirty)
+            # `commit.blocks`, not `io.writes`: the io.* keys live only on
+            # store.operation spans so subtree sums match IOStats exactly.
+            with trace.span("store.commit") as span:
+                if span.recording:
+                    span.add("commit.blocks", len(dirty))
+                self.stats.add(writes=len(dirty))
+                for block_id in dirty:
+                    self.cache.insert(block_id)
+                # Read-only operations skip the backend entirely: they change
+                # nothing durable, so they are not commit points.
+                self.backend.commit(dirty)
         self.buffer.clear()
 
     # ------------------------------------------------------------------
@@ -410,10 +429,16 @@ class _MeasuredOperation:
         self._store = store
         self._before: OperationCost | None = None
         self._cost: OperationCost | None = None
+        self._scope: Any = trace.NOOP_SPAN
+        self._span: Any = trace.NOOP_SPAN
 
     def __enter__(self) -> "_MeasuredOperation":
+        buffer = self._store.buffer
+        if buffer.depth == 0:
+            self._scope = trace.span("store.operation")
+            self._span = self._scope.__enter__()
         self._before = self._store.stats.snapshot()
-        self._store.buffer.depth += 1
+        buffer.depth += 1
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -422,6 +447,11 @@ class _MeasuredOperation:
             self._store._flush()
         assert self._before is not None
         self._cost = self._store.stats.snapshot() - self._before
+        if self._span.recording:
+            self._span.add("io.reads", self._cost.reads)
+            self._span.add("io.writes", self._cost.writes)
+        self._scope.__exit__(*exc_info)
+        self._scope = self._span = trace.NOOP_SPAN
 
     @property
     def cost(self) -> OperationCost:

@@ -46,6 +46,8 @@ import zlib
 from typing import Any, Iterable, Iterator
 
 from ..errors import CrashError, PersistError, RecoveryError, StorageError
+from ..obs import trace
+from ..obs.metrics import get_registry
 from .backend import StorageBackend
 from .codec import decode_block_payload, encode_block_payload
 from .wal import WALWriter, scan_wal
@@ -301,6 +303,15 @@ class FileBackend(StorageBackend):
             "discarded_tail_bytes": scan.tail_bytes if scan.torn_tail else 0,
             "superblock_source": "wal" if scan.committed else "file",
         }
+        registry = get_registry()
+        registry.counter(
+            "repro_recovery_opens_total", help="page files opened with recovery"
+        ).inc()
+        if scan.committed:
+            registry.counter(
+                "repro_recovery_replayed_txns_total",
+                help="committed WAL transactions replayed at open",
+            ).inc(scan.committed)
 
     # ------------------------------------------------------------------
     # pages
@@ -393,23 +404,32 @@ class FileBackend(StorageBackend):
         truncate the log — the protocol documented in
         :mod:`repro.storage.wal`.
         """
-        puts: dict[int, bytes] = {}
-        for block_id in dirty_ids:
-            if block_id in self._objects:
-                puts[block_id] = encode_block_payload(self._objects[block_id])
-        if self.metadata_provider is not None:
-            self.metadata = self.metadata_provider()
-        # The WAL's META record embeds the full superblock so replay can
-        # rebuild it even if the on-file superblock write was torn.
-        after_state = self._superblock_dict()
-        after_state["on_disk"] = sorted(self._on_disk | set(puts))
-        self._wal.append_transaction(puts, {"superblock": after_state})
-        self._sync(self._wal._handle)
-        for block_id, image in puts.items():
-            self._write_page_image(block_id, image)
-        self._write_superblock(after_state)
-        self._wal.truncate()
-        self.commits += 1
+        with trace.span("backend.commit") as span:
+            bytes_before = self.bytes_written
+            puts: dict[int, bytes] = {}
+            for block_id in dirty_ids:
+                if block_id in self._objects:
+                    puts[block_id] = encode_block_payload(self._objects[block_id])
+            if self.metadata_provider is not None:
+                self.metadata = self.metadata_provider()
+            # The WAL's META record embeds the full superblock so replay can
+            # rebuild it even if the on-file superblock write was torn.
+            after_state = self._superblock_dict()
+            after_state["on_disk"] = sorted(self._on_disk | set(puts))
+            self._wal.append_transaction(puts, {"superblock": after_state})
+            self._sync(self._wal._handle)
+            for block_id, image in puts.items():
+                self._write_page_image(block_id, image)
+            self._write_superblock(after_state)
+            self._wal.truncate()
+            self.commits += 1
+            if span.recording:
+                span.add("backend.pages", len(puts))
+                span.add("backend.bytes", self.bytes_written - bytes_before)
+        get_registry().counter(
+            "repro_backend_commits_total",
+            help="WAL-guarded page-file commits",
+        ).inc()
 
     def checkpoint(self) -> None:
         """Force a commit of every resident object (plus metadata)."""

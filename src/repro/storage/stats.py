@@ -8,7 +8,10 @@ counters: performance "is measured by the number of I/Os" (Section 7).
 from __future__ import annotations
 
 import threading
+import weakref
 from dataclasses import dataclass
+
+from ..obs.metrics import Sample, add_default_collector
 
 
 @dataclass(frozen=True)
@@ -45,7 +48,19 @@ class IOStats:
     takes the lock so the (reads, writes) pair is mutually consistent.
     """
 
-    __slots__ = ("reads", "writes", "allocs", "frees", "cache_hits", "cache_misses", "_lock")
+    __slots__ = (
+        "reads",
+        "writes",
+        "allocs",
+        "frees",
+        "cache_hits",
+        "cache_misses",
+        "_lock",
+        "__weakref__",
+    )
+
+    #: Counter attributes exported to the metrics registry.
+    FIELDS = ("reads", "writes", "allocs", "frees", "cache_hits", "cache_misses")
 
     def __init__(self) -> None:
         self.reads = 0
@@ -55,6 +70,7 @@ class IOStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self._lock = threading.Lock()
+        _LIVE_STATS.add(self)
 
     def add(
         self,
@@ -98,9 +114,18 @@ class IOStats:
     @property
     def hit_ratio(self) -> float:
         """Cache hits over cache-eligible reads (0.0 when caching is off or
-        nothing has been read)."""
-        probes = self.cache_hits + self.cache_misses
-        return self.cache_hits / probes if probes else 0.0
+        nothing has been read).
+
+        Reads both counters under the lock: a :meth:`reset` landing
+        between two lock-free attribute reads could otherwise pair hits
+        from before the reset with misses from after it, reporting a
+        ratio no consistent state ever had.  The zero-probe case is 0.0,
+        never a :class:`ZeroDivisionError`.
+        """
+        with self._lock:
+            hits = self.cache_hits
+            probes = hits + self.cache_misses
+        return hits / probes if probes else 0.0
 
     def __repr__(self) -> str:
         return (
@@ -108,3 +133,29 @@ class IOStats:
             f"allocs={self.allocs}, frees={self.frees}, "
             f"cache_hits={self.cache_hits}, cache_misses={self.cache_misses})"
         )
+
+
+#: Every live IOStats instance; the registry collector below aggregates
+#: them into process-wide totals, so the hot-path ``add`` stays exactly
+#: one lock + plain-int increments (no per-I/O registry traffic).
+_LIVE_STATS: "weakref.WeakSet[IOStats]" = weakref.WeakSet()
+
+
+def collect_io_samples() -> list[Sample]:
+    """Registry collector: summed counters over every live IOStats."""
+    totals = dict.fromkeys(IOStats.FIELDS, 0)
+    for stats in list(_LIVE_STATS):
+        with stats._lock:
+            for name in IOStats.FIELDS:
+                totals[name] += getattr(stats, name)
+    samples = [
+        Sample(f"repro_io_{name}_total", (), float(value)) for name, value in totals.items()
+    ]
+    probes = totals["cache_hits"] + totals["cache_misses"]
+    ratio = totals["cache_hits"] / probes if probes else 0.0
+    samples.append(Sample("repro_io_cache_hit_ratio", (), ratio, "gauge"))
+    samples.append(Sample("repro_io_instances", (), float(len(_LIVE_STATS)), "gauge"))
+    return samples
+
+
+add_default_collector(collect_io_samples)

@@ -38,7 +38,9 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from ..errors import WALError
+from ..errors import PersistError, WALError
+from ..obs import trace
+from ..obs.metrics import get_registry
 from .codec import read_uvarint, write_uvarint
 
 MAGIC = b"BOXWAL01"
@@ -66,6 +68,9 @@ class WALScan:
     transactions: list[WALTransaction] = field(default_factory=list)
     torn_tail: bool = False
     tail_bytes: int = 0
+    #: Why the tail was discarded (empty when the log scanned clean) —
+    #: surfaced so recovery diagnostics never silently swallow a reason.
+    tail_reason: str = ""
 
     @property
     def committed(self) -> int:
@@ -103,22 +108,40 @@ class WALWriter:
         self, puts: dict[int, bytes], meta: dict[str, Any]
     ) -> None:
         """Append one transaction: PUT records, a META record, COMMIT."""
-        self._ensure_open()
-        crc = 0
-        for block_id, image in puts.items():
-            body_stream = io.BytesIO()
-            write_uvarint(body_stream, block_id)
-            body_stream.write(image)
-            record = _encode_record(REC_PUT, body_stream.getvalue())
-            crc = zlib.crc32(record, crc)
-            self._write(record)
-        meta_record = _encode_record(
-            REC_META, json.dumps(meta, sort_keys=True).encode("utf-8")
-        )
-        crc = zlib.crc32(meta_record, crc)
-        self._write(meta_record)
-        self._write(_encode_record(REC_COMMIT, struct.pack(">I", crc)))
-        self._handle.flush()
+        with trace.span("wal.append") as span:
+            self._ensure_open()
+            records_before = self.records_written
+            bytes_before = self.bytes_written
+            crc = 0
+            for block_id, image in puts.items():
+                body_stream = io.BytesIO()
+                write_uvarint(body_stream, block_id)
+                body_stream.write(image)
+                record = _encode_record(REC_PUT, body_stream.getvalue())
+                crc = zlib.crc32(record, crc)
+                self._write(record)
+            meta_record = _encode_record(
+                REC_META, json.dumps(meta, sort_keys=True).encode("utf-8")
+            )
+            crc = zlib.crc32(meta_record, crc)
+            self._write(meta_record)
+            self._write(_encode_record(REC_COMMIT, struct.pack(">I", crc)))
+            self._handle.flush()
+            records = self.records_written - records_before
+            wal_bytes = self.bytes_written - bytes_before
+            if span.recording:
+                span.add("wal.records", records)
+                span.add("wal.bytes", wal_bytes)
+        registry = get_registry()
+        registry.counter(
+            "repro_wal_transactions_total", help="WAL transactions appended"
+        ).inc()
+        registry.counter(
+            "repro_wal_records_total", help="WAL records appended"
+        ).inc(records)
+        registry.counter(
+            "repro_wal_bytes_total", help="bytes appended to the WAL"
+        ).inc(wal_bytes)
 
     def _write(self, record: bytes) -> None:
         self._raw_write(self._handle, record)
@@ -158,6 +181,8 @@ def scan_wal(path: str) -> WALScan:
             # nothing was ever committed, the whole file is a torn tail.
             scan.torn_tail = True
             scan.tail_bytes = len(data)
+            scan.tail_reason = "torn magic"
+            _count_torn_tail(scan)
             return scan
         raise WALError(f"{path} is not a write-ahead log (bad magic)")
     offset = len(MAGIC)
@@ -166,18 +191,21 @@ def scan_wal(path: str) -> WALScan:
     crc = 0
     while offset < len(data):
         if offset + _HEADER.size > len(data):
-            break  # torn header
+            scan.tail_reason = "torn record header"
+            break
         rec_type, length = _HEADER.unpack_from(data, offset)
         body_start = offset + _HEADER.size
         if rec_type not in (REC_PUT, REC_META, REC_COMMIT):
             raise WALError(f"{path}: impossible record type {rec_type}")
         if body_start + length > len(data):
-            break  # torn body
+            scan.tail_reason = "torn record body"
+            break
         body = data[body_start : body_start + length]
         record = data[offset : body_start + length]
         if rec_type == REC_COMMIT:
             if length != 4 or struct.unpack(">I", body)[0] != crc:
-                break  # corrupt commit: treat like a torn tail
+                scan.tail_reason = "commit CRC mismatch"
+                break
             scan.transactions.append(pending)
             pending = WALTransaction()
             crc = 0
@@ -187,15 +215,40 @@ def scan_wal(path: str) -> WALScan:
         crc = zlib.crc32(record, crc)
         if rec_type == REC_PUT:
             stream = io.BytesIO(body)
-            block_id = read_uvarint(stream)
+            # A truncated-then-overwritten tail can leave a PUT whose body
+            # length checks out but whose block-id varint is cut short;
+            # read_uvarint raises PersistError on that.  The record is by
+            # construction uncommitted (a commit CRC over it could not have
+            # verified), so it is a torn tail to discard — not a reason to
+            # fail recovery of the committed prefix.
+            try:
+                block_id = read_uvarint(stream)
+            except PersistError:
+                scan.tail_reason = "corrupt PUT body"
+                break
             pending.puts[block_id] = body[stream.tell() :]
         else:  # REC_META
             try:
                 pending.meta = json.loads(body.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError):
-                break  # torn/corrupt metadata: discard the tail
+                scan.tail_reason = "corrupt META body"
+                break
         offset = body_start + length
     if pending_start < len(data):
         scan.torn_tail = True
         scan.tail_bytes = len(data) - pending_start
+        if not scan.tail_reason:
+            scan.tail_reason = "uncommitted trailing records"
+        _count_torn_tail(scan)
+    else:
+        scan.tail_reason = ""
     return scan
+
+
+def _count_torn_tail(scan: WALScan) -> None:
+    """Publish a discarded tail to the metrics registry (never silently)."""
+    get_registry().counter(
+        "repro_wal_torn_tail_skipped_total",
+        help="WAL tails discarded during recovery scan",
+        labels={"reason": scan.tail_reason},
+    ).inc()

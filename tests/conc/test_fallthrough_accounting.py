@@ -1,0 +1,126 @@
+"""Fallthrough accounting under multi-label-read retries (satellite fix).
+
+:meth:`ReaderSession._get_consistent` retries the whole LID set whenever a
+fallthrough advanced the session pin mid-read.  Each retry round can force
+the *same* LID through the latched BOX path again — that is one logical
+read of one label, and must be counted once in
+``ServiceStats.fallthrough_reads`` (and once in ``reads``), not once per
+round.  The regression here drives the retry loop deterministically: the
+service's yield hook applies a write batch inline at the first N
+``read:begin`` points, so every interleaving decision is scripted on one
+thread — no scheduler, no timing.
+
+With ``log_capacity=1`` and two-op write batches, every batch drops
+history beyond what replay can bridge, so a session whose pin lags always
+falls through.  A ``lookup_pair`` then runs three rounds (two writes land
+during round one, a third during round two) and the un-fixed accounting
+counts 4 fallthroughs for 2 labels; the fixed accounting counts 2.
+"""
+
+from __future__ import annotations
+
+from repro import BatchOp, TINY_CONFIG, WBox
+from repro.service import LabelService
+from repro.workloads.sequences import _bulk_load_two_level
+
+
+def build(write_budget: int):
+    """A W-BOX service whose yield hook applies one two-insert batch at
+    each of the first ``write_budget`` read:begin points (inline, same
+    thread — deterministic by construction)."""
+    scheme = WBox(TINY_CONFIG)
+    lids = _bulk_load_two_level(scheme, 4)
+    state = {"service": None, "writes_left": write_budget, "in_write": False}
+
+    def hook(tag: str) -> None:
+        if tag != "read:begin" or state["in_write"] or state["writes_left"] <= 0:
+            return
+        state["writes_left"] -= 1
+        state["in_write"] = True
+        try:
+            state["service"].apply_ops_sync(
+                [
+                    BatchOp("insert_element_before", (lids[3],)),
+                    BatchOp("insert_element_before", (lids[3],)),
+                ]
+            )
+        finally:
+            state["in_write"] = False
+
+    service = LabelService(
+        scheme,
+        log_capacity=1,
+        group_size=1,
+        locality_grouping=False,
+        yield_hook=hook,
+    )
+    state["service"] = service
+    return scheme, service, lids
+
+
+def test_lookup_pair_retry_counts_each_label_once():
+    scheme, service, lids = build(write_budget=3)
+    try:
+        session = service.session()
+        start_lid, end_lid = lids[1], lids[2]
+        pin_before = session.epoch.number
+        pair = session.lookup_pair(start_lid, end_lid)
+        # The pin advanced (fallthroughs happened) and never regressed.
+        assert session.epoch.number > pin_before
+        # The returned pair is the truth at the final pin — no writes run
+        # after the hook budget is spent, so direct lookups agree.
+        assert pair == scheme.lookup_pair(start_lid, end_lid)
+
+        counters = service.stats.snapshot()
+        # Two labels were read; each fell through in round one and at
+        # least once more in a retry round.  Counted once each.
+        assert counters.fallthrough_reads == 2, counters
+        assert counters.reads == (
+            counters.fresh_hits + counters.replay_hits + counters.fallthrough_reads
+        ), counters
+    finally:
+        service.close()
+
+
+def test_independent_lookups_each_count_a_fallthrough():
+    """The dedup must be scoped to ONE consistent read: separate lookup()
+    calls that each fall through are each counted — including the same
+    LID falling through again on a later call after the pin moved."""
+    scheme, service, lids = build(write_budget=0)
+    try:
+        session = service.session()
+        session.lookup(lids[1])  # cold ref -> fallthrough
+        session.lookup(lids[2])  # different cold ref -> fallthrough
+        # Outrun the one-entry log, then advance the pin: the next read of
+        # an already-seen LID cannot be repaired and falls through again.
+        service.apply_ops_sync(
+            [
+                BatchOp("insert_element_before", (lids[3],)),
+                BatchOp("insert_element_before", (lids[3],)),
+            ]
+        )
+        session.refresh()
+        session.lookup(lids[1])
+        counters = service.stats.snapshot()
+        assert counters.fallthrough_reads == 3, counters
+        assert counters.reads == 3, counters
+        assert counters.fresh_hits == 0 and counters.replay_hits == 0, counters
+    finally:
+        service.close()
+
+
+def test_quiet_pair_read_has_no_retry_inflation():
+    """Control: with no concurrent writes a warm pair read is two fresh
+    hits and zero fallthroughs."""
+    scheme, service, lids = build(write_budget=0)
+    try:
+        session = service.session()
+        session.lookup_pair(lids[1], lids[2])  # cold: two fallthroughs
+        service.stats.reset()
+        session.lookup_pair(lids[1], lids[2])
+        counters = service.stats.snapshot()
+        assert counters.fallthrough_reads == 0, counters
+        assert counters.fresh_hits == 2, counters
+        assert counters.reads == 2, counters
+    finally:
+        service.close()

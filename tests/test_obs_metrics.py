@@ -1,0 +1,165 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    Sample,
+    get_registry,
+    set_registry,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+def test_counter_get_or_create_and_inc(registry):
+    counter = registry.counter("boxes_ops_total", help="ops")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5.0
+    # Same name+labels -> same instrument.
+    assert registry.counter("boxes_ops_total") is counter
+    # Different labels -> a sibling in the same family.
+    labelled = registry.counter("boxes_ops_total", labels={"kind": "insert"})
+    assert labelled is not counter
+    labelled.inc()
+    assert registry.value("boxes_ops_total") == 5.0
+    assert registry.value("boxes_ops_total", {"kind": "insert"}) == 1.0
+
+
+def test_kind_conflict_rejected(registry):
+    registry.counter("boxes_thing")
+    with pytest.raises(ValueError):
+        registry.gauge("boxes_thing")
+
+
+def test_gauge_set_inc_dec_and_callback(registry):
+    gauge = registry.gauge("boxes_depth")
+    gauge.set(7)
+    gauge.inc(2)
+    gauge.dec()
+    assert gauge.value == 8.0
+    live = registry.gauge("boxes_live", fn=lambda: 42.0)
+    assert live.value == 42.0
+    assert registry.value("boxes_live") == 42.0
+
+
+def test_histogram_cumulative_buckets(registry):
+    histogram = registry.histogram("boxes_latency", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.05, 0.5, 5.0):
+        histogram.observe(value)
+    assert histogram.count == 5
+    assert histogram.sum == pytest.approx(5.605)
+    by_label = {
+        sample.labels: sample.value
+        for sample in histogram.samples()
+        if sample.name.endswith("_bucket")
+    }
+    assert by_label[(("le", "0.01"),)] == 1
+    assert by_label[(("le", "0.1"),)] == 3  # cumulative
+    assert by_label[(("le", "1"),)] == 4
+    assert by_label[(("le", "+Inf"),)] == 5
+    assert registry.value("boxes_latency_count") == 5.0
+
+
+def test_default_buckets_cover_sub_ms_to_ten_seconds():
+    assert DEFAULT_BUCKETS[0] <= 0.0001
+    assert DEFAULT_BUCKETS[-1] >= 10.0
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+def test_collector_samples_appear_in_collect_and_render(registry):
+    registry.register_collector(
+        lambda: [Sample("boxes_pulled", (), 3.0, "gauge")]
+    )
+    registry.counter("boxes_owned", help="owned instrument").inc()
+    names = {sample.name for sample in registry.collect()}
+    assert {"boxes_pulled", "boxes_owned"} <= names
+    text = registry.render_prometheus()
+    assert "# HELP boxes_owned owned instrument" in text
+    assert "# TYPE boxes_owned counter" in text
+    assert "boxes_owned 1" in text
+    assert "# TYPE boxes_pulled gauge" in text
+    assert "boxes_pulled 3" in text
+
+
+def test_prometheus_label_rendering(registry):
+    registry.counter("boxes_ops_total", labels={"scheme": "wbox", "op": "insert"}).inc()
+    text = registry.render_prometheus()
+    # Labels render sorted by key.
+    assert 'boxes_ops_total{op="insert",scheme="wbox"} 1' in text
+
+
+def test_json_dump_round_trips(registry):
+    registry.counter("boxes_a").inc(2)
+    registry.gauge("boxes_b", labels={"x": "1"}).set(1.5)
+    data = json.loads(registry.to_json())
+    assert data["boxes_a"] == 2.0
+    assert data['boxes_b{x="1"}'] == 1.5
+
+
+def test_reset_drops_instruments_keeps_default_collectors(registry):
+    registry.counter("boxes_gone").inc()
+    ad_hoc = lambda: [Sample("boxes_adhoc", (), 1.0)]  # noqa: E731
+    registry.register_collector(ad_hoc)
+    default_count = len(MetricsRegistry()._collectors)
+    registry.reset()
+    assert registry.value("boxes_gone") == 0.0
+    assert len(registry._collectors) == default_count
+
+
+def test_default_collectors_present_in_fresh_registry():
+    """The stats modules install process aggregators at import time; a
+    fresh registry (e.g. swapped in by the CLI) must still scrape them."""
+    import repro.service.stats  # noqa: F401  (ensure registration ran)
+    import repro.storage.stats  # noqa: F401
+    names = {sample.name for sample in MetricsRegistry().collect()}
+    assert "repro_io_reads_total" in names
+    assert "repro_service_reads_total" in names
+
+
+def test_set_registry_swaps_default():
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    try:
+        assert get_registry() is fresh
+    finally:
+        set_registry(previous)
+    assert get_registry() is previous
+
+
+def test_live_iostats_visible_through_registry():
+    """End-to-end pull path: bumping a live IOStats changes the scraped
+    process totals by exactly the bump."""
+    from repro.storage import IOStats
+
+    registry = MetricsRegistry()
+    before = registry.value("repro_io_writes_total")
+    stats = IOStats()
+    stats.add(writes=17)
+    assert registry.value("repro_io_writes_total") == before + 17
+    del stats  # weakref set: a dead instance stops contributing
+
+
+def test_counter_contention_exact(registry):
+    counter = registry.counter("boxes_contended")
+
+    def worker():
+        for _ in range(2_000):
+            counter.inc()
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert counter.value == 16_000.0

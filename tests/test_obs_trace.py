@@ -1,0 +1,172 @@
+"""Unit tests for the span tracer (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.trace import NOOP_SPAN, Span, Tracer, set_tracer
+
+
+def test_disabled_tracer_returns_noop_singleton():
+    tracer = Tracer(enabled=False)
+    scope = tracer.span("anything")
+    assert scope is NOOP_SPAN
+    with scope as span:
+        assert span.recording is False
+        span.add("io.reads", 5)  # all no-ops, no state
+        span.set("k", "v")
+    assert tracer.finished == []
+
+
+def test_span_tree_shape_and_annotations():
+    tracer = Tracer(enabled=True)
+    with tracer.span("root", op="insert") as root:
+        root.add("io.reads", 2)
+        with tracer.span("child") as child:
+            child.add("io.reads", 3)
+            with tracer.span("grandchild"):
+                pass
+        with tracer.span("sibling") as sibling:
+            sibling.add("io.writes", 1)
+    assert root.labels == {"op": "insert"}
+    assert [child.name for child in root.children] == ["child", "sibling"]
+    assert root.children[0].children[0].name == "grandchild"
+    # total() sums the subtree; duration is closed.
+    assert root.total("io.reads") == 5
+    assert root.total("io.writes") == 1
+    assert root.duration > 0
+    assert all(span.end is not None for span in root.walk())
+    # The finished list holds exactly the one root.
+    assert [span.name for span in tracer.finished] == ["root"]
+
+
+def test_add_accumulates():
+    span = Span("s")
+    span.add("n", 2)
+    span.add("n", 3)
+    assert span.annotations["n"] == 5
+
+
+def test_render_and_to_dict():
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer", scheme="wbox") as outer:
+        outer.add("io.reads", 4)
+        with tracer.span("inner"):
+            pass
+    text = outer.render()
+    lines = text.splitlines()
+    assert lines[0].startswith("outer (")
+    assert "scheme=wbox" in lines[0]
+    assert "io.reads=4" in lines[0]
+    assert lines[1].startswith("  inner (")
+    data = outer.to_dict()
+    assert data["name"] == "outer"
+    assert data["children"][0]["name"] == "inner"
+    assert data["annotations"] == {"io.reads": 4.0}
+
+
+def test_sampling_is_deterministic_per_root():
+    tracer = Tracer(enabled=True, sample_every=3)
+    recorded = 0
+    for _ in range(9):
+        with tracer.span("op") as span:
+            recorded += 1 if span.recording else 0
+    assert recorded == 3
+    # Children of a sampled root are always recorded.
+    tracer.clear()
+    with tracer.span("root") as root:
+        assert root.recording
+        with tracer.span("child") as child:
+            assert child.recording
+
+
+def test_unsampled_root_children_stay_noop():
+    tracer = Tracer(enabled=True, sample_every=2)
+    with tracer.span("first"):
+        pass  # sampled (root 1)
+    with tracer.span("second") as second:
+        assert second.recording is False
+        with tracer.span("child-of-unsampled") as child:
+            assert child.recording is False
+    assert [span.name for span in tracer.finished] == ["first"]
+
+
+def test_keep_bounds_finished_roots():
+    tracer = Tracer(enabled=True, keep=2)
+    for index in range(5):
+        with tracer.span(f"op{index}"):
+            pass
+    assert [span.name for span in tracer.finished] == ["op3", "op4"]
+    assert tracer.take().name == "op4"
+    assert tracer.take().name == "op3"
+    assert tracer.take() is None
+
+
+def test_attach_joins_cross_thread_spans():
+    """The label-service pattern: capture the submitter's span, re-activate
+    it on the worker thread, and get ONE tree."""
+    tracer = Tracer(enabled=True)
+    done = threading.Event()
+
+    def worker(parent):
+        with tracer.attach(parent):
+            with tracer.span("applied"):
+                pass
+        done.set()
+
+    with tracer.span("submit") as submit:
+        thread = threading.Thread(target=worker, args=(tracer.current(),))
+        thread.start()
+        done.wait(timeout=10)
+        thread.join(timeout=10)
+    assert [child.name for child in submit.children] == ["applied"]
+    # The worker's span must NOT appear as its own finished root.
+    assert [span.name for span in tracer.finished] == ["submit"]
+
+
+def test_attach_none_is_noop():
+    tracer = Tracer(enabled=True)
+    with tracer.attach(None) as span:
+        assert span is NOOP_SPAN
+        with tracer.span("orphan") as orphan:
+            assert orphan.recording  # becomes a root of its own
+    assert [span.name for span in tracer.finished] == ["orphan"]
+
+
+def test_threads_have_independent_stacks():
+    tracer = Tracer(enabled=True)
+    seen = {}
+
+    def worker():
+        seen["worker_current"] = tracer.current()
+
+    with tracer.span("main-root"):
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=10)
+    assert seen["worker_current"] is None
+
+
+def test_exception_still_closes_span():
+    tracer = Tracer(enabled=True)
+    try:
+        with tracer.span("boom") as span:
+            raise RuntimeError("x")
+    except RuntimeError:
+        pass
+    assert span.end is not None
+    assert [s.name for s in tracer.finished] == ["boom"]
+
+
+def test_set_tracer_swaps_module_default():
+    from repro.obs import trace as trace_mod
+
+    fresh = Tracer(enabled=True)
+    previous = set_tracer(fresh)
+    try:
+        with trace_mod.span("via-module") as span:
+            assert span.recording
+            assert trace_mod.current_span() is span
+    finally:
+        set_tracer(previous)
+    assert [s.name for s in fresh.finished] == ["via-module"]

@@ -1,0 +1,232 @@
+"""Boundary semantics of Section 6 effects (satellite audit).
+
+The paper logs each modification's effect on existing labels as a *closed*
+interval update ``[l, hi]: ±1`` — a label exactly equal to ``l`` or ``hi``
+IS shifted, and ordinal effects use ``[l, ∞): ±1`` (``hi=None``).  These
+tests pin that containment contract twice over:
+
+* directed unit tests on :class:`RangeShift` / :class:`Invalidate` at the
+  degenerate boundaries — ``lo == hi`` (single-label range), ``hi=None``
+  (unbounded), and tuple *prefix* bounds (B-BOX labels);
+* property sweeps per scheme variant where, after **every** edit, every
+  cached reference is read back through replay and compared to a fresh BOX
+  lookup.  The anchor of an insert always holds the emitted effect's exact
+  ``lo`` label and the last entry of the touched leaf its ``hi``, so an
+  off-by-one in either boundary (open where the paper is closed, or the
+  reverse) makes some replayed label disagree with reality immediately.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro import CachedLabelStore, LabeledDocument
+from repro.core.cachelog import (
+    LABEL_CHANNEL,
+    ORDINAL_CHANNEL,
+    Invalidate,
+    RangeShift,
+)
+from repro.xml.generator import two_level_document
+from repro.xml.model import Element
+
+from .conftest import SCHEME_FACTORIES
+
+#: The five variants the paper compares (Section 7); the satellite audit
+#: requires the boundary property to hold on each.
+VARIANTS = ("wbox", "wboxo", "bbox", "bbox-ordinal", "naive-4")
+
+#: One edit step: (action, position).  Positions index into the live
+#: element list; dedicated actions target the first and last elements so
+#: every run hammers range endpoints, not just interior labels.
+ACTIONS = (
+    "insert_first",
+    "insert_last",
+    "insert_at",
+    "delete_first",
+    "delete_last",
+    "read",
+)
+STEP = st.tuples(st.integers(0, len(ACTIONS) - 1), st.integers(0, 10_000))
+
+RELAXED = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# directed containment audit
+# ----------------------------------------------------------------------
+
+
+def test_range_shift_closed_interval_int():
+    """[5, 9]: +1 — both endpoints shift, both neighbours do not."""
+    shift = RangeShift(timestamp=1, lo=5, hi=9, delta=1)
+    assert shift.apply(4) == 4
+    assert shift.apply(5) == 6  # lo is inside (closed)
+    assert shift.apply(9) == 10  # hi is inside (closed)
+    assert shift.apply(10) == 10
+
+
+def test_range_shift_degenerate_single_label():
+    """lo == hi: the range holds exactly one label, which must shift."""
+    shift = RangeShift(timestamp=1, lo=7, hi=7, delta=-1)
+    assert shift.apply(6) == 6
+    assert shift.apply(7) == 6
+    assert shift.apply(8) == 8
+
+
+def test_range_shift_unbounded_hi():
+    """hi=None is the ordinal form [l, ∞): every label >= lo shifts."""
+    shift = RangeShift(timestamp=1, lo=3, hi=None, delta=1)
+    assert shift.apply(2) == 2
+    assert shift.apply(3) == 4
+    assert shift.apply(10**9) == 10**9 + 1
+
+
+def test_range_shift_tuple_prefix_bounds():
+    """Tuple bounds are prefixes: (2, 5) bounds every (2, 5, *) label,
+    and only the LAST component shifts (single-leaf renumbering)."""
+    shift = RangeShift(timestamp=1, lo=(2, 5), hi=(2, 5), delta=1)
+    assert shift.apply((2, 4, 9)) == (2, 4, 9)
+    assert shift.apply((2, 5, 0)) == (2, 5, 1)
+    assert shift.apply((2, 5, 7)) == (2, 5, 8)
+    assert shift.apply((2, 6, 0)) == (2, 6, 0)
+
+
+def test_invalidate_closed_interval():
+    effect = Invalidate(timestamp=1, lo=5, hi=9)
+    assert not effect.hits(4)
+    assert effect.hits(5)
+    assert effect.hits(9)
+    assert not effect.hits(10)
+
+
+def test_invalidate_degenerate_and_unbounded():
+    point = Invalidate(timestamp=1, lo=7, hi=7)
+    assert point.hits(7)
+    assert not point.hits(6) and not point.hits(8)
+    everything = Invalidate(timestamp=1, lo=None, hi=None)
+    assert everything.hits(0) and everything.hits(10**9)
+    tail = Invalidate(timestamp=1, lo=3, hi=None)
+    assert not tail.hits(2)
+    assert tail.hits(3) and tail.hits(10**9)
+
+
+def test_invalidate_tuple_prefix():
+    effect = Invalidate(timestamp=1, lo=(1, 2), hi=(1, 2))
+    assert effect.hits((1, 2, 99))
+    assert not effect.hits((1, 1, 99))
+    assert not effect.hits((1, 3, 0))
+
+
+# ----------------------------------------------------------------------
+# property sweep: replay at boundaries == fresh lookup, per variant
+# ----------------------------------------------------------------------
+
+
+def run_boundary_session(factory_name, steps, channel=LABEL_CHANNEL):
+    scheme = SCHEME_FACTORIES[factory_name]()
+    doc = LabeledDocument(scheme, two_level_document(4))
+    # Capacity above any step count here: replay never drops history, so
+    # a disagreement is a containment bug, not an overflow fallthrough.
+    cache = CachedLabelStore(scheme, log_capacity=512)
+
+    def fresh(lid):
+        if channel == ORDINAL_CHANNEL:
+            return scheme.ordinal_lookup(lid)
+        return scheme.lookup(lid)
+
+    def make_refs(element):
+        return (
+            cache.reference(doc.start_lid(element), channel=channel),
+            cache.reference(doc.end_lid(element), channel=channel),
+        )
+
+    refs = {element: make_refs(element) for element in doc.elements()}
+    elements = [element for element in doc.elements() if element is not doc.root]
+    counter = 0
+
+    def sweep():
+        for element, (start_ref, end_ref) in refs.items():
+            assert cache.get(start_ref) == fresh(doc.start_lid(element)), (
+                factory_name, channel, "start", element.name
+            )
+            assert cache.get(end_ref) == fresh(doc.end_lid(element)), (
+                factory_name, channel, "end", element.name
+            )
+
+    for action_index, position in steps:
+        action = ACTIONS[action_index]
+        if action in ("delete_first", "delete_last") and len(elements) <= 3:
+            action = "insert_at"
+        if action == "read":
+            element = elements[position % len(elements)]
+            assert cache.get(refs[element][0]) == fresh(doc.start_lid(element))
+            continue
+        if action.startswith("insert"):
+            if action == "insert_first":
+                anchor = elements[0]
+            elif action == "insert_last":
+                anchor = elements[-1]
+            else:
+                anchor = elements[position % len(elements)]
+            new = Element(f"b{counter}")
+            counter += 1
+            doc.insert_before(new, anchor)
+            elements.append(new)
+            refs[new] = make_refs(new)
+        else:
+            index = 0 if action == "delete_first" else len(elements) - 1
+            victim = elements.pop(index)
+            refs.pop(victim, None)
+            doc.delete_element(victim)
+        # The edit just emitted effects whose lo/hi are the labels around
+        # the edit point; the full sweep reads those exact labels back
+        # through replay.
+        sweep()
+
+
+@given(steps=st.lists(STEP, min_size=1, max_size=12))
+@RELAXED
+def test_wbox_boundary_replay_matches_fresh(steps):
+    run_boundary_session("wbox", steps)
+
+
+@given(steps=st.lists(STEP, min_size=1, max_size=12))
+@RELAXED
+def test_wboxo_boundary_replay_matches_fresh(steps):
+    run_boundary_session("wboxo", steps)
+
+
+@given(steps=st.lists(STEP, min_size=1, max_size=12))
+@RELAXED
+def test_bbox_boundary_replay_matches_fresh(steps):
+    run_boundary_session("bbox", steps)
+
+
+@given(steps=st.lists(STEP, min_size=1, max_size=12))
+@RELAXED
+def test_bbox_ordinal_boundary_replay_matches_fresh(steps):
+    run_boundary_session("bbox-ordinal", steps)
+
+
+@given(steps=st.lists(STEP, min_size=1, max_size=12))
+@RELAXED
+def test_naive_boundary_replay_matches_fresh(steps):
+    run_boundary_session("naive-4", steps)
+
+
+@given(steps=st.lists(STEP, min_size=1, max_size=10))
+@RELAXED
+def test_wbox_ordinal_channel_boundary_replay(steps):
+    run_boundary_session("wbox-ordinal", steps, channel=ORDINAL_CHANNEL)
+
+
+@given(steps=st.lists(STEP, min_size=1, max_size=10))
+@RELAXED
+def test_bbox_ordinal_channel_boundary_replay(steps):
+    run_boundary_session("bbox-ordinal", steps, channel=ORDINAL_CHANNEL)

@@ -101,6 +101,89 @@ def test_service_stats_exact_totals_under_contention():
     )
 
 
+def test_iostats_hit_ratio_survives_reset_races():
+    """Four threads hammer add()/snapshot()/hit_ratio while another loops
+    reset(): the ratio must always be a sane value in [0, 1] and never
+    raise — a ZeroDivisionError here means the numerator and denominator
+    were read outside the lock, catching reset() between them."""
+    stats = IOStats()
+    stop = threading.Event()
+    failures: list[BaseException] = []
+
+    def resetter(_index):
+        for _ in range(ITERATIONS):
+            stats.reset()
+        stop.set()
+
+    def prober(_index):
+        try:
+            while not stop.is_set():
+                stats.add(cache_hits=1)
+                stats.add(cache_misses=1)
+                ratio = stats.hit_ratio
+                assert 0.0 <= ratio <= 1.0, ratio
+                snap = stats.snapshot()
+                assert snap.reads >= 0 and snap.writes >= 0
+        except BaseException as error:  # noqa: BLE001 - recorded for the main thread
+            failures.append(error)
+            stop.set()
+
+    threads = [threading.Thread(target=prober, args=(i,), daemon=True) for i in range(4)]
+    threads.append(threading.Thread(target=resetter, args=(0,), daemon=True))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+    assert failures == []
+
+
+def test_service_stats_repair_ratio_survives_reset_races():
+    """Same hammer for ServiceStats.repair_hit_ratio: reset() racing
+    add()/snapshot() from four reader threads must never divide by zero
+    and never produce a ratio outside [0, 1]."""
+    stats = ServiceStats()
+    stop = threading.Event()
+    failures: list[BaseException] = []
+
+    def resetter(_index):
+        for _ in range(ITERATIONS):
+            stats.reset()
+        stop.set()
+
+    def prober(_index):
+        try:
+            while not stop.is_set():
+                stats.add(reads=1, fresh_hits=1)
+                stats.add(reads=1, replay_hits=1)
+                ratio = stats.repair_hit_ratio
+                assert 0.0 <= ratio <= 1.0, ratio
+                snap = stats.snapshot()
+                assert 0.0 <= snap.repair_hit_ratio <= 1.0
+                assert snap.mean_epoch_lag == 0.0
+        except BaseException as error:  # noqa: BLE001 - recorded for the main thread
+            failures.append(error)
+            stop.set()
+
+    threads = [threading.Thread(target=prober, args=(i,), daemon=True) for i in range(4)]
+    threads.append(threading.Thread(target=resetter, args=(0,), daemon=True))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+    assert failures == []
+
+
+def test_ratios_zero_probes_return_zero():
+    """Division edges: both ratios are defined (0.0) with zero probes."""
+    assert IOStats().hit_ratio == 0.0
+    assert ServiceStats().repair_hit_ratio == 0.0
+    counters = ServiceStats().snapshot()
+    assert counters.repair_hit_ratio == 0.0
+    assert counters.mean_epoch_lag == 0.0
+
+
 def test_block_cache_concurrent_mutation_stays_bounded():
     """Concurrent insert/lookup/evict on both policies: no lost-update
     corruption (OrderedDict raises or deadlocks when torn), size bounds
