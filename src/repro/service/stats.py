@@ -38,6 +38,10 @@ class ServiceCounters:
     ops_applied: int
     backpressure_waits: int
     write_errors: int
+    write_retries: int
+    degradations: int
+    degraded_write_rejects: int
+    degraded_read_rejects: int
     max_epoch_lag: int
     lag_sum: int
     lag_samples: int
@@ -65,6 +69,10 @@ class ServiceStats:
         "ops_applied",
         "backpressure_waits",
         "write_errors",
+        "write_retries",
+        "degradations",
+        "degraded_write_rejects",
+        "degraded_read_rejects",
         "max_epoch_lag",
         "lag_sum",
         "lag_samples",
@@ -83,6 +91,10 @@ class ServiceStats:
         "ops_applied",
         "backpressure_waits",
         "write_errors",
+        "write_retries",
+        "degradations",
+        "degraded_write_rejects",
+        "degraded_read_rejects",
         "lag_sum",
         "lag_samples",
     )
@@ -97,6 +109,10 @@ class ServiceStats:
         self.ops_applied = 0
         self.backpressure_waits = 0
         self.write_errors = 0
+        self.write_retries = 0
+        self.degradations = 0
+        self.degraded_write_rejects = 0
+        self.degraded_read_rejects = 0
         self.max_epoch_lag = 0
         self.lag_sum = 0
         self.lag_samples = 0
@@ -115,6 +131,10 @@ class ServiceStats:
         ops_applied: int = 0,
         backpressure_waits: int = 0,
         write_errors: int = 0,
+        write_retries: int = 0,
+        degradations: int = 0,
+        degraded_write_rejects: int = 0,
+        degraded_read_rejects: int = 0,
     ) -> None:
         """Atomically bump any subset of the counters."""
         with self._lock:
@@ -127,6 +147,10 @@ class ServiceStats:
             self.ops_applied += ops_applied
             self.backpressure_waits += backpressure_waits
             self.write_errors += write_errors
+            self.write_retries += write_retries
+            self.degradations += degradations
+            self.degraded_write_rejects += degraded_write_rejects
+            self.degraded_read_rejects += degraded_read_rejects
 
     def observe_lag(self, lag: int) -> None:
         """Record one reader's epoch lag (published epoch - pinned epoch)."""
@@ -148,6 +172,10 @@ class ServiceStats:
             self.ops_applied = 0
             self.backpressure_waits = 0
             self.write_errors = 0
+            self.write_retries = 0
+            self.degradations = 0
+            self.degraded_write_rejects = 0
+            self.degraded_read_rejects = 0
             self.max_epoch_lag = 0
             self.lag_sum = 0
             self.lag_samples = 0
@@ -165,6 +193,10 @@ class ServiceStats:
                 ops_applied=self.ops_applied,
                 backpressure_waits=self.backpressure_waits,
                 write_errors=self.write_errors,
+                write_retries=self.write_retries,
+                degradations=self.degradations,
+                degraded_write_rejects=self.degraded_write_rejects,
+                degraded_read_rejects=self.degraded_read_rejects,
                 max_epoch_lag=self.max_epoch_lag,
                 lag_sum=self.lag_sum,
                 lag_samples=self.lag_samples,

@@ -40,6 +40,32 @@ class StorageBackend(ABC):
     def __init__(self) -> None:
         self._next_id = 1  # block id 0 is reserved as "null pointer"
         self._free_ids: list[int] = []
+        #: Optional :class:`~repro.faults.FaultInjector` consulted at the
+        #: backend's named hook points.  None (the default) keeps every
+        #: hook site at a single attribute check.
+        self.fault_injector: Any = None
+
+    # ------------------------------------------------------------------
+    # fault injection (shared dispatcher)
+    # ------------------------------------------------------------------
+
+    def _fire_fault(self, hook: str, size: int | None = None) -> Any:
+        """Consult the installed injector at ``hook``; None when silent."""
+        injector = self.fault_injector
+        if injector is None:
+            return None
+        return injector.fire(hook, size=size)
+
+    def _fault_point(self, hook: str) -> None:
+        """Generic (non-write) hook site: raise/sleep per the action."""
+        injector = self.fault_injector
+        if injector is None:
+            return
+        action = injector.fire(hook)
+        if action is not None:
+            from ..faults.plan import apply_simple_action
+
+            apply_simple_action(action)
 
     # ------------------------------------------------------------------
     # allocation bookkeeping (shared)
@@ -114,8 +140,12 @@ class StorageBackend(ABC):
         """Make the listed blocks (and all allocation state) durable.
 
         Called by :class:`BlockStore` when the outermost operation scope
-        closes, once per dirtied block id.  Volatile backends ignore it.
+        closes, once per dirtied block id.  Volatile backends ignore it —
+        but still expose the ``backend.commit`` hook point, so transient
+        commit faults can be injected on any backend.
         """
+        if self.fault_injector is not None:
+            self._fault_point("backend.commit")
 
     def close(self) -> None:
         """Release any resources held by the backend."""

@@ -30,11 +30,18 @@ a process.  Serialization happens at commit (encode) and on a cold read
 mutations become durable when the operation scope closes and
 :meth:`commit` runs.
 
-**Fault injection.**  ``crash_after_n_writes`` budgets every physical
-write (WAL records, pages, the superblock).  When the budget runs out the
-backend writes a *prefix* of the data — a torn write, as real disks
-produce — raises :class:`~repro.errors.CrashError`, and refuses all
-further writes until reopened.  Tests use this to prove recovery.
+**Fault injection.**  Install a :class:`~repro.faults.FaultInjector`
+(``backend.fault_injector = injector`` or
+:meth:`FileBackend.install_faults`) and the backend consults it at its
+named hook points: ``backend.raw_write`` fires on every physical write
+(WAL records, pages, the superblock — one funnel), ``backend.page_write``
+and ``backend.superblock`` fire just before those specific images go out,
+``backend.fsync`` fires before each real ``os.fsync``, and
+``backend.commit`` fires on commit entry.  A torn/short write puts a
+*prefix* of the data on disk — as real disks produce — raises
+:class:`~repro.errors.CrashError`, and the backend refuses all further
+writes until reopened.  Tests use this to prove recovery; see
+:mod:`repro.faults` for the plan vocabulary.
 """
 
 from __future__ import annotations
@@ -42,10 +49,18 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time as _time
 import zlib
 from typing import Any, Iterable, Iterator
 
-from ..errors import CrashError, PersistError, RecoveryError, StorageError
+from ..errors import (
+    CrashError,
+    FsyncFailedError,
+    PersistError,
+    RecoveryError,
+    StorageError,
+    TransientIOError,
+)
 from ..obs import trace
 from ..obs.metrics import get_registry
 from .backend import StorageBackend
@@ -156,8 +171,10 @@ class FileBackend(StorageBackend):
         #: set, every commit journals its result (schemes use this to keep
         #: their LIDF directory recoverable).
         self.metadata_provider: Any = None
-        #: Fault injection: remaining physical writes, or None (unlimited).
-        self.crash_after_n_writes: int | None = None
+        #: A write-kind fault armed by a page/superblock hook, consumed by
+        #: the next physical write (so "tear the superblock" tears the
+        #: actual image bytes, wherever they land).
+        self._pending_write_fault: Any = None
         self._crashed = False
         # Physical-I/O counters (the honest cost the logical IOStats models).
         self.page_writes = 0
@@ -178,30 +195,75 @@ class FileBackend(StorageBackend):
             self._handle = open(self.path, "w+b")
             self._raw_write_at(0, MAGIC)
             self._write_superblock()
-        self._wal = WALWriter(self.wal_path, self._raw_write)
+        self._wal = WALWriter(self.wal_path, self._raw_write, fault_fire=self._fire_fault)
 
     # ------------------------------------------------------------------
     # physical writes (single funnel; fault injection lives here)
     # ------------------------------------------------------------------
 
+    def install_faults(self, injector: Any) -> "FileBackend":
+        """Attach a :class:`~repro.faults.FaultInjector` (or ``None``)."""
+        self.fault_injector = injector
+        return self
+
     def _raw_write(self, handle: Any, data: bytes) -> None:
-        """Append/write ``data`` through the crash-injection budget."""
+        """Append/write ``data`` through the fault-injection funnel."""
         if self._crashed:
             raise CrashError("backend has crashed; reopen to recover")
-        budget = self.crash_after_n_writes
-        if budget is not None:
-            if budget <= 0:
-                self._crashed = True
-                raise CrashError("simulated crash: write budget exhausted")
-            self.crash_after_n_writes = budget - 1
-            if self.crash_after_n_writes == 0 and len(data) > 1:
-                # Tear the final granted write in half, like a power loss
-                # mid-sector: the next write attempt raises.
-                handle.write(data[: len(data) // 2])
-                self._crashed = True
-                raise CrashError("simulated crash: torn write")
+        action = self._pending_write_fault
+        if action is None and self.fault_injector is not None:
+            action = self.fault_injector.fire("backend.raw_write", size=len(data))
+        if action is not None:
+            self._pending_write_fault = None
+            self._perform_write_fault(action, handle, data)  # latency falls through
         handle.write(data)
         self.bytes_written += len(data)
+
+    def _perform_write_fault(self, action: Any, handle: Any, data: bytes) -> None:
+        """Inject one fault into a physical write.  Returns (letting the
+        write proceed) only for a latency spike; every other kind raises."""
+        from ..faults.plan import IO_ERROR, LATENCY, SHORT_WRITE, TORN_WRITE
+
+        if action.kind == LATENCY:
+            _time.sleep(action.delay)
+            return
+        if action.kind == IO_ERROR:
+            # Transient and side-effect free: nothing was written, the
+            # caller may retry the whole commit.
+            raise TransientIOError(
+                f"injected transient I/O error at backend.raw_write "
+                f"(invocation {action.invocation})"
+            )
+        if action.kind in (TORN_WRITE, SHORT_WRITE):
+            # Put a prefix on disk — half for a torn write, the seeded cut
+            # for a short write — then die, like a power loss mid-sector.
+            cut = len(data) // 2 if action.kind == TORN_WRITE else action.cut or 0
+            cut = min(cut, len(data))
+            if cut:
+                handle.write(data[:cut])
+            self._crashed = True
+            raise CrashError(
+                f"simulated crash: {action.kind} after {cut} of {len(data)} bytes"
+            )
+        from ..faults.plan import apply_simple_action
+
+        apply_simple_action(action)
+
+    def _hook_write_site(self, hook: str, size: int) -> None:
+        """Named write-site hook (page/superblock image about to go out).
+
+        Torn/short actions are deferred onto the next physical write so
+        the fault tears the actual image bytes; transient/latency actions
+        apply immediately (before any bytes move)."""
+        action = self.fault_injector.fire(hook, size=size)
+        if action is None:
+            return
+        from ..faults.plan import SHORT_WRITE, TORN_WRITE, apply_simple_action
+
+        if action.kind in (TORN_WRITE, SHORT_WRITE):
+            self._pending_write_fault = action
+            return
+        apply_simple_action(action)
 
     def _raw_write_at(self, offset: int, data: bytes) -> None:
         self._handle.seek(offset)
@@ -210,7 +272,27 @@ class FileBackend(StorageBackend):
     def _sync(self, handle: Any) -> None:
         handle.flush()  # surface buffered writes to the OS (and readers)
         if self.fsync:
+            if self.fault_injector is not None:
+                action = self.fault_injector.fire("backend.fsync")
+                if action is not None:
+                    self._perform_fsync_fault(action)
             os.fsync(handle.fileno())
+
+    def _perform_fsync_fault(self, action: Any) -> None:
+        from ..faults.plan import FSYNC_FAIL, LATENCY, apply_simple_action
+
+        if action.kind == FSYNC_FAIL:
+            # fsyncgate semantics: a failed fsync may have dropped dirty
+            # pages; nothing after it can be trusted, so the backend dies
+            # and recovery must rebuild from the WAL on reopen.
+            self._crashed = True
+            raise FsyncFailedError(
+                f"injected fsync failure (invocation {action.invocation})"
+            )
+        if action.kind == LATENCY:
+            _time.sleep(action.delay)
+            return
+        apply_simple_action(action)
 
     # ------------------------------------------------------------------
     # superblock
@@ -230,6 +312,8 @@ class FileBackend(StorageBackend):
             state if state is not None else self._superblock_dict(),
             sort_keys=True,
         ).encode("utf-8")
+        if self.fault_injector is not None:
+            self._hook_write_site("backend.superblock", len(payload))
         if _SUPER_HEADER.size + len(payload) > SUPERBLOCK_BYTES:
             # State outgrew the fixed region: write it as an overflow blob
             # just past the last page (later page growth overwrites dead
@@ -321,6 +405,8 @@ class FileBackend(StorageBackend):
         return len(MAGIC) + SUPERBLOCK_BYTES + (block_id - 1) * self.page_bytes
 
     def _write_page_image(self, block_id: int, image: bytes) -> None:
+        if self.fault_injector is not None:
+            self._hook_write_site("backend.page_write", len(image))
         framed = _PAGE_HEADER.pack(len(image)) + image
         if len(framed) > self.page_bytes:
             raise StorageError(
@@ -404,6 +490,8 @@ class FileBackend(StorageBackend):
         truncate the log — the protocol documented in
         :mod:`repro.storage.wal`.
         """
+        if self.fault_injector is not None:
+            self._fault_point("backend.commit")
         with trace.span("backend.commit") as span:
             bytes_before = self.bytes_written
             puts: dict[int, bytes] = {}

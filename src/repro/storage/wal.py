@@ -38,7 +38,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from ..errors import PersistError, WALError
+from ..errors import PersistError, TransientIOError, WALError
 from ..obs import trace
 from ..obs.metrics import get_registry
 from .codec import read_uvarint, write_uvarint
@@ -90,9 +90,17 @@ class WALWriter:
     mid-append.
     """
 
-    def __init__(self, path: str, raw_write: Callable[[Any, bytes], None]) -> None:
+    def __init__(
+        self,
+        path: str,
+        raw_write: Callable[[Any, bytes], None],
+        fault_fire: Callable[..., Any] | None = None,
+    ) -> None:
         self.path = path
         self._raw_write = raw_write
+        #: Optional fault dispatcher (the owning backend's ``_fire_fault``)
+        #: consulted at the ``wal.append`` hook point.
+        self._fault_fire = fault_fire
         self._handle: Any = None
         self.records_written = 0
         self.bytes_written = 0
@@ -107,26 +115,45 @@ class WALWriter:
     def append_transaction(
         self, puts: dict[int, bytes], meta: dict[str, Any]
     ) -> None:
-        """Append one transaction: PUT records, a META record, COMMIT."""
+        """Append one transaction: PUT records, a META record, COMMIT.
+
+        A :class:`~repro.errors.TransientIOError` raised mid-transaction
+        (an injected retryable fault) rolls the log back to the clean
+        pre-transaction boundary before propagating, so the caller can
+        re-run the whole commit against an uncorrupted log.  Crash faults
+        (:class:`~repro.errors.CrashError`) do *not* roll back — the torn
+        tail they leave is exactly what recovery must cope with.
+        """
         with trace.span("wal.append") as span:
+            if self._fault_fire is not None:
+                action = self._fault_fire("wal.append")
+                if action is not None:
+                    from ..faults.plan import apply_simple_action
+
+                    apply_simple_action(action)
             self._ensure_open()
             records_before = self.records_written
             bytes_before = self.bytes_written
+            start_offset = self._handle.tell()
             crc = 0
-            for block_id, image in puts.items():
-                body_stream = io.BytesIO()
-                write_uvarint(body_stream, block_id)
-                body_stream.write(image)
-                record = _encode_record(REC_PUT, body_stream.getvalue())
-                crc = zlib.crc32(record, crc)
-                self._write(record)
-            meta_record = _encode_record(
-                REC_META, json.dumps(meta, sort_keys=True).encode("utf-8")
-            )
-            crc = zlib.crc32(meta_record, crc)
-            self._write(meta_record)
-            self._write(_encode_record(REC_COMMIT, struct.pack(">I", crc)))
-            self._handle.flush()
+            try:
+                for block_id, image in puts.items():
+                    body_stream = io.BytesIO()
+                    write_uvarint(body_stream, block_id)
+                    body_stream.write(image)
+                    record = _encode_record(REC_PUT, body_stream.getvalue())
+                    crc = zlib.crc32(record, crc)
+                    self._write(record)
+                meta_record = _encode_record(
+                    REC_META, json.dumps(meta, sort_keys=True).encode("utf-8")
+                )
+                crc = zlib.crc32(meta_record, crc)
+                self._write(meta_record)
+                self._write(_encode_record(REC_COMMIT, struct.pack(">I", crc)))
+                self._handle.flush()
+            except TransientIOError:
+                self._rollback_to(start_offset, records_before, bytes_before)
+                raise
             records = self.records_written - records_before
             wal_bytes = self.bytes_written - bytes_before
             if span.recording:
@@ -147,6 +174,17 @@ class WALWriter:
         self._raw_write(self._handle, record)
         self.records_written += 1
         self.bytes_written += len(record)
+
+    def _rollback_to(self, offset: int, records: int, bytes_written: int) -> None:
+        """Discard a partially appended transaction (transient fault)."""
+        try:
+            self._handle.flush()
+        except OSError:  # pragma: no cover - flush of a broken handle
+            pass
+        self._handle.truncate(offset)
+        self._handle.seek(0, os.SEEK_END)
+        self.records_written = records
+        self.bytes_written = bytes_written
 
     def truncate(self) -> None:
         """Empty the log (step 3 of the protocol)."""

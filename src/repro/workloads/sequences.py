@@ -582,6 +582,45 @@ def run_service_stress(
     )
 
 
+def crash_recovery_tape(
+    n_ops: int, seed: int = 0, delete_fraction: float = 0.15
+) -> list[tuple[str, int]]:
+    """A deterministic mixed insert/delete tape for crash-recovery sweeps.
+
+    Each step is ``("insert_before", draw)`` or ``("delete", draw)`` where
+    ``draw`` indexes the *current* live-LID list modulo its length — the
+    tape is independent of concrete LID values, so the same tape replays
+    identically on a file-backed scheme and on its memory-backed twin
+    oracle (:func:`apply_tape_step` is the one shared interpreter).  Same
+    ``(n_ops, seed)``, same tape, every run: the chaos sweep's determinism
+    rests on this.
+    """
+    import random
+
+    rng = random.Random(seed)
+    steps: list[tuple[str, int]] = []
+    for _ in range(n_ops):
+        kind = "delete" if rng.random() < delete_fraction else "insert_before"
+        steps.append((kind, rng.randrange(1 << 20)))
+    return steps
+
+
+def apply_tape_step(
+    scheme: LabelingScheme, lids: list[int], step: tuple[str, int]
+) -> None:
+    """Interpret one :func:`crash_recovery_tape` step against ``scheme``,
+    keeping ``lids`` (the live-LID list, mutated in place) in sync.
+
+    Deletes are demoted to inserts while the live population is small, so
+    a delete-heavy seed can never drain the structure.
+    """
+    kind, draw = step
+    if kind == "delete" and len(lids) > 12:
+        scheme.delete(lids.pop(draw % len(lids)))
+    else:
+        lids.append(scheme.insert_before(lids[draw % len(lids)]))
+
+
 def subtree_tags_and_pairing(root: Element) -> tuple[list[Tag], list[int]]:
     """Tags (document order) and pairing for a subtree — the inputs bulk
     subtree insertion needs."""
@@ -604,6 +643,8 @@ __all__ = [
     "run_scattered_batched",
     "run_xmark_build",
     "run_xmark_build_batched",
+    "crash_recovery_tape",
+    "apply_tape_step",
     "subtree_tags_and_pairing",
     "element_insert_order",
     "TagKind",

@@ -18,6 +18,8 @@ effects would disagree with its pin's oracle row), and pin regressions.
 
 from __future__ import annotations
 
+import pytest
+
 from repro import BatchOp, TINY_CONFIG, WBox
 from repro.service import LabelService
 from repro.workloads.sequences import _bulk_load_two_level
@@ -114,6 +116,7 @@ def writer_ops(lids, count):
     return [BatchOp("insert_element_before", (lids[3],)) for _ in range(count)]
 
 
+@pytest.mark.slow
 def test_exhaustive_two_readers_one_writer():
     """The headline sweep: 2 readers x 1 writer x 3 write ops, every
     interleaving of the coarse preemption points.  A tiny log (4 effects

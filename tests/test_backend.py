@@ -1,12 +1,14 @@
 """The layered storage stack's file side: page files, the WAL protocol,
 crash injection + recovery, and cross-backend equivalence.
 
-The crash tests use the backend's ``crash_after_n_writes`` budget, which
-tears the final granted physical write in half — sweeping the budget
-walks the crash point through every window of the commit protocol
-(mid-WAL-record, between WAL and pages, mid-page, mid-superblock).  After
-every simulated crash, reopening must yield exactly the last committed
-state: every LID looks up its pre-crash committed label.
+The crash tests install :class:`repro.faults.FaultPlan.crash_after_writes`
+plans (the exact semantics of the retired ``crash_after_n_writes``
+budget): ``budget`` physical writes are granted and the final one is torn
+in half — sweeping the budget walks the crash point through every window
+of the commit protocol (mid-WAL-record, between WAL and pages, mid-page,
+mid-superblock).  After every simulated crash, reopening must yield
+exactly the last committed state: every LID looks up its pre-crash
+committed label.
 """
 
 import os
@@ -16,6 +18,7 @@ import pytest
 from repro import BBox, BatchExecutor, BatchOp, NaiveScheme, OrdPath, WBox, WBoxO
 from repro.config import TINY_CONFIG
 from repro.errors import CrashError, PersistError, RecoveryError, StorageError, WALError
+from repro.faults import FaultInjector, FaultPlan
 from repro.persist import (
     attach_scheme_to_backend,
     checkpoint_scheme,
@@ -35,6 +38,12 @@ from repro.storage.wal import WALWriter
 
 def make_backend(tmp_path, name="t.pages", **kwargs):
     return FileBackend(str(tmp_path / name), **kwargs)
+
+
+def arm_crash_after(backend, budget):
+    """Grant ``budget`` physical writes, tearing the final one in half —
+    the legacy ``crash_after_n_writes`` semantics as a FaultPlan."""
+    backend.install_faults(FaultInjector(FaultPlan.crash_after_writes(budget)))
 
 
 def make_file_scheme(tmp_path, factory, name="s.pages", config=TINY_CONFIG):
@@ -238,7 +247,7 @@ class TestRecoveryWindows:
             path = tmp_path / f"sweep{budget}.pages"
             path.write_bytes(image)
             backend = FileBackend(str(path))
-            backend.crash_after_n_writes = budget
+            arm_crash_after(backend, budget)
             crashed = False
             try:
                 for i in ids:
@@ -268,7 +277,7 @@ class TestRecoveryWindows:
         # superblock.  Granting exactly the first five tears the page
         # write — after the commit record is durable.
         backend.write(ids[0], [404, 405])
-        backend.crash_after_n_writes = 5
+        arm_crash_after(backend, 5)
         with pytest.raises(CrashError):
             backend.commit([ids[0]])
         backend.close()
@@ -312,7 +321,7 @@ class TestRecoveryWindows:
     def test_crashed_backend_refuses_further_writes(self, tmp_path):
         backend = make_backend(tmp_path)
         block_id = backend.allocate([1])
-        backend.crash_after_n_writes = 0
+        arm_crash_after(backend, 0)
         with pytest.raises(CrashError):
             backend.commit([block_id])
         with pytest.raises(CrashError, match="reopen to recover"):
@@ -335,7 +344,7 @@ class TestSchemeCrashRecovery:
         factory = SCHEME_FACTORIES[name]
         scheme, backend = make_file_scheme(tmp_path, factory, f"{name}.pages")
         lids = bulk(scheme, 24)
-        backend.crash_after_n_writes = budget
+        arm_crash_after(backend, budget)
         crashed = False
         try:
             for round_index in range(1000):
@@ -371,7 +380,7 @@ class TestSchemeCrashRecovery:
         lids = bulk(scheme, 10)
         checkpoint_scheme(scheme)
         commits = backend.commits
-        backend.crash_after_n_writes = 0
+        arm_crash_after(backend, 0)
         assert [scheme.lookup(lid) for lid in lids] == sorted(
             scheme.lookup(lid) for lid in lids
         )

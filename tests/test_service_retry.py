@@ -1,0 +1,154 @@
+"""Service-level fault handling: retry with backoff, degraded read-only.
+
+Transient backend errors (:class:`TransientIOError`, raised before any
+side effect) are retried at the commit level with exponential backoff;
+fatal errors (an injected writer kill, a crashed backend) flip the
+service into degraded read-only mode where pinned-epoch readers keep
+serving and everything else fails fast with a typed error.  All sleeps
+are injected, all faults come from a seeded :class:`FaultPlan` — nothing
+here is timing-dependent.
+"""
+
+import pytest
+
+from repro import BatchOp, TINY_CONFIG, WBox
+from repro.errors import ServiceDegradedError, TransientIOError, WriterCrashError
+from repro.faults import FaultInjector, FaultPlan
+from repro.service import LabelService, RetryPolicy
+from repro.workloads.sequences import _bulk_load_two_level
+
+
+def build_service(**kwargs):
+    scheme = WBox(TINY_CONFIG)
+    lids = _bulk_load_two_level(scheme, 4)
+    service = LabelService(scheme, log_capacity=64, **kwargs)
+    return scheme, service, lids
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially_and_cap(self):
+        policy = RetryPolicy(base_delay=0.01, multiplier=2.0, max_delay=0.05)
+        assert [policy.delay_for(a) for a in (1, 2, 3, 4, 5)] == [
+            0.01,
+            0.02,
+            0.04,
+            0.05,
+            0.05,
+        ]
+
+
+class TestTransientRetry:
+    def test_transient_commit_fault_is_retried_to_success(self):
+        sleeps = []
+        policy = RetryPolicy(max_retries=4, base_delay=0.01, sleep=sleeps.append)
+        scheme, service, lids = build_service(retry_policy=policy)
+        scheme.store.backend.fault_injector = FaultInjector(
+            FaultPlan.transient_io_error(hook="backend.commit", at=1, times=2)
+        )
+        with service.start():
+            ticket = service.submit_ops([BatchOp("insert_before", (lids[3],))])
+            ticket.wait(timeout=5.0)
+            assert service.stats.snapshot().write_retries == 2
+            # One backoff per failed attempt, growing exponentially.
+            assert sleeps == [policy.delay_for(1), policy.delay_for(2)]
+            assert not service.degraded
+            assert service.stats.snapshot().write_errors == 0
+
+    def test_retry_exhaustion_fails_batch_but_not_service(self):
+        sleeps = []
+        policy = RetryPolicy(max_retries=1, base_delay=0.0, sleep=sleeps.append)
+        scheme, service, lids = build_service(retry_policy=policy)
+        # times=2 == the two attempts max_retries=1 allows: this batch's
+        # commit exhausts the budget, the next batch commits clean.
+        scheme.store.backend.fault_injector = FaultInjector(
+            FaultPlan.transient_io_error(hook="backend.commit", at=1, times=2)
+        )
+        with service.start():
+            doomed = service.submit_ops([BatchOp("insert_before", (lids[3],))])
+            with pytest.raises(TransientIOError):
+                doomed.wait(timeout=5.0)
+            counters = service.stats.snapshot()
+            assert counters.write_errors == 1 and counters.write_retries == 1
+            # Transient errors are not fatal: the writer keeps serving.
+            assert not service.degraded
+            follow_up = service.submit_ops([BatchOp("insert_before", (lids[3],))])
+            follow_up.wait(timeout=5.0)
+
+    def test_retries_disabled_with_none_policy(self):
+        scheme, service, lids = build_service(retry_policy=None)
+        scheme.store.backend.fault_injector = FaultInjector(
+            FaultPlan.transient_io_error(hook="backend.commit", at=1)
+        )
+        with service.start():
+            ticket = service.submit_ops([BatchOp("insert_before", (lids[3],))])
+            with pytest.raises(TransientIOError):
+                ticket.wait(timeout=5.0)
+            assert service.stats.snapshot().write_retries == 0
+
+
+class TestDegradedMode:
+    def test_writer_crash_degrades_to_read_only(self):
+        scheme, service, lids = build_service(
+            fault_injector=FaultInjector(FaultPlan.writer_crash())
+        )
+        with service.start():
+            warm = service.session()
+            truth = {lid: warm.lookup(lid) for lid in lids}
+
+            ticket = service.submit_ops([BatchOp("insert_before", (lids[3],))])
+            with pytest.raises(WriterCrashError):
+                ticket.wait(timeout=5.0)
+
+            assert service.degraded
+            assert "WriterCrashError" in service.degraded_reason
+            described = service.describe()
+            assert described["state"] == "degraded"
+
+            # Writes fail fast with the typed error, before queueing.
+            with pytest.raises(ServiceDegradedError):
+                service.submit_ops([BatchOp("insert_before", (lids[3],))])
+
+            # A cold session cannot fall through to the structure.
+            cold = service.session()
+            with pytest.raises(ServiceDegradedError):
+                cold.lookup(lids[1])
+
+            # The warm session's pinned-epoch reads keep serving, and
+            # still agree with the pre-crash truth.
+            for lid in lids:
+                assert warm.lookup(lid) == truth[lid]
+
+            counters = service.stats.snapshot()
+            assert counters.degradations == 1
+            assert counters.degraded_write_rejects >= 1
+            assert counters.degraded_read_rejects >= 1
+            assert service.describe()["degraded_write_rejects"] >= 1
+
+    def test_queued_batches_fail_fast_on_degradation(self):
+        """Batches sitting behind the fatal one get their tickets failed
+        with ServiceDegradedError instead of blocking forever."""
+        scheme, service, lids = build_service(
+            fault_injector=FaultInjector(FaultPlan.writer_crash())
+        )
+        with service.start():
+            first = service.submit_ops([BatchOp("insert_before", (lids[3],))])
+            with pytest.raises(WriterCrashError):
+                first.wait(timeout=5.0)
+            # The writer is dead; anything still queued was drained and
+            # failed by the degradation path, and new submits are refused.
+            with pytest.raises(ServiceDegradedError):
+                service.submit_ops([BatchOp("insert_before", (lids[3],))])
+
+    def test_degradation_is_recorded_once(self):
+        scheme, service, lids = build_service(
+            fault_injector=FaultInjector(
+                FaultPlan.writer_crash(hook="service.writer_apply")
+            )
+        )
+        with service.start():
+            ticket = service.submit_ops([BatchOp("insert_before", (lids[3],))])
+            with pytest.raises(WriterCrashError):
+                ticket.wait(timeout=5.0)
+            with pytest.raises(ServiceDegradedError):
+                service.submit_ops([BatchOp("insert_before", (lids[3],))])
+            assert service.stats.snapshot().degradations == 1
