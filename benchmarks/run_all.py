@@ -52,6 +52,7 @@ TARGETS = [
     ("bench_ablation_cachelog", "test_cachelog_table"),
     ("bench_ablation_weight_balance", "test_weight_balance_table"),
     ("bench_ablation_bbox_fanout", "test_fanout_table"),
+    ("bench_hotpath", "test_hotpath_table"),
 ]
 
 

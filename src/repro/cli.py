@@ -70,6 +70,7 @@ from .query.xpath import evaluate
 from .storage import (
     BlockStore,
     FileBackend,
+    MmapBackend,
     default_page_bytes,
     read_superblock,
     scan_wal,
@@ -125,11 +126,12 @@ def _make_store(
     """Build the block store a CLI-made scheme runs on (None = default)."""
     if storage == "memory":
         return None
-    if storage != "file":
+    if storage not in ("file", "mmap"):
         raise ReproError(f"unknown storage backend {storage!r}")
     if not storage_path:
-        raise ReproError("--storage file requires --storage-path")
-    backend = FileBackend(
+        raise ReproError(f"--storage {storage} requires --storage-path")
+    backend_cls = MmapBackend if storage == "mmap" else FileBackend
+    backend = backend_cls(
         storage_path, page_bytes=default_page_bytes(config.block_bytes)
     )
     return BlockStore(config, backend=backend)
@@ -157,9 +159,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--storage",
-        choices=["memory", "file"],
+        choices=["memory", "file", "mmap"],
         default="memory",
-        help="block storage backend (default: memory; 'file' needs --storage-path)",
+        help=(
+            "block storage backend (default: memory; 'file' and 'mmap' "
+            "need --storage-path; 'mmap' serves page reads zero-copy)"
+        ),
     )
     parser.add_argument(
         "--storage-path",

@@ -53,6 +53,10 @@ SUPPORTED_KINDS: dict[str, int] = {
     "delete_range": 0,
 }
 
+#: Read-only kinds eligible for vectorized execution: a run of these with
+#: plain-int anchors may be handed to a scheme's ``batch_<kind>`` method.
+_VECTOR_KINDS = frozenset({"lookup", "ordinal_lookup"})
+
 
 @dataclass(frozen=True)
 class BatchRef:
@@ -162,6 +166,16 @@ class BatchExecutor:
         durable backend) WAL-committed.  This is the service's epoch
         publication point.  Runs even when the group raised, so a paired
         ``on_group_start`` latch is always released.
+    vectorized:
+        Hand maximal runs of same-kind read ops (``lookup`` /
+        ``ordinal_lookup`` with plain-int anchors) to the scheme's
+        ``batch_<kind>`` method when it has one, so label reconstruction
+        is amortized over the run (B-BOX shares ancestor walks across the
+        batch).  Results and I/O counts are identical to one-by-one
+        execution: the run stays inside the group's measured scope, where
+        each block is counted once regardless of order.  Runs are only
+        formed when tracing is not recording — per-op spans keep their
+        one-span-per-op shape.
     """
 
     def __init__(
@@ -171,6 +185,7 @@ class BatchExecutor:
         locality_grouping: bool = True,
         on_group_start: Callable[[], None] | None = None,
         on_group_commit: Callable[[], None] | None = None,
+        vectorized: bool = True,
     ) -> None:
         if group_size < 1:
             raise LabelingError(f"group_size must be >= 1, got {group_size}")
@@ -179,6 +194,7 @@ class BatchExecutor:
         self.locality_grouping = locality_grouping
         self.on_group_start = on_group_start
         self.on_group_commit = on_group_commit
+        self.vectorized = vectorized
         self._lids_per_block = max(1, scheme.config.lidf_records_per_block)
 
     # ------------------------------------------------------------------
@@ -244,8 +260,29 @@ class BatchExecutor:
                             group_span.add("group.ops", len(group))
                         with self.scheme.store.measured() as measured:
                             stats = self.scheme.store.stats
-                            for position in group:
+                            index = 0
+                            while index < len(group):
+                                position = group[index]
                                 op = ops[position]
+                                if (
+                                    self.vectorized
+                                    and not recording
+                                    and op.kind in _VECTOR_KINDS
+                                ):
+                                    batch_method = getattr(
+                                        self.scheme, "batch_" + op.kind, None
+                                    )
+                                    if batch_method is not None:
+                                        positions, anchors = self._collect_run(
+                                            ops, group, index, result.results
+                                        )
+                                        if len(positions) > 1:
+                                            for pos, value in zip(
+                                                positions, batch_method(anchors)
+                                            ):
+                                                result.results[pos] = value
+                                            index += len(positions)
+                                            continue
                                 args = self._resolve(op, position, result.results)
                                 if recording:
                                     # Per-op spans exist only under a recorded
@@ -267,6 +304,7 @@ class BatchExecutor:
                                     result.results[position] = getattr(
                                         self.scheme, op.kind
                                     )(*args)
+                                index += 1
                 finally:
                     if self.on_group_commit is not None:
                         self.on_group_commit()
@@ -274,6 +312,43 @@ class BatchExecutor:
                 result.group_sizes.append(len(group))
         result.backend_commits = getattr(backend, "commits", 0) - commits_before
         return result
+
+    def _collect_run(
+        self, ops: Sequence[BatchOp], group: list[int], start: int, results: list
+    ) -> tuple[list[int], list[int]]:
+        """Maximal vectorizable run at ``group[start:]``: consecutive ops of
+        the same kind whose single argument resolves to a plain int LID.
+
+        Any irregularity — different kind, extra arguments, an anchor that
+        is not an int, or a :class:`BatchRef` whose target has not produced
+        a value yet (e.g. it points into this very run) — ends the run
+        *before* the offending op, which then executes through the scalar
+        path with its exact one-by-one semantics (including errors).
+        """
+        kind = ops[group[start]].kind
+        positions: list[int] = []
+        anchors: list[int] = []
+        for offset in range(start, len(group)):
+            position = group[offset]
+            op = ops[position]
+            if op.kind != kind or len(op.args) != 1:
+                break
+            anchor = op.args[0]
+            if isinstance(anchor, BatchRef):
+                ref = anchor
+                if not 0 <= ref.index < position or results[ref.index] is None:
+                    break
+                anchor = results[ref.index]
+                if ref.item is not None:
+                    try:
+                        anchor = anchor[ref.item]
+                    except (TypeError, IndexError, KeyError):
+                        break
+            if isinstance(anchor, bool) or not isinstance(anchor, int):
+                break
+            positions.append(position)
+            anchors.append(anchor)
+        return positions, anchors
 
     def _resolve(self, op: BatchOp, position: int, results: list) -> tuple:
         resolved = []

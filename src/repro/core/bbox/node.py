@@ -14,13 +14,13 @@ With ordinal support, internal nodes also keep a ``sizes`` list parallel to
 
 from __future__ import annotations
 
-from ..kernels import cumulative, prefix
+from ..kernels import cumulative, position_index, prefix
 
 
 class BNode:
     """One B-BOX node (leaf or internal), stored as one block payload."""
 
-    __slots__ = ("leaf", "parent", "entries", "sizes", "_cum_sizes")
+    __slots__ = ("leaf", "parent", "entries", "sizes", "_cum_sizes", "_pos_index")
 
     def __init__(
         self,
@@ -34,13 +34,17 @@ class BNode:
         self.entries: list[int] = entries if entries is not None else []
         #: Parallel subtree sizes (internal nodes, ordinal mode only).
         self.sizes: list[int] | None = sizes
-        # Lazily built cumulative sizes (see repro.core.kernels); invalidated
-        # by touch(), which BlockStore.write calls when the block is dirtied.
+        # Lazily built cumulative sizes and entry-position index (see
+        # repro.core.kernels); invalidated by touch(), which BlockStore.write
+        # calls when the block is dirtied.
         self._cum_sizes: list[int] | None = None
+        self._pos_index: dict[int, int] | None = None
 
     def touch(self) -> None:
-        """Drop the cached prefix sums (called by ``BlockStore.write``)."""
+        """Drop the cached prefix sums and position index (called by
+        ``BlockStore.write``)."""
         self._cum_sizes = None
+        self._pos_index = None
 
     def size_sums(self) -> list[int]:
         """Cumulative subtree sizes (internal nodes, ordinal mode)."""
@@ -60,7 +64,17 @@ class BNode:
 
     def index_of(self, entry: int) -> int:
         """Position of ``entry`` (a LID or child block id) in this node."""
-        return self.entries.index(entry)
+        index = self.position_map().get(entry)
+        if index is None:
+            raise ValueError(f"{entry} is not in list")
+        return index
+
+    def position_map(self) -> dict[int, int]:
+        """Entry-to-position map (lazily built, dropped by ``touch()``)."""
+        pos = self._pos_index
+        if pos is None:
+            pos = self._pos_index = position_index(self.entries)
+        return pos
 
     def __len__(self) -> int:
         return len(self.entries)

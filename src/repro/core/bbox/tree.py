@@ -33,7 +33,7 @@ from ...errors import ConfigError, InvariantViolation, UnknownLIDError
 from ...storage import BlockStore, HeapFile
 from ..cachelog import ORDINAL_CHANNEL, Invalidate, RangeShift, invalidate_all
 from ..interface import LabelingScheme
-from ..kernels import cumulative
+from ..kernels import cumulative, memoized_path_prefixes, position_index
 from .node import BNode
 
 
@@ -169,10 +169,75 @@ class BBox(LabelingScheme):
         return (packed << leaf_bits) | label[-1]
 
     def _leaf_position(self, leaf: BNode, lid: int) -> int:
-        try:
-            return leaf.entries.index(lid)
-        except ValueError:
-            raise UnknownLIDError(f"LID {lid} not found in its leaf") from None
+        position = leaf.position_map().get(lid)
+        if position is None:
+            raise UnknownLIDError(f"LID {lid} not found in its leaf")
+        return position
+
+    # ------------------------------------------------------------------
+    # batch reconstruction (vectorized bottom-up walks)
+    # ------------------------------------------------------------------
+
+    def batch_lookup(self, lids: Sequence[int]) -> list[tuple[int, ...]]:
+        """Reconstruct labels for a batch of LIDs in one bottom-up pass.
+
+        Per-LID :meth:`lookup` walks leaf-to-root independently, re-deriving
+        the shared path prefix of every LID that lives under the same
+        ancestors.  Here the path prefixes are memoized across the batch
+        (:func:`~repro.core.kernels.memoized_path_prefixes`), so each
+        *distinct* ancestor is resolved exactly once no matter how many
+        batch members sit below it.  The same blocks are read as the per-op
+        loop would read inside one operation scope, so I/O counts are
+        identical — only the Python-level work is folded.
+        """
+        with self.store.operation():
+            read = self.store.read
+            memo: dict[int, tuple[int, ...]] = {self.root_id: ()}
+
+            def read_parent(child_id: int) -> tuple[int, int]:
+                parent_id = read(child_id).parent
+                return parent_id, read(parent_id).index_of(child_id)
+
+            results: list[tuple[int, ...]] = []
+            append = results.append
+            for lid in lids:
+                leaf_id = self.lidf.read(lid)
+                leaf = read(leaf_id)
+                prefix = memoized_path_prefixes(leaf_id, read_parent, memo)
+                append(prefix + (self._leaf_position(leaf, lid),))
+            return results
+
+    def batch_ordinal_lookup(self, lids: Sequence[int]) -> list[int]:
+        """Document positions for a batch of LIDs, sharing ancestor walks.
+
+        The memo here maps a node id to the document offset of its subtree's
+        first record — the sum of ``size_prefix`` contributions along the
+        root-to-node path — so shared ancestors contribute their prefix
+        sums once per batch instead of once per LID.
+        """
+        if not self.ordinal:
+            return [LabelingScheme.ordinal_lookup(self, lid) for lid in lids]
+        with self.store.operation():
+            read = self.store.read
+            offsets: dict[int, int] = {self.root_id: 0}
+            results: list[int] = []
+            append = results.append
+            for lid in lids:
+                leaf_id = self.lidf.read(lid)
+                leaf = read(leaf_id)
+                node_id = leaf_id
+                stack: list[tuple[int, int]] = []
+                while node_id not in offsets:
+                    parent_id = read(node_id).parent
+                    stack.append((node_id, parent_id))
+                    node_id = parent_id
+                base = offsets[node_id]
+                for child_id, parent_id in reversed(stack):
+                    parent = read(parent_id)
+                    base += parent.size_prefix(parent.index_of(child_id))
+                    offsets[child_id] = base
+                append(base + self._leaf_position(leaf, lid))
+            return results
 
     # ------------------------------------------------------------------
     # insert
@@ -502,6 +567,10 @@ class BBox(LabelingScheme):
         if node._cum_sizes is not None:
             if node.sizes is None or node._cum_sizes != cumulative(node.sizes):
                 raise InvariantViolation(f"stale size prefix cache on {node_id}")
+        if node._pos_index is not None and node._pos_index != position_index(
+            node.entries
+        ):
+            raise InvariantViolation(f"stale position index cache on {node_id}")
         if node.leaf:
             if len(node.entries) > self.leaf_capacity:
                 raise InvariantViolation(f"leaf {node_id} over capacity")

@@ -42,15 +42,28 @@ ORDINAL_CHANNEL = "ordinal"
 
 
 def _at_least(label: Label, bound: Label) -> bool:
-    """``label >= bound``, treating a tuple bound as a prefix lower bound."""
+    """``label >= bound``, treating a tuple bound as a prefix lower bound.
+
+    Lexicographic order is decided by the first unequal component, so when
+    the leading components already differ the answer needs no slicing —
+    the common case on replay, where most effects anchor in a different
+    subtree than the label being repaired.
+    """
     if isinstance(label, tuple) and isinstance(bound, tuple):
+        if label and bound and label[0] != bound[0]:
+            return label[0] > bound[0]
         return label[: len(bound)] >= bound
     return label >= bound
 
 
 def _at_most(label: Label, bound: Label) -> bool:
-    """``label <= bound``, treating a tuple bound as a prefix upper bound."""
+    """``label <= bound``, treating a tuple bound as a prefix upper bound.
+
+    Same first-component short circuit as :func:`_at_least`.
+    """
     if isinstance(label, tuple) and isinstance(bound, tuple):
+        if label and bound and label[0] != bound[0]:
+            return label[0] < bound[0]
         return label[: len(bound)] <= bound
     return label <= bound
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from itertools import accumulate
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 
 def cumulative(values: Iterable[int]) -> list[int]:
@@ -53,3 +53,42 @@ def weight_split_point(cum_weights: Sequence[int], target: int) -> tuple[int, in
     if point >= len(cum_weights):
         point = len(cum_weights) - 1
     return point, (cum_weights[point - 1] if point > 0 else 0)
+
+
+def position_index(entries: Sequence[int]) -> dict[int, int]:
+    """Entry-to-position map for a node's child/LID array.
+
+    Replaces repeated ``entries.index(x)`` scans — O(B) Python-level work
+    per probe — with one O(B) dict build answering every later probe in
+    O(1).  Like the cumulative arrays above, the map is cached on the node
+    payload and invalidated wholesale by ``touch()`` when the block is
+    dirtied; it models block-internal computation and costs no I/O.
+    """
+    return {entry: index for index, entry in enumerate(entries)}
+
+
+def memoized_path_prefixes(
+    node_id: int,
+    read_parent: Callable[[int], tuple[int, int]],
+    memo: dict[int, tuple[int, ...]],
+) -> tuple[int, ...]:
+    """Root-to-node label components of ``node_id``, sharing ancestor walks.
+
+    ``read_parent(child_id)`` returns ``(parent_id, index_of_child)`` and is
+    only called for nodes whose prefix is not yet memoized — the walk stops
+    at the first memoized ancestor (the root is seeded with ``()``), then
+    fills ``memo`` for every node on the path on the way back down.  Over a
+    batch of ``k`` lookups this folds ``k`` independent bottom-up walks into
+    one pass over the *distinct* ancestors, which is what makes batch label
+    reconstruction O(distinct nodes), not O(k · height).
+    """
+    stack: list[tuple[int, int]] = []
+    while node_id not in memo:
+        parent_id, index = read_parent(node_id)
+        stack.append((node_id, index))
+        node_id = parent_id
+    prefix_components = memo[node_id]
+    for child_id, index in reversed(stack):
+        prefix_components = prefix_components + (index,)
+        memo[child_id] = prefix_components
+    return prefix_components

@@ -142,6 +142,16 @@ class WNode:
         """Refresh an internal node's weight from its entries."""
         self.weight = sum(entry.weight for entry in self.entries)
 
+    def entry_rows(self) -> list[int]:
+        """The internal node's child array flattened to wire order —
+        ``(child, slot, weight, size)`` per entry — for the codec's
+        packed-row fast path."""
+        flat: list[int] = []
+        extend = flat.extend
+        for entry in self.entries:
+            extend((entry.child, entry.slot, entry.weight, entry.size))
+        return flat
+
     # ------------------------------------------------------------------
     # prefix-sum kernels (repro.core.kernels)
     # ------------------------------------------------------------------

@@ -160,8 +160,15 @@ def run_chaos_trial(
     max_ops: int = 300,
     base_labels: int = 24,
     config: BoxConfig | None = None,
+    backend_cls: type[FileBackend] = FileBackend,
 ) -> ChaosTrial:
-    """Run one crash-recovery trial in ``directory`` (caller-owned)."""
+    """Run one crash-recovery trial in ``directory`` (caller-owned).
+
+    ``backend_cls`` picks the physical backend variant for both the
+    crashing run and the recovery reopen (e.g.
+    :class:`~repro.storage.MmapBackend`); the fault hooks and the on-disk
+    format are shared, so the same plans exercise every variant.
+    """
     trial = ChaosTrial(scheme=scheme_name, plan=plan_name, seed=seed)
     if config is None:
         from ..config import TINY_CONFIG
@@ -169,7 +176,7 @@ def run_chaos_trial(
         config = TINY_CONFIG
     factory = _SCHEME_FACTORIES[scheme_name]
     path = os.path.join(directory, f"{scheme_name}-{plan_name}-{seed}.pages")
-    backend = FileBackend(
+    backend = backend_cls(
         path,
         page_bytes=default_page_bytes(config.block_bytes),
         fsync=_plan_needs_fsync(plan),
@@ -191,7 +198,7 @@ def run_chaos_trial(
     backend.close()
 
     try:
-        reopened = open_file_scheme(path)
+        reopened = open_file_scheme(path, backend_cls=backend_cls)
     except RecoveryError as error:
         trial.error = f"recovery failed: {error}"
         return trial
@@ -232,6 +239,7 @@ def run_chaos_sweep(
     config: BoxConfig | None = None,
     root_dir: str | None = None,
     progress: Callable[[ChaosTrial], None] | None = None,
+    backend_cls: type[FileBackend] = FileBackend,
 ) -> ChaosReport:
     """The full sweep: ``seeds`` x ``plans`` x ``schemes`` trials.
 
@@ -263,6 +271,7 @@ def run_chaos_sweep(
                         max_ops=max_ops,
                         base_labels=base_labels,
                         config=config,
+                        backend_cls=backend_cls,
                     )
                     report.trials.append(trial)
                     if progress is not None:

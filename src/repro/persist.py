@@ -397,7 +397,10 @@ def checkpoint_scheme(scheme: Any) -> FileBackend:
 
 
 def open_file_scheme(
-    path: str, page_bytes: int | None = None, fsync: bool = False
+    path: str,
+    page_bytes: int | None = None,
+    fsync: bool = False,
+    backend_cls: type[FileBackend] = FileBackend,
 ) -> Any:
     """Open a page file written through a scheme-attached
     :class:`~repro.storage.filebackend.FileBackend` and return a working
@@ -405,9 +408,12 @@ def open_file_scheme(
 
     The reopened scheme has fresh I/O counters; every committed LID
     resolves to its pre-crash label.  The backend's ``recovery_report``
-    says what recovery found and did.
+    says what recovery found and did.  ``backend_cls`` selects the
+    physical read path (:class:`~repro.storage.mmapbackend.MmapBackend`
+    for zero-copy page reads) — the on-disk format is shared, so any
+    variant opens any file.
     """
-    backend = FileBackend(path, page_bytes=page_bytes, fsync=fsync)
+    backend = backend_cls(path, page_bytes=page_bytes, fsync=fsync)
     header = backend.metadata
     if not header or "scheme" not in header:
         backend.close()

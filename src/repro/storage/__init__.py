@@ -13,6 +13,7 @@ from .cache import BlockCache
 from .blockstore import BlockStore, OperationBuffer, ReaderWriterLatch
 from .filebackend import FileBackend, default_page_bytes, read_superblock
 from .heapfile import HeapFile
+from .mmapbackend import MmapBackend
 from .wal import WALScan, scan_wal
 
 __all__ = [
@@ -21,6 +22,7 @@ __all__ = [
     "StorageBackend",
     "MemoryBackend",
     "FileBackend",
+    "MmapBackend",
     "default_page_bytes",
     "read_superblock",
     "BlockCache",

@@ -51,6 +51,7 @@ class BlockCache:
         "protected_capacity",
         "probation_capacity",
         "_lock",
+        "generation",
     )
 
     def __init__(self, capacity: int = 0, mode: str = "lru") -> None:
@@ -68,6 +69,10 @@ class BlockCache:
         self.protected_capacity = (numerator * capacity) // denominator
         self.probation_capacity = capacity - self.protected_capacity
         self._lock = threading.Lock()
+        #: Bumped on every :meth:`clear`, so holders of anything derived
+        #: from cached state (e.g. zero-copy views into a since-remapped
+        #: page file) can detect that their snapshot predates a wipe.
+        self.generation = 0
 
     @property
     def enabled(self) -> bool:
@@ -132,7 +137,8 @@ class BlockCache:
             self._protected.pop(block_id, None)
 
     def clear(self) -> None:
-        """Empty the cache (both segments)."""
+        """Empty the cache (both segments) and advance the generation."""
         with self._lock:
             self._probation.clear()
             self._protected.clear()
+            self.generation += 1

@@ -31,6 +31,9 @@ splits).
 from __future__ import annotations
 
 import io
+import struct
+import sys
+from array import array
 from dataclasses import dataclass, field
 from typing import Any, BinaryIO
 
@@ -326,6 +329,180 @@ def read_svarint(stream: BinaryIO) -> int:
     return (raw >> 1) ^ -(raw & 1)
 
 
+def uvarint_bytes(value: int) -> bytes:
+    """One value's uvarint encoding as a byte string (no stream)."""
+    if value < 0:
+        raise PersistError(f"uvarint cannot encode negative value {value}")
+    if value < 0x80:
+        return bytes((value,))
+    out = bytearray()
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+# ----------------------------------------------------------------------
+# packed-row varint fast paths (array-native encode/decode)
+# ----------------------------------------------------------------------
+#
+# The streaming primitives above spend a Python-level ``stream.write`` /
+# ``stream.read(1)`` round trip per *byte*.  The helpers below keep the
+# wire format bit-for-bit identical (LEB128 varints, zigzag for signed)
+# but move whole rows at a time: an encoder flattens a node's child
+# arrays into one list of ints and appends their varints to a
+# ``bytearray`` in one pass; a decoder scans varints straight out of the
+# page buffer (``bytes`` or a zero-copy ``memoryview``) by index.  Two
+# uniform-width tiers use C-level batch packing — ``bytes(seq)`` when
+# every value is a single-byte varint, ``array('H')``/``struct`` word
+# packing when every value is exactly two bytes — and mixed-width rows
+# fall back to a tight per-value loop.  Values that overflow a tier are
+# exactly the values the generic loop encodes, so the bytes never change.
+
+_FAST_CODEC = True
+
+#: Two-byte varints packed as native u16 words; swapped on big-endian
+#: hosts so the emitted byte order is always (low 7 bits | 0x80, high 7).
+_NEEDS_BYTESWAP = sys.byteorder == "big"
+
+#: Payload classes, resolved once (repro.core imports repro.storage at
+#: module load, so these cannot be imported at the top of this module —
+#: and re-running the import machinery per block is measurable).
+_PAYLOAD_CLASSES: tuple[Any, ...] | None = None
+
+
+def _payload_classes() -> tuple[Any, ...]:
+    global _PAYLOAD_CLASSES
+    classes = _PAYLOAD_CLASSES
+    if classes is None:
+        from ..core.bbox.node import BNode
+        from ..core.wbox.node import WEntry, WNode
+        from ..core.wbox.pairs import PairRecord
+
+        classes = _PAYLOAD_CLASSES = (WNode, BNode, WEntry, PairRecord)
+    return classes
+
+
+def set_fast_codec(enabled: bool) -> bool:
+    """Toggle the packed-row fast paths (returns the previous setting).
+
+    The slow path is the streaming reference implementation; benchmarks
+    and byte-identity tests flip this to compare the two.
+    """
+    global _FAST_CODEC
+    previous = _FAST_CODEC
+    _FAST_CODEC = bool(enabled)
+    return previous
+
+
+def fast_codec_enabled() -> bool:
+    return _FAST_CODEC
+
+
+#: Precomputed one/two-byte varint images for values < 2**14, built on
+#: first use (the mixed-width tier joins these at C speed).
+_VARINT_TABLE: list[bytes] | None = None
+
+
+def _varint_table() -> list[bytes]:
+    global _VARINT_TABLE
+    table = _VARINT_TABLE
+    if table is None:
+        table = [bytes((v,)) for v in range(0x80)]
+        table += [
+            bytes(((v & 0x7F) | 0x80, v >> 7)) for v in range(0x80, 0x4000)
+        ]
+        _VARINT_TABLE = table
+    return table
+
+
+def _append_uvarints(out: bytearray, values: Any) -> None:
+    """Append the uvarint encoding of every int in ``values`` to ``out``.
+
+    Byte-identical to calling :func:`write_uvarint` per value.
+    """
+    if not values:
+        return
+    lo = min(values)
+    if lo < 0:
+        raise PersistError(f"uvarint cannot encode negative value {lo}")
+    hi = max(values)
+    if hi < 0x80:
+        # Every varint is one byte: the value itself.
+        out += bytes(values)
+        return
+    if hi < 0x4000:
+        if lo >= 0x80:
+            # Every varint is exactly two bytes: pack as u16 words.
+            words = array(
+                "H", [(v & 0x7F) | 0x80 | ((v >> 7) << 8) for v in values]
+            )
+            if _NEEDS_BYTESWAP:
+                words.byteswap()
+            out += words.tobytes()
+            return
+        # Mixed one/two-byte rows: join precomputed images.
+        out += b"".join(map(_varint_table().__getitem__, values))
+        return
+    append = out.append
+    for value in values:
+        while value > 0x7F:
+            append((value & 0x7F) | 0x80)
+            value >>= 7
+        append(value)
+
+
+def _append_uvarint(out: bytearray, value: int) -> None:
+    """Append one uvarint (header fields; rows use :func:`_append_uvarints`)."""
+    if value < 0:
+        raise PersistError(f"uvarint cannot encode negative value {value}")
+    append = out.append
+    while value > 0x7F:
+        append((value & 0x7F) | 0x80)
+        value >>= 7
+    append(value)
+
+
+def _scan_uvarint(buf: Any, pos: int) -> tuple[int, int]:
+    """Decode one uvarint at ``buf[pos]``; returns ``(value, new_pos)``."""
+    byte = buf[pos]
+    pos += 1
+    if byte < 0x80:
+        return byte, pos
+    value = byte & 0x7F
+    shift = 7
+    while True:
+        byte = buf[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if byte < 0x80:
+            return value, pos
+        shift += 7
+
+
+def _scan_uvarints(buf: Any, pos: int, count: int) -> tuple[list[int], int]:
+    """Decode ``count`` consecutive uvarints; preallocates the row once."""
+    values = [0] * count
+    for i in range(count):
+        byte = buf[pos]
+        pos += 1
+        if byte < 0x80:
+            values[i] = byte
+            continue
+        value = byte & 0x7F
+        shift = 7
+        while True:
+            byte = buf[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if byte < 0x80:
+                break
+            shift += 7
+        values[i] = value
+    return values, pos
+
+
 # ----------------------------------------------------------------------
 # live-payload block codec (pages, WAL, snapshots)
 # ----------------------------------------------------------------------
@@ -498,7 +675,170 @@ def decode_payload(stream: BinaryIO) -> Any:
                 records.append((read_uvarint(stream), read_uvarint(stream)))
             elif tag == _S_SEQ:
                 length = read_uvarint(stream)
-                records.append(tuple(read_svarint(stream) for _ in range(length)))
+                # Preallocate and fill once: a generator inside tuple() pays
+                # a frame resume per component, which dominates on the long
+                # ORDPATH component vectors.
+                components = [0] * length
+                for i in range(length):
+                    components[i] = read_svarint(stream)
+                records.append(tuple(components))
+            else:
+                raise PersistError(f"unknown LIDF slot tag {tag}")
+        return records
+    raise PersistError(f"unknown block kind {kind}")
+
+
+# ----------------------------------------------------------------------
+# packed-row encode/decode (fast twins of encode_payload/decode_payload)
+# ----------------------------------------------------------------------
+
+
+def _fast_encode_wnode(out: bytearray, node: Any) -> None:
+    PairRecord = _payload_classes()[3]
+
+    if node.is_leaf:
+        pair_leaf = bool(node.entries) and isinstance(node.entries[0], PairRecord)
+        _append_uvarint(out, _K_WPAIRLEAF if pair_leaf else _K_WLEAF)
+        _append_uvarint(out, node.range_lo or 0)
+        _append_uvarint(out, node.range_len)
+        _append_uvarint(out, node.weight)
+        _append_uvarint(out, len(node.entries))
+        if pair_leaf:
+            flat: list[int] = []
+            extend = flat.extend
+            for record in node.entries:
+                partner_lid = record.partner_lid
+                end_value = record.end_value
+                extend(
+                    (
+                        record.lid,
+                        1 if record.is_start else 0,
+                        0 if partner_lid is None else partner_lid + 1,
+                        record.partner_block,
+                        0 if end_value is None else end_value + 1,
+                    )
+                )
+            _append_uvarints(out, flat)
+        else:
+            _append_uvarints(out, node.entries)
+        return
+    _append_uvarint(out, _K_WINT)
+    _append_uvarint(out, node.level)
+    _append_uvarint(out, node.range_lo or 0)
+    _append_uvarint(out, node.range_len)
+    _append_uvarint(out, node.weight)
+    _append_uvarint(out, len(node.entries))
+    _append_uvarints(out, node.entry_rows())
+
+
+def _fast_encode_bnode(out: bytearray, node: Any) -> None:
+    _append_uvarint(out, _K_BLEAF if node.leaf else _K_BINT)
+    _append_uvarint(out, node.parent)
+    _append_uvarint(out, len(node.entries))
+    _append_uvarints(out, node.entries)
+    if not node.leaf:
+        if node.sizes is None:
+            _append_uvarint(out, 0)
+        else:
+            _append_uvarint(out, 1)
+            _append_uvarints(out, node.sizes)
+
+
+def _fast_encode_lidf_records(out: bytearray, records: list) -> None:
+    _append_uvarint(out, _K_LIDF)
+    _append_uvarint(out, len(records))
+    flat: list[int] = []
+    append = flat.append
+    extend = flat.extend
+    for record in records:
+        if record is None:
+            append(_S_EMPTY)
+        elif isinstance(record, int):
+            extend((_S_INT, record))
+        elif (
+            isinstance(record, tuple)
+            and len(record) == 2
+            and all(isinstance(x, int) and x >= 0 for x in record)
+        ):
+            extend((_S_PAIR, record[0], record[1]))
+        elif isinstance(record, tuple) and all(isinstance(x, int) for x in record):
+            extend((_S_SEQ, len(record)))
+            extend(
+                (c << 1) ^ (c >> 63) if c < 0 else c << 1 for c in record
+            )
+        else:
+            raise PersistError(f"unsupported LIDF record {record!r}")
+    _append_uvarints(out, flat)
+
+
+def _fast_decode_payload(buf: Any) -> Any:
+    WNode, BNode, WEntry, PairRecord = _payload_classes()
+
+    kind, pos = _scan_uvarint(buf, 0)
+    if kind in (_K_WLEAF, _K_WPAIRLEAF):
+        range_lo, pos = _scan_uvarint(buf, pos)
+        range_len, pos = _scan_uvarint(buf, pos)
+        weight, pos = _scan_uvarint(buf, pos)
+        count, pos = _scan_uvarint(buf, pos)
+        if kind == _K_WPAIRLEAF:
+            flat, pos = _scan_uvarints(buf, pos, 5 * count)
+            it = iter(flat)
+            entries: list = []
+            append = entries.append
+            for lid, is_start, partner, partner_block, end_value in zip(
+                it, it, it, it, it
+            ):
+                record = PairRecord(lid)
+                record.is_start = bool(is_start)
+                record.partner_lid = None if partner == 0 else partner - 1
+                record.partner_block = partner_block
+                record.end_value = None if end_value == 0 else end_value - 1
+                append(record)
+        else:
+            entries, pos = _scan_uvarints(buf, pos, count)
+        return WNode(0, range_lo, range_len, weight, entries)
+    if kind == _K_WINT:
+        level, pos = _scan_uvarint(buf, pos)
+        range_lo, pos = _scan_uvarint(buf, pos)
+        range_len, pos = _scan_uvarint(buf, pos)
+        weight, pos = _scan_uvarint(buf, pos)
+        count, pos = _scan_uvarint(buf, pos)
+        flat, pos = _scan_uvarints(buf, pos, 4 * count)
+        it = iter(flat)
+        entries = [
+            WEntry(child, slot, w, size) for child, slot, w, size in zip(it, it, it, it)
+        ]
+        return WNode(level, range_lo, range_len, weight, entries)
+    if kind in (_K_BLEAF, _K_BINT):
+        parent, pos = _scan_uvarint(buf, pos)
+        count, pos = _scan_uvarint(buf, pos)
+        entries, pos = _scan_uvarints(buf, pos, count)
+        sizes = None
+        if kind == _K_BINT:
+            flag, pos = _scan_uvarint(buf, pos)
+            if flag:
+                sizes, pos = _scan_uvarints(buf, pos, count)
+        return BNode(leaf=kind == _K_BLEAF, parent=parent, entries=entries, sizes=sizes)
+    if kind == _K_LIDF:
+        count, pos = _scan_uvarint(buf, pos)
+        records: list = [None] * count
+        for i in range(count):
+            tag = buf[pos]
+            pos += 1
+            if tag >= 0x80:  # multi-byte tag: impossible today, stay exact
+                tag, pos = _scan_uvarint(buf, pos - 1)
+            if tag == _S_EMPTY:
+                continue
+            if tag == _S_INT:
+                records[i], pos = _scan_uvarint(buf, pos)
+            elif tag == _S_PAIR:
+                first, pos = _scan_uvarint(buf, pos)
+                second, pos = _scan_uvarint(buf, pos)
+                records[i] = (first, second)
+            elif tag == _S_SEQ:
+                length, pos = _scan_uvarint(buf, pos)
+                raws, pos = _scan_uvarints(buf, pos, length)
+                records[i] = tuple([(raw >> 1) ^ -(raw & 1) for raw in raws])
             else:
                 raise PersistError(f"unknown LIDF slot tag {tag}")
         return records
@@ -507,11 +847,33 @@ def decode_payload(stream: BinaryIO) -> Any:
 
 def encode_block_payload(payload: Any) -> bytes:
     """One block payload as a self-contained byte string (page/WAL image)."""
-    buffer = io.BytesIO()
-    encode_payload(buffer, payload)
-    return buffer.getvalue()
+    if not _FAST_CODEC:
+        buffer = io.BytesIO()
+        encode_payload(buffer, payload)
+        return buffer.getvalue()
+    WNode, BNode = _payload_classes()[:2]
+    out = bytearray()
+    if isinstance(payload, WNode):
+        _fast_encode_wnode(out, payload)
+    elif isinstance(payload, BNode):
+        _fast_encode_bnode(out, payload)
+    elif isinstance(payload, list):
+        _fast_encode_lidf_records(out, payload)
+    else:
+        raise PersistError(f"unsupported block payload {type(payload).__name__}")
+    return bytes(out)
 
 
-def decode_block_payload(data: bytes) -> Any:
-    """Inverse of :func:`encode_block_payload`."""
-    return decode_payload(io.BytesIO(data))
+def decode_block_payload(data: Any) -> Any:
+    """Inverse of :func:`encode_block_payload`.
+
+    ``data`` may be ``bytes`` or a ``memoryview`` (the mmap backend hands
+    in a zero-copy view of the page); decoded payloads are always fully
+    materialized Python objects holding no reference into ``data``.
+    """
+    if not _FAST_CODEC:
+        return decode_payload(io.BytesIO(data))
+    try:
+        return _fast_decode_payload(data)
+    except IndexError:
+        raise PersistError("truncated varint") from None

@@ -79,8 +79,13 @@ _PAGE_HEADER = struct.Struct(">I")  # payload length
 _SUPER_HEADER = struct.Struct(">II")  # JSON length, CRC-32
 
 
-def decode_superblock_image(image: bytes) -> dict[str, Any] | None:
-    """Decode a raw superblock region, or ``None`` if torn/corrupt."""
+def decode_superblock_image(image: "bytes | memoryview") -> dict[str, Any] | None:
+    """Decode a raw superblock region, or ``None`` if torn/corrupt.
+
+    Accepts a ``memoryview`` as well as ``bytes``: the mmap backend passes
+    a slice of its mapped view, so the CRC below is computed over the view
+    itself — only the verified JSON payload is ever materialized.
+    """
     if len(image) < _SUPER_HEADER.size:
         return None
     length, crc = _SUPER_HEADER.unpack_from(image)
@@ -88,7 +93,7 @@ def decode_superblock_image(image: bytes) -> dict[str, Any] | None:
     if len(payload) != length or zlib.crc32(payload) != crc:
         return None
     try:
-        return json.loads(payload.decode("utf-8"))
+        return json.loads(bytes(payload).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError):
         return None
 

@@ -1,0 +1,178 @@
+"""Memory-mapped page reads over the file backend.
+
+:class:`MmapBackend` is a :class:`~repro.storage.filebackend.FileBackend`
+whose *read* path serves page images zero-copy: the page file is mapped
+read-only, and a cold block read decodes straight out of a ``memoryview``
+slice of the map — no ``seek``/``read`` syscall pair, no intermediate
+page-sized ``bytes`` copy.  The codec's index-based varint scanner works on
+any buffer, so decode itself never materializes the image either.
+
+Everything on the *write* side is inherited unchanged: pages and the
+superblock go out through the buffered handle, durability runs through the
+same write-ahead log, and fault injection fires at the same hook points —
+so the two backends produce byte-identical files and share one recovery
+path (the crash matrix runs the same plans against both).
+
+**View lifetime rules.**  A mapping covers the file as it was sized when
+the map was created; committing new blocks grows the file past the map's
+end.  The backend therefore *remaps* whenever a read needs bytes beyond
+the current map, and the remap protocol is:
+
+1. flush the buffered handle (Python's userspace buffer is invisible to
+   the OS page cache the map reads from);
+2. map the file at its new size and bump :attr:`generation`;
+3. close the old map — if a borrowed ``memoryview`` still pins it, the map
+   is parked on a retired list instead (closing would fault the borrower)
+   and released at :meth:`close`;
+4. notify remap listeners.  :class:`~repro.storage.blockstore.BlockStore`
+   registers its :class:`~repro.storage.cache.BlockCache`'s ``clear`` here,
+   so no cache admission decision made against a dead view survives the
+   remap.
+
+The superblock is validated the same way pages are: its CRC is computed
+over the mapped view, and only the verified JSON payload is copied out.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+from typing import Any, Callable
+
+from .codec import decode_block_payload
+from .filebackend import (
+    MAGIC,
+    SUPERBLOCK_BYTES,
+    _PAGE_HEADER,
+    _SUPER_HEADER,
+    FileBackend,
+    decode_superblock_image,
+)
+
+
+class MmapBackend(FileBackend):
+    """File backend variant serving page reads zero-copy via ``mmap``.
+
+    Accepts exactly the :class:`FileBackend` parameters and produces
+    byte-identical files; only the physical read path differs.  Extra
+    observability: :attr:`generation` (bumped on every remap, so cached
+    views can be age-checked) and :attr:`remaps` (remap count).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        page_bytes: int | None = None,
+        fsync: bool = False,
+    ) -> None:
+        # Map state must exist before super().__init__: opening an existing
+        # file reads the superblock, which already goes through the view.
+        self._map: mmap.mmap | None = None
+        self._map_size = 0
+        self._retired_maps: list[mmap.mmap] = []
+        self._remap_listeners: list[Callable[[], None]] = []
+        self._page_file_dirty = False
+        self.generation = 0
+        self.remaps = 0
+        super().__init__(path, page_bytes=page_bytes, fsync=fsync)
+
+    # ------------------------------------------------------------------
+    # map lifecycle
+    # ------------------------------------------------------------------
+
+    def register_remap_listener(self, listener: Callable[[], None]) -> None:
+        """Call ``listener`` after every remap (cache invalidation hook)."""
+        self._remap_listeners.append(listener)
+
+    def _raw_write(self, handle: Any, data: bytes) -> None:
+        super()._raw_write(handle, data)
+        if handle is self._handle:
+            # Buffered page-file bytes are invisible to the map until the
+            # handle is flushed; remember to flush before the next map read.
+            self._page_file_dirty = True
+
+    def _sync(self, handle: Any) -> None:
+        super()._sync(handle)
+        if handle is self._handle:
+            self._page_file_dirty = False
+
+    def _view(self, end: int) -> memoryview:
+        """A read view of the page file covering at least ``end`` bytes
+        (clamped to the file size), remapping if the file has grown."""
+        if self._page_file_dirty:
+            self._handle.flush()
+            self._page_file_dirty = False
+        if self._map is None or self._map_size < end:
+            size = os.path.getsize(self.path)
+            if size != self._map_size:
+                self._remap(size)
+        if self._map is None:
+            return memoryview(b"")
+        return memoryview(self._map)
+
+    def _remap(self, size: int) -> None:
+        old = self._map
+        if size > 0:
+            self._map = mmap.mmap(
+                self._handle.fileno(), size, access=mmap.ACCESS_READ
+            )
+            self._map_size = size
+        else:
+            self._map = None
+            self._map_size = 0
+        self.generation += 1
+        self.remaps += 1
+        if old is not None:
+            try:
+                old.close()
+            except BufferError:
+                # A decoded view still borrows the old map; closing now
+                # would fault the borrower.  Park it until close().
+                self._retired_maps.append(old)
+        for listener in self._remap_listeners:
+            listener()
+
+    # ------------------------------------------------------------------
+    # zero-copy read paths
+    # ------------------------------------------------------------------
+
+    def _read_page(self, block_id: int) -> Any:
+        offset = self._page_offset(block_id)
+        view = self._view(offset + self.page_bytes)
+        self.page_reads += 1
+        (length,) = _PAGE_HEADER.unpack_from(view, offset)
+        start = offset + _PAGE_HEADER.size
+        return decode_block_payload(view[start : start + length])
+
+    def _read_superblock(self) -> dict[str, Any] | None:
+        view = self._view(len(MAGIC) + SUPERBLOCK_BYTES)
+        state = decode_superblock_image(
+            view[len(MAGIC) : len(MAGIC) + SUPERBLOCK_BYTES]
+        )
+        if state is None or "overflow" not in state:
+            return state
+        pointer = state["overflow"]
+        offset = pointer["offset"]
+        end = offset + _SUPER_HEADER.size + pointer["length"]
+        return decode_superblock_image(self._view(end)[offset:end])
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        for stale in [self._map, *self._retired_maps]:
+            if stale is None:
+                continue
+            try:
+                stale.close()
+            except BufferError:  # pragma: no cover - borrower outlived us
+                pass
+        self._map = None
+        self._map_size = 0
+        self._retired_maps = []
+        super().close()
+
+    @property
+    def describes_as(self) -> str:
+        return f"MmapBackend({self.path!r}, page_bytes={self.page_bytes})"

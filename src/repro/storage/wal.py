@@ -41,7 +41,7 @@ from typing import Any, Callable
 from ..errors import PersistError, TransientIOError, WALError
 from ..obs import trace
 from ..obs.metrics import get_registry
-from .codec import read_uvarint, write_uvarint
+from .codec import read_uvarint, uvarint_bytes
 
 MAGIC = b"BOXWAL01"
 
@@ -138,10 +138,7 @@ class WALWriter:
             crc = 0
             try:
                 for block_id, image in puts.items():
-                    body_stream = io.BytesIO()
-                    write_uvarint(body_stream, block_id)
-                    body_stream.write(image)
-                    record = _encode_record(REC_PUT, body_stream.getvalue())
+                    record = _encode_record(REC_PUT, uvarint_bytes(block_id) + image)
                     crc = zlib.crc32(record, crc)
                     self._write(record)
                 meta_record = _encode_record(

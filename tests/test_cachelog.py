@@ -8,6 +8,8 @@ from repro.core.cachelog import (
     Invalidate,
     ORDINAL_CHANNEL,
     RangeShift,
+    _at_least,
+    _at_most,
     invalidate_all,
 )
 from repro.errors import CacheError
@@ -191,3 +193,65 @@ class TestCachedLabelStore:
             scheme.insert_before(lids[3])
         assert cache.get(ref) == scheme.lookup(lids[5])
         assert cache.counters.misses >= 1
+
+
+class TestPrefixBoundComparators:
+    """Directed boundary cases for ``_at_least`` / ``_at_most``.
+
+    The comparators short-circuit on the first component when it already
+    decides the lexicographic order; these cases pin both the short-circuit
+    branch (first components differ) and the fallthrough slice compare
+    (shared first component, prefix bounds, empty tuples) against the
+    original slice-only formulation.
+    """
+
+    @staticmethod
+    def _slice_at_least(label, bound):
+        if isinstance(label, tuple) and isinstance(bound, tuple):
+            return label[: len(bound)] >= bound
+        return label >= bound
+
+    @staticmethod
+    def _slice_at_most(label, bound):
+        if isinstance(label, tuple) and isinstance(bound, tuple):
+            return label[: len(bound)] <= bound
+        return label <= bound
+
+    def test_first_component_decides(self):
+        # Later components must not matter once the first ones differ.
+        assert _at_least((5, 0), (4, 9))
+        assert not _at_least((3, 99, 99), (4, 0))
+        assert _at_most((3, 99, 99), (4, 0))
+        assert not _at_most((5, 0), (4, 9))
+
+    def test_shared_first_component_falls_through(self):
+        # slice is label[:3] == (4, 7), compared against (4, 6, 9)
+        assert _at_least((4, 7), (4, 6, 9))
+        assert not _at_least((4, 5), (4, 6))
+        assert _at_most((4, 5), (4, 6))
+        assert not _at_most((4, 7, 0), (4, 6))
+
+    def test_prefix_label_counts_as_inside(self):
+        # A label extending the bound is inside the bound on both sides.
+        assert _at_least((4, 2, 7, 1), (4, 2))
+        assert _at_most((4, 2, 7, 1), (4, 2))
+
+    def test_empty_tuples(self):
+        assert _at_least((), ()) and _at_most((), ())
+        assert not _at_least((), (1,))
+        assert _at_most((), (1,))
+        assert _at_least((1,), ()) and _at_most((1,), ())
+
+    def test_int_labels_unchanged(self):
+        assert _at_least(7, 7) and _at_most(7, 7)
+        assert _at_least(8, 7) and not _at_most(8, 7)
+
+    def test_matches_slice_oracle_on_grid(self):
+        values = [(), (0,), (1,), (0, 0), (0, 1), (1, 0), (1, 1),
+                  (0, 1, 1), (1, 0, 2), (2,), (2, 0, 0)]
+        for label in values:
+            for bound in values:
+                assert _at_least(label, bound) == self._slice_at_least(label, bound), (
+                    label, bound)
+                assert _at_most(label, bound) == self._slice_at_most(label, bound), (
+                    label, bound)

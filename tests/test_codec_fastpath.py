@@ -1,0 +1,288 @@
+"""Byte-identity rail for the packed-row live-payload codec.
+
+``storage/codec.py`` carries two implementations of the block payload
+codec: the streaming reference (``encode_payload``/``decode_payload``
+over one-byte ``BinaryIO`` round trips) and the packed-row fast path
+(``bytearray`` append tiers on encode, index scans on decode).  The fast
+path is an *optimization of the wire format's producer*, not a format
+change — so every test here pins the same property from a different
+angle: for any payload, fast and slow must emit the same bytes and
+decode the same bytes to equal objects.
+
+The payload zoo deliberately straddles the fast encoder's width tiers
+(all-one-byte rows, all-two-byte rows, mixed rows, >2**14 values that
+fall off the table, 2**50 magnitudes) and every kind tag / LIDF slot tag,
+including the long signed ORDPATH component vectors whose decode the
+satellite fix (list preallocation instead of a generator inside
+``tuple()``) targets.
+"""
+
+import pytest
+
+from repro.core.bbox.node import BNode
+from repro.core.wbox.node import WEntry, WNode
+from repro.core.wbox.pairs import PairRecord
+from repro.errors import PersistError
+from repro.storage.codec import (
+    decode_block_payload,
+    encode_block_payload,
+    fast_codec_enabled,
+    set_fast_codec,
+    uvarint_bytes,
+    write_uvarint,
+)
+
+
+@pytest.fixture
+def slow_codec():
+    """Run the body with the streaming reference codec, then restore."""
+    previous = set_fast_codec(False)
+    yield
+    set_fast_codec(previous)
+
+
+def _pair_record(lid, is_start, partner_lid, partner_block, end_value):
+    record = PairRecord(lid)
+    record.is_start = is_start
+    record.partner_lid = partner_lid
+    record.partner_block = partner_block
+    record.end_value = end_value
+    return record
+
+
+def _payload_zoo():
+    """Representative payloads spanning every kind tag and width tier."""
+    zoo = {
+        # W-BOX leaves: one-byte tier, two-byte tier, mixed, huge values.
+        "wleaf-empty": WNode(0, 0, 16, 0, []),
+        "wleaf-small": WNode(0, 8, 16, 4, [3, 0, 127, 64]),
+        "wleaf-two-byte": WNode(0, 0, 1 << 20, 3, [0x80, 0x3FFF, 0x1234]),
+        "wleaf-mixed": WNode(0, 0, 1 << 20, 6, [1, 0x80, 0x7F, 0x3FFF, 0, 5]),
+        "wleaf-huge": WNode(0, 0, 1 << 60, 3, [2**50, 7, 2**33 + 1]),
+        # W-BOX pair leaf (W-BOX-O): optional fields in both states.
+        "wpairleaf": WNode(
+            0,
+            0,
+            256,
+            3,
+            [
+                _pair_record(5, True, 6, 2, 99),
+                _pair_record(6, False, None, 0, None),
+                _pair_record(2**40, True, 0, 2**20, 2**35),
+            ],
+        ),
+        # W-BOX internal: 4-wide rows through each tier.
+        "wint-small": WNode(2, 0, 4096, 12, [WEntry(3, 0, 6, 2), WEntry(9, 1, 6, 4)]),
+        "wint-wide": WNode(
+            1,
+            1 << 30,
+            1 << 16,
+            1000,
+            [WEntry(0x80 + i, i, 0x3000 + i, 2**30 + i) for i in range(8)],
+        ),
+        # B-BOX nodes: leaf, internal with and without the sizes row.
+        "bleaf": BNode(leaf=True, parent=7, entries=[1, 200, 0x4000, 0]),
+        "bint-no-sizes": BNode(leaf=False, parent=0, entries=[4, 5, 6], sizes=None),
+        "bint-sizes": BNode(
+            leaf=False, parent=3, entries=[10, 11, 12], sizes=[0, 2**20, 7]
+        ),
+        # LIDF directory blocks: every slot tag, including long signed
+        # ORDPATH component vectors (the satellite-1 decode target).
+        "lidf-mixed": [
+            None,
+            0,
+            2**50,
+            (3, 0x200),
+            (1, -5, 9),  # negative component: _S_SEQ, not _S_PAIR
+            (2, 4, 6, 8),
+            tuple(range(-64, 64)),  # long mixed-sign vector
+            (),
+        ],
+        "lidf-long-seq": [tuple((-1) ** i * (i * 37) for i in range(500))],
+        "lidf-empty": [],
+        "lidf-all-empty": [None] * 40,
+    }
+    return zoo
+
+
+ZOO = _payload_zoo()
+
+
+def _equal_payload(left, right):
+    """Structural equality across the payload types (no __eq__ on nodes)."""
+    if isinstance(left, WNode):
+        if not isinstance(right, WNode):
+            return False
+        if (left.level, left.range_lo, left.range_len, left.weight) != (
+            right.level,
+            right.range_lo,
+            right.range_len,
+            right.weight,
+        ):
+            return False
+        if len(left.entries) != len(right.entries):
+            return False
+        for a, b in zip(left.entries, right.entries):
+            if isinstance(a, WEntry):
+                if (a.child, a.slot, a.weight, a.size) != (
+                    b.child,
+                    b.slot,
+                    b.weight,
+                    b.size,
+                ):
+                    return False
+            elif isinstance(a, PairRecord):
+                if (
+                    a.lid,
+                    a.is_start,
+                    a.partner_lid,
+                    a.partner_block,
+                    a.end_value,
+                ) != (b.lid, b.is_start, b.partner_lid, b.partner_block, b.end_value):
+                    return False
+            elif a != b:
+                return False
+        return True
+    if isinstance(left, BNode):
+        return (
+            isinstance(right, BNode)
+            and left.leaf == right.leaf
+            and left.parent == right.parent
+            and left.entries == right.entries
+            and left.sizes == right.sizes
+        )
+    return left == right
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_fast_and_slow_encode_byte_identical(name):
+    payload = ZOO[name]
+    fast = encode_block_payload(payload)
+    previous = set_fast_codec(False)
+    try:
+        slow = encode_block_payload(payload)
+    finally:
+        set_fast_codec(previous)
+    assert fast == slow
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_round_trip_all_codec_combinations(name):
+    """Encode with either codec, decode with either codec: same object."""
+    payload = ZOO[name]
+    for encode_fast in (True, False):
+        previous = set_fast_codec(encode_fast)
+        try:
+            image = encode_block_payload(payload)
+        finally:
+            set_fast_codec(previous)
+        for decode_fast in (True, False):
+            previous = set_fast_codec(decode_fast)
+            try:
+                decoded = decode_block_payload(image)
+            finally:
+                set_fast_codec(previous)
+            assert _equal_payload(payload, decoded), (
+                f"{name}: encode_fast={encode_fast} decode_fast={decode_fast}"
+            )
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_decode_accepts_memoryview(name):
+    """The mmap read path hands the decoder a zero-copy view."""
+    payload = ZOO[name]
+    image = encode_block_payload(payload)
+    decoded = decode_block_payload(memoryview(image))
+    assert _equal_payload(payload, decoded)
+
+
+def test_decode_from_memoryview_holds_no_reference(name="lidf-mixed"):
+    """Decoded payloads must survive the view's buffer being released
+    (the mmap backend remaps and closes old maps under live results)."""
+    image = bytearray(encode_block_payload(ZOO[name]))
+    view = memoryview(image)
+    decoded = decode_block_payload(view)
+    view.release()  # raises BufferError if the decode kept a sub-view
+    assert _equal_payload(ZOO[name], decoded)
+
+
+def test_toggle_returns_previous_state():
+    assert fast_codec_enabled()
+    assert set_fast_codec(False) is True
+    try:
+        assert not fast_codec_enabled()
+        assert set_fast_codec(False) is False
+    finally:
+        set_fast_codec(True)
+    assert fast_codec_enabled()
+
+
+def test_uvarint_bytes_matches_stream_writer():
+    import io
+
+    probes = [0, 1, 0x7F, 0x80, 0x3FFF, 0x4000, 2**20, 2**50 + 3]
+    for value in probes:
+        stream = io.BytesIO()
+        write_uvarint(stream, value)
+        assert uvarint_bytes(value) == stream.getvalue()
+    with pytest.raises(PersistError):
+        uvarint_bytes(-1)
+
+
+@pytest.mark.parametrize("fast", [True, False])
+def test_negative_row_value_raises(fast):
+    previous = set_fast_codec(fast)
+    try:
+        with pytest.raises(PersistError):
+            encode_block_payload(WNode(0, 0, 16, 1, [-3]))
+    finally:
+        set_fast_codec(previous)
+
+
+@pytest.mark.parametrize("fast", [True, False])
+def test_unsupported_payload_raises(fast):
+    previous = set_fast_codec(fast)
+    try:
+        with pytest.raises(PersistError):
+            encode_block_payload({"not": "a payload"})
+        with pytest.raises(PersistError):
+            encode_block_payload([object()])  # bad LIDF record
+    finally:
+        set_fast_codec(previous)
+
+
+@pytest.mark.parametrize("fast", [True, False])
+def test_truncated_image_raises(fast):
+    image = encode_block_payload(ZOO["lidf-long-seq"])
+    previous = set_fast_codec(fast)
+    try:
+        for cut in (1, len(image) // 2, len(image) - 1):
+            with pytest.raises(PersistError):
+                decode_block_payload(image[:cut])
+    finally:
+        set_fast_codec(previous)
+
+
+@pytest.mark.parametrize("fast", [True, False])
+def test_unknown_kind_and_slot_tags_raise(fast):
+    previous = set_fast_codec(fast)
+    try:
+        with pytest.raises(PersistError):
+            decode_block_payload(bytes([99]))  # unknown block kind
+        # _K_LIDF block with one record carrying an unknown slot tag.
+        with pytest.raises(PersistError):
+            decode_block_payload(bytes([6, 1, 9]))
+    finally:
+        set_fast_codec(previous)
+
+
+def test_streaming_seq_decode_matches_fast(slow_codec):
+    """Satellite pin: the reference decoder's preallocated _S_SEQ loop
+    (the generator-inside-tuple() fix) agrees with the fast scanner on a
+    long component vector."""
+    vector = [tuple(((-1) ** i) * (i**2) for i in range(1000))]
+    image = encode_block_payload(vector)
+    assert decode_block_payload(image) == vector
+    set_fast_codec(True)
+    assert decode_block_payload(image) == vector
+    set_fast_codec(False)

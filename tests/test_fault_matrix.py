@@ -20,7 +20,7 @@ from repro.config import TINY_CONFIG
 from repro.faults import FaultPlan, run_chaos_trial, standard_plans
 from repro.faults.chaos import SCHEME_NAMES
 from repro.persist import checkpoint_scheme
-from repro.storage import BlockStore, FileBackend, default_page_bytes
+from repro.storage import BlockStore, FileBackend, MmapBackend, default_page_bytes
 from repro.storage import filebackend as filebackend_module
 from repro.storage.filebackend import decode_superblock_image
 
@@ -51,6 +51,41 @@ def test_recovery_matrix(tmp_path, scheme_name, plan_name):
         assert trial.mismatches == 0 and not trial.error, trial
         assert trial.checked_lids > 0
         assert any(f.startswith(("backend.",)) for f in trial.faults_fired)
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEME_NAMES))
+def test_recovery_matrix_mmap_matches_file_twin(tmp_path, scheme_name):
+    """The mmap backend shares the file backend's write path, WAL, and
+    fault hooks, so the same (plan, seed) must crash at the same write,
+    recover through the same protocol, and reach the same verdict.  Run a
+    torn-write trial on both backends and compare the trials field by
+    field; the per-trial twin oracle already pins label-level agreement."""
+    plan = MATRIX_PLANS["torn-write"]
+    for seed in (0, 1):
+        file_dir = tmp_path / f"file-{seed}"
+        mmap_dir = tmp_path / f"mmap-{seed}"
+        file_dir.mkdir()
+        mmap_dir.mkdir()
+        file_trial = run_chaos_trial(
+            scheme_name, "torn-write", plan, seed, str(file_dir), max_ops=200
+        )
+        mmap_trial = run_chaos_trial(
+            scheme_name,
+            "torn-write",
+            plan,
+            seed,
+            str(mmap_dir),
+            max_ops=200,
+            backend_cls=MmapBackend,
+        )
+        assert mmap_trial.crashed and file_trial.crashed
+        assert mmap_trial.mismatches == 0 and not mmap_trial.error, mmap_trial
+        assert mmap_trial.checked_lids > 0
+        assert mmap_trial.faults_fired == file_trial.faults_fired
+        assert mmap_trial.completed_ops == file_trial.completed_ops
+        assert mmap_trial.committed_ops == file_trial.committed_ops
+        assert mmap_trial.replayed == file_trial.replayed
+        assert mmap_trial.checked_lids == file_trial.checked_lids
 
 
 @pytest.mark.parametrize("scheme_name", ["wbox", "bbox"])

@@ -1,0 +1,194 @@
+"""MmapBackend: zero-copy page reads over the shared file format.
+
+The backend's contract has three legs, and each gets a direct test:
+
+* **Format identity** — the mmap backend writes through the inherited
+  buffered/WAL path, so a workload run against both backends must leave
+  byte-identical page files, and either backend must reopen a file the
+  other wrote.
+* **View lifetime** — reads past the map's end trigger the 4-step remap
+  protocol: flush, new map (generation bump), old map closed or retired
+  if a borrowed view pins it, listeners notified.  ``BlockStore`` wires
+  its ``BlockCache.clear`` into that hook, so the store-level test pins
+  the cache generation advancing with the backend generation.
+* **Zero-copy reads** — page and superblock bytes are validated over the
+  view (CRC included) and only verified payloads are materialized.
+"""
+
+import filecmp
+
+import pytest
+
+from repro import BBox, WBoxO
+from repro.config import TINY_CONFIG
+from repro.persist import attach_scheme_to_backend, checkpoint_scheme, open_file_scheme
+from repro.storage import (
+    BlockStore,
+    FileBackend,
+    MmapBackend,
+    default_page_bytes,
+)
+
+PAGE_BYTES = default_page_bytes(TINY_CONFIG.block_bytes)
+
+
+def _grow_scheme(backend, count=24, churn=12):
+    scheme = BBox(TINY_CONFIG, store=BlockStore(TINY_CONFIG, backend=backend))
+    attach_scheme_to_backend(scheme)
+    lids = scheme.bulk_load(count, [i ^ 1 for i in range(count)])
+    for i in range(churn):
+        lids.append(scheme.insert_before(lids[i % len(lids)]))
+    checkpoint_scheme(scheme)
+    return scheme, lids
+
+
+def test_page_files_byte_identical(tmp_path):
+    """Same workload, both backends: the files must not differ by a bit."""
+    paths = {}
+    for cls in (FileBackend, MmapBackend):
+        path = str(tmp_path / f"{cls.__name__}.pages")
+        backend = cls(path, page_bytes=PAGE_BYTES)
+        _grow_scheme(backend)
+        backend.close()
+        paths[cls.__name__] = path
+    assert filecmp.cmp(paths["FileBackend"], paths["MmapBackend"], shallow=False)
+
+
+@pytest.mark.parametrize(
+    "writer_cls,reader_cls",
+    [(FileBackend, MmapBackend), (MmapBackend, FileBackend)],
+    ids=["file-then-mmap", "mmap-then-file"],
+)
+def test_cross_backend_reopen(tmp_path, writer_cls, reader_cls):
+    path = str(tmp_path / "shared.pages")
+    backend = writer_cls(path, page_bytes=PAGE_BYTES)
+    scheme, lids = _grow_scheme(backend)
+    expected = [scheme.lookup(lid) for lid in lids]
+    backend.close()
+
+    reopened = open_file_scheme(path, backend_cls=reader_cls)
+    assert isinstance(reopened.store.backend, reader_cls)
+    assert [reopened.lookup(lid) for lid in lids] == expected
+    # The reopened tree must keep working and stay structurally sound.
+    reopened.insert_before(lids[0])
+    reopened.check_invariants()
+    reopened.store.backend.close()
+
+
+def test_reads_after_commit_see_new_blocks(tmp_path):
+    """Blocks committed after the map was created live past its end; the
+    read path must flush + remap rather than fault or serve stale bytes."""
+    backend = MmapBackend(str(tmp_path / "grow.pages"), page_bytes=PAGE_BYTES)
+    scheme, lids = _grow_scheme(backend, count=8, churn=0)
+    backend.drop_clean_objects()
+    scheme.lookup(lids[0])  # cold read: creates the first map
+    assert backend.remaps >= 1
+    before = backend.remaps
+
+    # Grow the tree well past the mapped size, then cold-read everything.
+    for i in range(40):
+        lids.append(scheme.insert_before(lids[i % len(lids)]))
+    checkpoint_scheme(scheme)
+    backend.drop_clean_objects()
+    labels = [scheme.lookup(lid) for lid in lids]
+    assert len(set(labels)) == len(labels)
+    assert backend.remaps > before
+    assert backend.generation == backend.remaps
+    backend.close()
+
+
+def test_remap_notifies_store_cache(tmp_path):
+    """BlockStore registers its cache's clear() as a remap listener: the
+    cache generation must advance whenever the backend remaps."""
+    backend = MmapBackend(str(tmp_path / "cache.pages"), page_bytes=PAGE_BYTES)
+    store = BlockStore(TINY_CONFIG, backend=backend, cache_capacity=16)
+    scheme = BBox(TINY_CONFIG, store=store)
+    attach_scheme_to_backend(scheme)
+    lids = scheme.bulk_load(8)
+    checkpoint_scheme(scheme)
+    backend.drop_clean_objects()
+    scheme.lookup(lids[0])
+    gen_before = store.cache.generation
+
+    for i in range(40):
+        lids.append(scheme.insert_before(lids[i % len(lids)]))
+    checkpoint_scheme(scheme)
+    backend.drop_clean_objects()
+    [scheme.lookup(lid) for lid in lids]
+    assert backend.remaps > 0
+    assert store.cache.generation > gen_before
+    backend.close()
+
+
+def test_explicit_listener_fires_per_remap(tmp_path):
+    backend = MmapBackend(str(tmp_path / "listen.pages"), page_bytes=PAGE_BYTES)
+    fired = []
+    backend.register_remap_listener(lambda: fired.append(backend.generation))
+    scheme, lids = _grow_scheme(backend, count=8, churn=0)
+    backend.drop_clean_objects()
+    scheme.lookup(lids[0])
+    assert fired == list(range(1, backend.remaps + 1))
+    backend.close()
+
+
+def test_borrowed_view_parks_old_map(tmp_path):
+    """A memoryview still borrowing the old map must not be faulted by a
+    remap: the map is retired, not closed, and released only at close()."""
+    backend = MmapBackend(str(tmp_path / "retire.pages"), page_bytes=PAGE_BYTES)
+    scheme, lids = _grow_scheme(backend, count=8, churn=0)
+    backend.drop_clean_objects()
+    scheme.lookup(lids[0])
+
+    borrowed = backend._view(1)[:4]  # pins the current map
+    for i in range(40):
+        lids.append(scheme.insert_before(lids[i % len(lids)]))
+    checkpoint_scheme(scheme)
+    backend.drop_clean_objects()
+    scheme.lookup(lids[-1])
+    assert backend._retired_maps, "remap should have parked the pinned map"
+    assert bytes(borrowed) == b"BOXP"  # old view still readable
+    borrowed.release()
+    backend.close()
+    assert backend._retired_maps == []
+
+
+def test_superblock_read_over_view(tmp_path):
+    """Reopening goes through the mapped superblock (CRC over the view),
+    including the overflow-blob pointer follow for large states."""
+    path = str(tmp_path / "super.pages")
+    backend = MmapBackend(path, page_bytes=PAGE_BYTES)
+    scheme = WBoxO(TINY_CONFIG, store=BlockStore(TINY_CONFIG, backend=backend))
+    attach_scheme_to_backend(scheme)
+    lids = scheme.bulk_load(16, [i ^ 1 for i in range(16)])
+    checkpoint_scheme(scheme)
+    state = backend._superblock_dict()
+    backend.close()
+
+    reopened = MmapBackend(path, page_bytes=PAGE_BYTES)
+    assert reopened._read_superblock() == reopened._superblock_dict() == state
+    assert [reopened.read(b) is not None for b in reopened.block_ids()]
+    reopened.close()
+    del lids
+
+
+def test_fresh_file_view_starts_at_magic(tmp_path):
+    from repro.storage.filebackend import MAGIC
+
+    backend = MmapBackend(str(tmp_path / "fresh.pages"), page_bytes=PAGE_BYTES)
+    assert bytes(backend._view(len(MAGIC))[: len(MAGIC)]) == MAGIC
+    assert len(backend) == 0
+    backend.close()
+
+
+def test_describes_as_names_the_variant(tmp_path):
+    backend = MmapBackend(str(tmp_path / "name.pages"), page_bytes=PAGE_BYTES)
+    assert backend.describes_as.startswith("MmapBackend(")
+    assert isinstance(backend, FileBackend)  # CLI/persist isinstance gates
+    backend.close()
+
+
+def test_close_is_idempotent(tmp_path):
+    backend = MmapBackend(str(tmp_path / "close.pages"), page_bytes=PAGE_BYTES)
+    _grow_scheme(backend, count=6, churn=0)
+    backend.close()
+    backend.close()
