@@ -53,6 +53,7 @@ TARGETS = [
     ("bench_ablation_weight_balance", "test_weight_balance_table"),
     ("bench_ablation_bbox_fanout", "test_fanout_table"),
     ("bench_hotpath", "test_hotpath_table"),
+    ("bench_shard_scaling", "test_shard_scaling_table"),
 ]
 
 

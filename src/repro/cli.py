@@ -61,6 +61,7 @@ from .persist import (
     MAGIC,
     attach_scheme_to_backend,
     checkpoint_scheme,
+    create_sharded_backends,
     load_document,
     load_scheme,
     open_file_scheme,
@@ -72,8 +73,11 @@ from .storage import (
     FileBackend,
     MmapBackend,
     default_page_bytes,
+    is_sharded_root,
+    read_manifest,
     read_superblock,
     scan_wal,
+    shard_page_path,
 )
 from .storage.filebackend import MAGIC as PAGE_MAGIC
 from .workloads import (
@@ -99,25 +103,7 @@ def make_scheme(
     ``bbox``, ``bbox-o``, or ``naive-<k>``), optionally on a file-backed
     store (``storage="file"`` + a page-file path)."""
     store = _make_store(config, storage, storage_path)
-    if name == "wbox":
-        scheme = WBox(config, store=store)
-    elif name == "wbox-ordinal":
-        scheme = WBox(config, store=store, ordinal=True)
-    elif name == "wboxo":
-        scheme = WBoxO(config, store=store)
-    elif name == "bbox":
-        scheme = BBox(config, store=store)
-    elif name == "bbox-o":
-        scheme = BBox(config, store=store, ordinal=True)
-    elif name == "ordpath":
-        scheme = OrdPath(config, store=store)
-    elif name.startswith("naive-"):
-        scheme = NaiveScheme(int(name.split("-", 1)[1]), config, store=store)
-    else:
-        raise ReproError(f"unknown scheme {name!r}")
-    if isinstance(scheme.store.backend, FileBackend):
-        attach_scheme_to_backend(scheme)
-    return scheme
+    return make_scheme_on_store(name, config, store)
 
 
 def _make_store(
@@ -287,9 +273,97 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sharded_schemes(args: argparse.Namespace, config: BoxConfig) -> list[Any]:
+    """Build one scheme per shard for ``--shards N`` commands.
+
+    Memory storage makes N independent in-memory schemes; file storage
+    lays out a sharded root directory (``SHARDS.json`` + one page file
+    per shard) under ``--storage-path``.
+    """
+    if args.storage == "memory":
+        return [make_scheme(args.scheme, config) for _ in range(args.shards)]
+    if args.storage != "file":
+        raise ReproError("--shards supports --storage memory or file")
+    if not args.storage_path:
+        raise ReproError("--shards with --storage file requires --storage-path DIR")
+    backends = create_sharded_backends(
+        args.storage_path,
+        args.shards,
+        page_bytes=default_page_bytes(config.block_bytes),
+    )
+    schemes = []
+    for backend in backends:
+        store = BlockStore(config, backend=backend)
+        schemes.append(make_scheme_on_store(args.scheme, config, store))
+    return schemes
+
+
+def make_scheme_on_store(
+    name: str, config: BoxConfig, store: BlockStore | None
+) -> Any:
+    """Instantiate a scheme from its CLI name onto an existing store
+    (``None`` = the scheme's default in-memory store)."""
+    if name == "wbox":
+        scheme = WBox(config, store=store)
+    elif name == "wbox-ordinal":
+        scheme = WBox(config, store=store, ordinal=True)
+    elif name == "wboxo":
+        scheme = WBoxO(config, store=store)
+    elif name == "bbox":
+        scheme = BBox(config, store=store)
+    elif name == "bbox-o":
+        scheme = BBox(config, store=store, ordinal=True)
+    elif name == "ordpath":
+        scheme = OrdPath(config, store=store)
+    elif name.startswith("naive-"):
+        scheme = NaiveScheme(int(name.split("-", 1)[1]), config, store=store)
+    else:
+        raise ReproError(f"unknown scheme {name!r}")
+    if isinstance(scheme.store.backend, FileBackend):
+        attach_scheme_to_backend(scheme)
+    return scheme
+
+
+def _cmd_stress_sharded(args: argparse.Namespace) -> int:
+    from .workloads import run_sharded_write_stress
+
+    config = BoxConfig(block_bytes=args.block_bytes)
+    schemes = _sharded_schemes(args, config)
+    try:
+        result = run_sharded_write_stress(
+            schemes,
+            base_labels=args.base,
+            clients=args.readers,
+            total_ops=args.total_ops,
+            batch=args.write_batch,
+            group_size=args.group_size,
+            write_buffer=args.write_buffer,
+            log_capacity=args.log_capacity,
+        )
+    finally:
+        for scheme in schemes:
+            _finish_scheme(scheme)
+    print(f"stress: scheme={args.scheme} shards={result.shards} "
+          f"clients={result.clients} seconds={result.wall_seconds:.2f}")
+    print(f"  write ops:         {result.write_ops} "
+          f"({result.ops_per_second:.0f}/s aggregate)")
+    print(f"  epoch vector:      {tuple(result.epoch_numbers)}")
+    print(f"  epochs published:  {result.epochs_published}")
+    print(f"  write merges:      {result.write_merges} "
+          f"(write buffer {args.write_buffer})")
+    print(f"  mean ticket wait:  {result.mean_ticket_ms:.2f} ms")
+    if result.errors:
+        for error in result.errors:
+            print(f"error: client failed: {error!r}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_stress(args: argparse.Namespace) -> int:
     from .workloads import run_service_stress
 
+    if args.shards > 1:
+        return _cmd_stress_sharded(args)
     config = BoxConfig(block_bytes=args.block_bytes)
     scheme = make_scheme(args.scheme, config, args.storage, args.storage_path)
     result = run_service_stress(
@@ -427,7 +501,43 @@ def _wal_status(path: str) -> str:
     return "; ".join(parts) if parts else "empty (clean shutdown)"
 
 
+def _info_sharded(root: str) -> int:
+    """Describe a sharded page-file root (``SHARDS.json`` + page files)."""
+    manifest = read_manifest(root)
+    n_shards = manifest["n_shards"]
+    print(f"file: {root}")
+    print("  format:       sharded page-file root (SHARDS.json manifest)")
+    print(f"  shards:       {n_shards}")
+    print(f"  glid codec:   {manifest['codec']} (shard = glid % {n_shards}, "
+          f"local = glid // {n_shards})")
+    if manifest.get("page_bytes"):
+        print(f"  page bytes:   {manifest['page_bytes']}")
+    for shard in range(n_shards):
+        path = shard_page_path(root, shard)
+        print(f"  shard {shard}:      {os.path.basename(path)}")
+        state = read_superblock(path)
+        if state is None:
+            print("    superblock: TORN/CORRUPT — run 'repro recover' on the shard file")
+            print(f"    WAL:        {_wal_status(path)}")
+            continue
+        meta = state.get("meta") or {}
+        print(f"    scheme:     {meta.get('scheme', '(none attached)')}")
+        if "lidf" in meta:
+            print(f"    labels:     {meta['lidf']['live']} live "
+                  f"(document-order chunk {shard} of {n_shards})")
+        print(f"    blocks:     {len(state['on_disk'])}")
+        print(f"    page file:  {os.path.getsize(path)} bytes")
+        wal_path = path + ".wal"
+        wal_bytes = os.path.getsize(wal_path) if os.path.exists(wal_path) else 0
+        print(f"    WAL:        {wal_bytes} bytes; {_wal_status(path)}")
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
+    if os.path.isdir(args.file):
+        if is_sharded_root(args.file):
+            return _info_sharded(args.file)
+        raise PersistError(f"{args.file} is a directory without a SHARDS.json manifest")
     with open(args.file, "rb") as handle:
         magic = handle.read(8)
     print(f"file: {args.file}")
@@ -557,6 +667,91 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_sharded(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .core import BatchOp
+    from .obs import trace as trace_mod
+    from .obs.trace import Tracer
+    from .service import ShardedLabelService, bulk_load_sharded
+
+    config = BoxConfig(block_bytes=args.block_bytes)
+    n = args.shards
+    with tempfile.TemporaryDirectory(prefix="repro-trace-") as tmp:
+        backends = create_sharded_backends(
+            os.path.join(tmp, "shards"),
+            n,
+            page_bytes=default_page_bytes(config.block_bytes),
+        )
+        try:
+            schemes = [
+                make_scheme_on_store(args.scheme, config, BlockStore(config, backend=b))
+                for b in backends
+            ]
+            glids = bulk_load_sharded(schemes, max(args.items * 30, 16 * n))
+            # One op per shard, anchored mid-chunk, so every shard's writer
+            # contributes a labeled span to the same tree.
+            anchors = []
+            for shard in range(n):
+                chunk = [glid for glid in glids if glid % n == shard]
+                anchors.append(chunk[len(chunk) // 2])
+            service = ShardedLabelService(schemes)
+            if args.op == "insert":
+                ops = [BatchOp("insert_element_before", (a,)) for a in anchors]
+            elif args.op == "delete":
+                pairs = service.apply_ops_sync(
+                    [BatchOp("insert_element_before", (a,)) for a in anchors]
+                ).results
+                ops = [BatchOp("delete_element", pair) for pair in pairs]
+            else:  # lookup
+                ops = [BatchOp("lookup", (a,)) for a in anchors]
+            tracer = Tracer(enabled=True, sample_every=1)
+            previous = trace_mod.set_tracer(tracer)
+            before = [scheme.stats.snapshot() for scheme in schemes]
+            try:
+                with trace_mod.span("service.apply_sharded", shards=n):
+                    service.apply_ops_sync(ops)
+            finally:
+                trace_mod.set_tracer(previous)
+            deltas = [
+                scheme.stats.snapshot() - snap
+                for scheme, snap in zip(schemes, before)
+            ]
+            root = tracer.take()
+            service.close()
+            if root is None:
+                print("error: tracer recorded no span", file=sys.stderr)
+                return 1
+            if args.json:
+                print(json.dumps(root.to_dict(), indent=2))
+            else:
+                print(root.render())
+            out = sys.stderr if args.json else sys.stdout
+            consistent = True
+            for shard in range(n):
+                name = f"shard{shard}"
+                span_reads = span_writes = 0.0
+                for span in root.walk():
+                    if span.labels.get("shard") == name:
+                        span_reads += span.total("io.reads")
+                        span_writes += span.total("io.writes")
+                delta = deltas[shard]
+                ok = span_reads == delta.reads and span_writes == delta.writes
+                consistent = consistent and ok
+                print(
+                    f"{name} span I/O: {span_reads:g} reads, {span_writes:g} writes | "
+                    f"IOStats delta: {delta.reads} reads, {delta.writes} writes | "
+                    f"{'consistent' if ok else 'MISMATCH'}",
+                    file=out,
+                )
+            for scheme in schemes:
+                _finish_scheme(scheme)
+            return 0 if consistent else 1
+        finally:
+            for backend in backends:
+                backend.close()
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     import tempfile
 
@@ -566,6 +761,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from .service import LabelService
     from .xml.xmark import xmark_document
 
+    if args.shards > 1:
+        return _cmd_trace_sharded(args)
     config = BoxConfig(block_bytes=args.block_bytes)
     tmp: tempfile.TemporaryDirectory | None = None
     storage_path = args.storage_path
@@ -689,6 +886,29 @@ def build_parser() -> argparse.ArgumentParser:
     stress.add_argument(
         "--hot", type=int, default=64, help="hot working set (elements read); 0 = all"
     )
+    stress.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run the multi-writer ShardedLabelService over N shards "
+            "(write-only stress: --readers become submitting clients, "
+            "--base counts bulk-loaded labels; default 1 = classic stress)"
+        ),
+    )
+    stress.add_argument(
+        "--total-ops",
+        type=int,
+        default=2000,
+        help="write ops across all clients in sharded mode (default 2000)",
+    )
+    stress.add_argument(
+        "--write-buffer",
+        type=int,
+        default=1,
+        help="batches each shard writer may merge per group commit (default 1)",
+    )
     _add_common(stress)
     stress.set_defaults(handler=cmd_stress)
 
@@ -780,6 +1000,16 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("--seed", type=int, default=1, help="document generator seed")
     trace_cmd.add_argument(
         "--json", action="store_true", help="emit the span tree as JSON"
+    )
+    trace_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "trace one op per shard through the ShardedLabelService and "
+            "verify each shard's span I/O against its own IOStats delta"
+        ),
     )
     _add_common(trace_cmd)
     # Default to a (temporary) file backend so the trace reaches the WAL.

@@ -57,6 +57,37 @@ SUPPORTED_KINDS: dict[str, int] = {
 #: plain-int anchors may be handed to a scheme's ``batch_<kind>`` method.
 _VECTOR_KINDS = frozenset({"lookup", "ordinal_lookup"})
 
+#: Every LID-typed argument position per kind.  Shard routing reads these
+#: to decide which shard an op belongs to (all LID args must agree) and to
+#: translate global LIDs into shard-local ones.
+LID_ARG_POSITIONS: dict[str, tuple[int, ...]] = {
+    "lookup": (0,),
+    "ordinal_lookup": (0,),
+    "lookup_pair": (0, 1),
+    "compare": (0, 1),
+    "insert_before": (0,),
+    "insert_element_before": (0,),
+    "delete": (0,),
+    "delete_element": (0, 1),
+    "insert_subtree_before": (0,),
+    "delete_range": (0, 1),
+}
+
+#: Shape of each kind's result in LID terms: ``None`` (labels/ordinals —
+#: nothing to translate), one LID, a (start, end) LID tuple, or a LID list.
+LID_RESULT_SHAPES: dict[str, str | None] = {
+    "lookup": None,
+    "ordinal_lookup": None,
+    "lookup_pair": None,
+    "compare": None,
+    "insert_before": "lid",
+    "insert_element_before": "lid_tuple",
+    "delete": None,
+    "delete_element": None,
+    "insert_subtree_before": "lid_list",
+    "delete_range": "lid_list",
+}
+
 
 @dataclass(frozen=True)
 class BatchRef:
@@ -368,11 +399,191 @@ class BatchExecutor:
         return tuple(resolved)
 
 
+# ----------------------------------------------------------------------
+# shard routing
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ShardRouting:
+    """One batch split into per-shard sub-batches, plus the maps that put
+    the per-shard results back into submission order.
+
+    ``per_shard[s]`` holds shard ``s``'s ops *localized* (global LIDs
+    translated to shard-local ones, :class:`BatchRef` indices rewritten to
+    the sub-batch's positions) and in original relative order — so the
+    executor's group-commit and locality grouping work unchanged per
+    shard.  ``positions[s][j]`` is the original batch position of
+    ``per_shard[s][j]``; ``op_shard[i]`` is op ``i``'s shard.
+    """
+
+    n_shards: int
+    per_shard: dict[int, list[BatchOp]]
+    positions: dict[int, list[int]]
+    op_shard: list[int]
+
+
+def route_ops(
+    ops: Sequence[BatchOp],
+    n_shards: int,
+    *,
+    shard_of: Callable[[int], int] | None = None,
+    to_local: Callable[[int], int] | None = None,
+) -> ShardRouting:
+    """Partition a batch into per-shard sub-batches.
+
+    The canonical global-LID codec interleaves: shard ``glid % n_shards``,
+    local LID ``glid // n_shards`` (``n_shards == 1`` is the identity, so
+    the single-shard path is byte-for-byte today's).  Pass ``shard_of`` /
+    ``to_local`` to override.
+
+    Every LID argument of an op must land on one shard; an op whose LID
+    args (or whose :class:`BatchRef` targets) disagree raises
+    :class:`~repro.errors.CrossShardError` — the shard partition follows
+    subtree boundaries, so such an op is a caller error, not a split
+    candidate.  Refs follow the referenced op's shard and must not cross
+    shards either.  Relative order within a shard is preserved, which is
+    what keeps group-commit I/O coalescing intact after routing.
+    """
+    from ..errors import CrossShardError
+
+    if n_shards < 1:
+        raise LabelingError(f"n_shards must be >= 1, got {n_shards}")
+    if shard_of is None:
+        shard_of = lambda lid: lid % n_shards  # noqa: E731
+    if to_local is None:
+        to_local = lambda lid: lid // n_shards  # noqa: E731
+
+    per_shard: dict[int, list[BatchOp]] = {}
+    positions: dict[int, list[int]] = {}
+    op_shard: list[int] = []
+    local_index: list[int] = []  # original position -> index in its sub-batch
+
+    for position, op in enumerate(ops):
+        lid_positions = LID_ARG_POSITIONS[op.kind]
+        shard: int | None = None
+
+        def claim(candidate: int, why: str) -> None:
+            nonlocal shard
+            if shard is None:
+                shard = candidate
+            elif shard != candidate:
+                raise CrossShardError(
+                    f"op {position} ({op.kind}) spans shards {shard} and "
+                    f"{candidate} via {why}"
+                )
+
+        for index, arg in enumerate(op.args):
+            if isinstance(arg, BatchRef):
+                if not 0 <= arg.index < position:
+                    raise LabelingError(
+                        f"op {position} references op {arg.index}, which has "
+                        "not executed yet (refs must point backwards)"
+                    )
+                claim(op_shard[arg.index], f"ref to op {arg.index}")
+            elif index in lid_positions and isinstance(arg, int) and not isinstance(arg, bool):
+                claim(shard_of(arg), f"LID argument {index}")
+        if shard is None:
+            shard = 0
+
+        sub = per_shard.setdefault(shard, [])
+        pos_map = positions.setdefault(shard, [])
+        new_args = []
+        for index, arg in enumerate(op.args):
+            if isinstance(arg, BatchRef):
+                new_args.append(BatchRef(local_index[arg.index], arg.item))
+            elif index in lid_positions and isinstance(arg, int) and not isinstance(arg, bool):
+                new_args.append(to_local(arg))
+            else:
+                new_args.append(arg)
+        op_shard.append(shard)
+        local_index.append(len(sub))
+        sub.append(BatchOp(op.kind, tuple(new_args)))
+        pos_map.append(position)
+
+    return ShardRouting(
+        n_shards=n_shards,
+        per_shard=per_shard,
+        positions=positions,
+        op_shard=op_shard,
+    )
+
+
+def merge_routed_results(
+    routing: ShardRouting, per_shard_results: dict[int, Sequence[Any]]
+) -> list:
+    """Interleave per-shard result lists back into submission order."""
+    merged: list = [None] * len(routing.op_shard)
+    for shard, pos_map in routing.positions.items():
+        results = per_shard_results[shard]
+        for pos, value in zip(pos_map, results):
+            merged[pos] = value
+    return merged
+
+
+def globalize_results(
+    ops: Sequence[BatchOp],
+    results: Sequence[Any],
+    op_shard: Sequence[int],
+    to_global: Callable[[int, int], int],
+) -> list:
+    """Translate shard-local LIDs in ``results`` to global ones.
+
+    ``to_global(local, shard)`` is the codec; only result components that
+    *are* LIDs (per :data:`LID_RESULT_SHAPES`) are translated — labels,
+    ordinals and comparison signs pass through untouched.
+    """
+    out: list = []
+    for op, value, shard in zip(ops, results, op_shard):
+        shape = LID_RESULT_SHAPES[op.kind]
+        if value is None or shape is None:
+            out.append(value)
+        elif shape == "lid":
+            out.append(to_global(value, shard))
+        elif shape == "lid_tuple":
+            out.append(tuple(to_global(item, shard) for item in value))
+        else:  # lid_list
+            out.append([to_global(item, shard) for item in value])
+    return out
+
+
+def shift_refs(ops: Sequence[BatchOp], offset: int) -> list[BatchOp]:
+    """Rebase every :class:`BatchRef` in ``ops`` by ``offset`` positions.
+
+    Used when independently submitted batches are concatenated into one
+    executor run (per-shard write buffering): each batch's refs are
+    relative to its own position 0 and must shift by its start offset in
+    the merged run.  ``offset == 0`` returns the ops unchanged.
+    """
+    if offset == 0:
+        return list(ops)
+    shifted: list[BatchOp] = []
+    for op in ops:
+        if any(isinstance(arg, BatchRef) for arg in op.args):
+            args = tuple(
+                BatchRef(arg.index + offset, arg.item)
+                if isinstance(arg, BatchRef)
+                else arg
+                for arg in op.args
+            )
+            shifted.append(BatchOp(op.kind, args))
+        else:
+            shifted.append(op)
+    return shifted
+
+
 __all__ = [
     "SUPPORTED_KINDS",
+    "LID_ARG_POSITIONS",
+    "LID_RESULT_SHAPES",
     "AmortizedCost",
     "BatchOp",
     "BatchRef",
     "BatchResult",
     "BatchExecutor",
+    "ShardRouting",
+    "route_ops",
+    "merge_routed_results",
+    "globalize_results",
+    "shift_refs",
 ]

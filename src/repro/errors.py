@@ -106,6 +106,14 @@ class OrdinalUnsupportedError(LabelingError):
     (size-field) support."""
 
 
+class CrossShardError(LabelingError):
+    """An operation spans shard boundaries in a way the router cannot
+    serve: its LID arguments (or the :class:`~repro.core.batch.BatchRef`
+    targets they resolve to) live on different shards.  The shard
+    partition follows subtree boundaries, so cross-shard writes and
+    cross-shard element pairs are rejected rather than silently split."""
+
+
 class CacheError(ReproError):
     """Failures in the caching/logging layer of Section 6."""
 

@@ -13,6 +13,7 @@ from .chaos import (
     ChaosTrial,
     run_chaos_sweep,
     run_chaos_trial,
+    run_shard_chaos_trial,
     standard_plan_names,
     standard_plans,
 )
@@ -31,8 +32,10 @@ from .plan import (
     FaultPlanError,
     FaultSpec,
     FiredFault,
+    ScopedFaultInjector,
     apply_simple_action,
     spec_at,
+    split_hook,
 )
 
 __all__ = [
@@ -53,10 +56,13 @@ __all__ = [
     "TORN_WRITE",
     "WRITER_CRASH",
     "SCHEME_NAMES",
+    "ScopedFaultInjector",
     "apply_simple_action",
     "run_chaos_sweep",
     "run_chaos_trial",
+    "run_shard_chaos_trial",
     "spec_at",
+    "split_hook",
     "standard_plan_names",
     "standard_plans",
 ]

@@ -41,12 +41,20 @@ from ..errors import (
     CrashError,
     FsyncFailedError,
     RecoveryError,
+    ServiceClosedError,
+    ServiceDegradedError,
     TransientIOError,
+    WriterCrashError,
 )
-from ..persist import checkpoint_scheme, open_file_scheme
+from ..persist import (
+    checkpoint_scheme,
+    create_sharded_backends,
+    open_file_scheme,
+    open_sharded_schemes,
+)
 from ..storage import BlockStore, FileBackend, default_page_bytes
 from ..workloads.sequences import apply_tape_step, crash_recovery_tape
-from .plan import FaultInjector, FaultPlan
+from .plan import WRITER_CRASH, FaultInjector, FaultPlan, FaultSpec
 
 #: The five scheme variants every sweep covers (CLI names).
 SCHEME_NAMES = ("wbox", "wboxo", "bbox", "bbox-o", "naive-8")
@@ -78,6 +86,19 @@ def standard_plans() -> dict[str, FaultPlan]:
         "fsync-fail": FaultPlan.fsync_failure(at=None, window=(1, 12)),
         "superblock-torn": FaultPlan.superblock_crash(at=None, window=(1, 8)),
         "latency": FaultPlan.latency_spike(0.0002, at=None, window=(1, 48)),
+        # Shard-targeted: kill exactly shard 1's writer of a 2-shard
+        # service at a seeded apply, then recover *all* shards.  The
+        # ``@shard1`` scope suffix routes the fault through shard 1's
+        # scoped injector view only; the sweep dispatches this plan to
+        # the sharded trial runner automatically.
+        "shard-writer-crash": FaultPlan(
+            [
+                FaultSpec(
+                    WRITER_CRASH, "service.writer_apply@shard1", at=None, window=(1, 16)
+                )
+            ],
+            name="shard-writer-crash",
+        ),
     }
 
 
@@ -230,6 +251,150 @@ def run_chaos_trial(
     return trial
 
 
+def _plan_is_sharded(plan: FaultPlan) -> bool:
+    """Whether any spec targets a shard-scoped hook (``hook@shardN``)."""
+    return any("@" in spec.hook for spec in plan)
+
+
+def run_shard_chaos_trial(
+    scheme_name: str,
+    plan_name: str,
+    plan: FaultPlan,
+    seed: int,
+    directory: str,
+    max_ops: int = 120,
+    base_labels: int = 24,
+    config: BoxConfig | None = None,
+    n_shards: int = 2,
+    backend_cls: type[FileBackend] = FileBackend,
+) -> ChaosTrial:
+    """One crash-recovery trial against a live sharded service.
+
+    The tape drives a running :class:`~repro.service.ShardedLabelService`
+    (one writer thread per shard) over file-backed shards, one synchronous
+    ticket per step, until the plan's shard-scoped fault kills one shard's
+    writer.  Because the standard shard plan fires at
+    ``service.writer_apply`` — *before* the batch touches the structure —
+    the committed state is exactly the completed tape prefix: the twin
+    oracle replays precisely the steps whose tickets resolved.  Recovery
+    then reopens **all** shards (:func:`~repro.persist.open_sharded_schemes`)
+    and every global LID is compared against the per-shard memory twins;
+    finally each recovered shard must accept a fresh insert.
+    """
+    from ..core.batch import BatchOp
+    from ..service import ShardedLabelService
+    from ..service.router import ShardRouter
+
+    trial = ChaosTrial(scheme=f"{scheme_name}x{n_shards}", plan=plan_name, seed=seed)
+    if config is None:
+        from ..config import TINY_CONFIG
+
+        config = TINY_CONFIG
+    factory = _SCHEME_FACTORIES[scheme_name]
+    router = ShardRouter(n_shards)
+    root = os.path.join(directory, f"{scheme_name}-{plan_name}-{seed}.shards")
+    backends = create_sharded_backends(
+        root,
+        n_shards,
+        page_bytes=default_page_bytes(config.block_bytes),
+        fsync=_plan_needs_fsync(plan),
+        backend_cls=backend_cls,
+    )
+    schemes = [
+        factory(config, BlockStore(config, backend=backend)) for backend in backends
+    ]
+    glids = _bulk_sharded(schemes, router, base_labels)
+    for scheme in schemes:
+        checkpoint_scheme(scheme)
+
+    injector = FaultInjector(plan, seed=seed)
+    for shard, backend in enumerate(backends):
+        backend.install_faults(injector.scoped(f"shard{shard}"))
+    tape = crash_recovery_tape(max_ops, seed=seed)
+    service = ShardedLabelService(schemes, group_size=8, fault_injector=injector)
+    service.start()
+    try:
+        for step in tape:
+            kind, draw = step
+            if kind == "delete" and len(glids) > 12:
+                glid = glids.pop(draw % len(glids))
+                service.submit_ops([BatchOp("delete", (glid,))]).wait(10)
+            else:
+                anchor = glids[draw % len(glids)]
+                ticket = service.submit_ops([BatchOp("insert_before", (anchor,))])
+                glids.append(ticket.wait(10).results[0])
+            trial.completed_ops += 1
+    except _CRASH_ERRORS + (WriterCrashError, ServiceDegradedError, ServiceClosedError):
+        trial.crashed = True
+    trial.faults_fired = [f"{f.hook}:{f.kind}" for f in injector.fired]
+    service.close()
+    for backend in backends:
+        backend.close()
+
+    try:
+        reopened = open_sharded_schemes(root, backend_cls=backend_cls)
+    except RecoveryError as error:
+        trial.error = f"recovery failed: {error}"
+        return trial
+    try:
+        trial.replayed = any(
+            bool(scheme.store.backend.recovery_report.get("replayed_transactions"))
+            for scheme in reopened
+        )
+        # The writer-apply fault fires before its batch mutates anything,
+        # so the committed prefix is exactly the completed steps — no
+        # in-flight-transaction correction, unlike the single-scheme trial.
+        trial.committed_ops = trial.completed_ops
+
+        twins = [factory(config, None) for _ in range(n_shards)]
+        twin_glids = _bulk_sharded(twins, router, base_labels)
+        for step in tape[: trial.committed_ops]:
+            kind, draw = step
+            if kind == "delete" and len(twin_glids) > 12:
+                glid = twin_glids.pop(draw % len(twin_glids))
+                twins[router.shard_of(glid)].delete(router.to_local(glid))
+            else:
+                anchor = twin_glids[draw % len(twin_glids)]
+                shard = router.shard_of(anchor)
+                local = twins[shard].insert_before(router.to_local(anchor))
+                twin_glids.append(router.to_global(local, shard))
+        trial.checked_lids = len(twin_glids)
+        for glid in twin_glids:
+            shard, local = router.shard_of(glid), router.to_local(glid)
+            if reopened[shard].lookup(local) != twins[shard].lookup(local):
+                trial.mismatches += 1
+        # Every recovered shard — including the killed one — must keep
+        # working: accept an insert anchored at its first live LID.
+        for shard in range(n_shards):
+            anchored = next(
+                (g for g in twin_glids if router.shard_of(g) == shard), None
+            )
+            if anchored is not None:
+                reopened[shard].insert_before(router.to_local(anchored))
+            if hasattr(reopened[shard], "check_invariants"):
+                reopened[shard].check_invariants()
+    except Exception as error:  # noqa: BLE001 - a trial must not kill the sweep
+        trial.error = f"{type(error).__name__}: {error}"
+    finally:
+        for scheme in reopened:
+            scheme.store.backend.close()
+    return trial
+
+
+def _bulk_sharded(schemes: list, router: Any, count: int) -> list[int]:
+    """Paired bulk load split into contiguous per-shard chunks, returning
+    global LIDs in document order (chunk sizes forced even so sibling
+    start/end pairs never straddle a chunk)."""
+    per = count // len(schemes)
+    per -= per % 2
+    glids: list[int] = []
+    for shard, scheme in enumerate(schemes):
+        chunk = count - per * (len(schemes) - 1) if shard == len(schemes) - 1 else per
+        locals_ = scheme.bulk_load(chunk, [i ^ 1 for i in range(chunk)])
+        glids.extend(router.to_global(local, shard) for local in locals_)
+    return glids
+
+
 def run_chaos_sweep(
     seeds: int | Iterable[int],
     schemes: Iterable[str] | None = None,
@@ -261,8 +426,11 @@ def run_chaos_sweep(
     ) as directory:
         for seed in seed_list:
             for plan_name, plan in plan_map.items():
+                runner = (
+                    run_shard_chaos_trial if _plan_is_sharded(plan) else run_chaos_trial
+                )
                 for scheme_name in scheme_list:
-                    trial = run_chaos_trial(
+                    trial = runner(
                         scheme_name,
                         plan_name,
                         plan,

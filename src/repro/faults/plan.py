@@ -30,6 +30,12 @@ hook                   fires
 ``service.group_commit``   inside a group commit, before the epoch publishes
 =====================  ==========================================================
 
+Any hook may carry a shard-scope suffix (``service.writer_apply@shard2``):
+a sharded service hands each shard a :meth:`FaultInjector.scoped` view, and
+an invocation through that view matches both the suffixed spec (that shard
+only) and the plain spec (any shard), each against its own deterministic
+counter.
+
 Fault kinds:
 
 * ``torn_write`` — write the first half of the granted bytes, then crash
@@ -105,6 +111,18 @@ class FaultPlanError(ReproError):
     """A fault plan or spec is malformed (unknown kind/hook, bad window)."""
 
 
+def split_hook(hook: str) -> tuple[str, str | None]:
+    """Split ``"service.writer_apply@shard2"`` into ``(base, scope)``.
+
+    A plain hook name has scope ``None``.  The base must always be one of
+    :data:`HOOKS`; the scope suffix addresses one shard's injector view
+    (see :meth:`FaultInjector.scoped`), so chaos plans can target a single
+    shard of a sharded service deterministically.
+    """
+    base, sep, scope = hook.partition("@")
+    return base, (scope if sep else None)
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """One declarative fault: *what* to inject, *where*, and *when*.
@@ -130,8 +148,11 @@ class FaultSpec:
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise FaultPlanError(f"unknown fault kind {self.kind!r}")
-        if self.hook not in HOOKS:
+        base, scope = split_hook(self.hook)
+        if base not in HOOKS:
             raise FaultPlanError(f"unknown hook point {self.hook!r}")
+        if scope is not None and not scope:
+            raise FaultPlanError(f"empty shard scope in hook {self.hook!r}")
         if self.at is not None and self.at < 1:
             raise FaultPlanError(f"at must be >= 1 (1-based), got {self.at}")
         if self.times < 1:
@@ -309,16 +330,32 @@ class FaultInjector:
         """How many times ``hook`` has fired so far (for diagnostics)."""
         return self._invocations.get(hook, 0)
 
-    def fire(self, hook: str, size: int | None = None) -> FaultAction | None:
+    def fire(
+        self, hook: str, size: int | None = None, scope: str | None = None
+    ) -> FaultAction | None:
         """Called by a hook site on every invocation; returns the action
         to perform, or ``None`` (no fault scheduled here and now).
 
         ``size`` is the byte length available at write-type hooks, used to
-        resolve a seeded ``short_write`` cut point.
+        resolve a seeded ``short_write`` cut point.  ``scope`` is the shard
+        tag a :meth:`scoped` view adds: the invocation then counts against
+        both the scoped name (``hook@scope``, matching shard-targeted
+        specs) and the plain hook (matching unscoped specs across all
+        shards), scoped specs winning ties.
         """
         count = self._invocations.get(hook, 0) + 1
         self._invocations[hook] = count
-        entries = self._armed.get(hook)
+        if scope is not None:
+            scoped_name = f"{hook}@{scope}"
+            scoped_count = self._invocations.get(scoped_name, 0) + 1
+            self._invocations[scoped_name] = scoped_count
+            action = self._match(scoped_name, scoped_count, size)
+            if action is not None:
+                return action
+        return self._match(hook, count, size)
+
+    def _match(self, name: str, count: int, size: int | None) -> FaultAction | None:
+        entries = self._armed.get(name)
         if not entries:
             return None
         for entry in entries:
@@ -331,8 +368,16 @@ class FaultInjector:
             if count >= at + spec.times:
                 continue
             entry[2] = remaining - 1
-            return self._action(spec, hook, count, size)
+            return self._action(spec, name, count, size)
         return None
+
+    def scoped(self, scope: str) -> "ScopedFaultInjector":
+        """A shard-tagged view over this injector (shared counters/specs).
+
+        Hook sites fire the view exactly like the parent; every invocation
+        is additionally counted under ``hook@scope`` so plans can address
+        one shard by suffix (``service.writer_apply@shard2``)."""
+        return ScopedFaultInjector(self, scope)
 
     def _action(
         self, spec: FaultSpec, hook: str, invocation: int, size: int | None
@@ -358,6 +403,41 @@ class FaultInjector:
     def with_fresh_counters(self) -> "FaultInjector":
         """A new injector over the same plan and seed (post-reopen)."""
         return FaultInjector(self.plan, self.seed)
+
+
+class ScopedFaultInjector:
+    """A shard-tagged facade over one :class:`FaultInjector`.
+
+    Duck-type compatible with the parent at every hook site (``fire`` plus
+    the diagnostic surface), so backends and services take either.  State
+    — counters, armed specs, the ``fired`` record — lives on the parent;
+    the facade only contributes its scope tag, which makes one parent
+    injector shared across N shards behave as one fault *budget* with
+    per-shard addressing.
+    """
+
+    __slots__ = ("parent", "scope")
+
+    def __init__(self, parent: FaultInjector, scope: str) -> None:
+        self.parent = parent
+        self.scope = scope
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self.parent.plan
+
+    @property
+    def fired(self) -> list[FiredFault]:
+        return self.parent.fired
+
+    def invocations(self, hook: str) -> int:
+        return self.parent.invocations(hook)
+
+    def fire(self, hook: str, size: int | None = None) -> FaultAction | None:
+        return self.parent.fire(hook, size=size, scope=self.scope)
+
+    def scoped(self, scope: str) -> "ScopedFaultInjector":
+        return ScopedFaultInjector(self.parent, scope)
 
 
 def apply_simple_action(action: FaultAction | None) -> None:

@@ -49,6 +49,7 @@ from .core.wbox.pairs import WBoxO
 from .core.wbox.tree import WBox
 from .errors import PersistError
 from .storage import BlockStore, FileBackend, HeapFile
+from .storage.shardlayout import read_manifest, shard_page_path, write_manifest
 from .storage.codec import (
     decode_payload as _decode_payload,
     encode_payload as _encode_payload,
@@ -68,6 +69,9 @@ __all__ = [
     "attach_scheme_to_backend",
     "checkpoint_scheme",
     "open_file_scheme",
+    "create_sharded_backends",
+    "open_sharded_schemes",
+    "checkpoint_sharded",
     "scheme_metadata_header",
     "read_uvarint",
     "write_uvarint",
@@ -432,3 +436,64 @@ def open_file_scheme(
     store.stats.reset()
     attach_scheme_to_backend(scheme)
     return scheme
+
+
+# ----------------------------------------------------------------------
+# sharded stores (directory of per-shard page files + manifest)
+# ----------------------------------------------------------------------
+
+
+def create_sharded_backends(
+    root: str,
+    n_shards: int,
+    page_bytes: int | None = None,
+    fsync: bool = False,
+    backend_cls: type[FileBackend] = FileBackend,
+) -> list[FileBackend]:
+    """Create a sharded store directory: the manifest plus one fresh
+    :class:`~repro.storage.filebackend.FileBackend` per shard.
+
+    The caller builds one scheme per returned backend (all with the same
+    config) and wraps them in a
+    :class:`~repro.service.sharded.ShardedLabelService`.  Each shard file
+    is an ordinary self-describing page file; the manifest only records
+    the shard count and the global-LID codec.
+    """
+    write_manifest(root, n_shards, page_bytes=page_bytes)
+    return [
+        backend_cls(shard_page_path(root, shard), page_bytes=page_bytes, fsync=fsync)
+        for shard in range(n_shards)
+    ]
+
+
+def open_sharded_schemes(
+    root: str,
+    page_bytes: int | None = None,
+    fsync: bool = False,
+    backend_cls: type[FileBackend] = FileBackend,
+) -> list[Any]:
+    """Open every shard of a sharded store directory, in shard order.
+
+    Each shard goes through :func:`open_file_scheme` independently, so
+    crash recovery runs per shard — a shard whose writer died recovers
+    from its own WAL while untouched shards reopen cleanly.  Returns the
+    schemes ordered by shard index (shard ``i`` is element ``i``, which
+    is what the global-LID codec requires).
+    """
+    manifest = read_manifest(root)
+    return [
+        open_file_scheme(
+            shard_page_path(root, shard),
+            page_bytes=page_bytes,
+            fsync=fsync,
+            backend_cls=backend_cls,
+        )
+        for shard in range(manifest["n_shards"])
+    ]
+
+
+def checkpoint_sharded(schemes: list) -> None:
+    """Checkpoint every shard scheme of a sharded store (in shard order:
+    each shard's checkpoint is an independent durability point)."""
+    for scheme in schemes:
+        checkpoint_scheme(scheme)

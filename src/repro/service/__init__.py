@@ -6,15 +6,29 @@ epoch at every commit, while any number of reader sessions serve label
 reads from epoch-pinned caches repaired by modification-log replay —
 falling through to a latched BOX read only when the log no longer covers
 their history.  See DESIGN.md section 8 for the protocol.
+
+:mod:`repro.service.sharded` lifts the stack to N shards — one writer,
+WAL and epoch stream per shard, bound into one global label space by a
+:class:`~repro.service.router.ShardRouter`, with reader sessions pinning
+a cross-shard epoch *vector* (DESIGN.md section 13).
 """
 
 from .epoch import Epoch, WriteTicket
 from .queue import WriteQueue
+from .router import ShardRouter
 from .service import FATAL_WRITER_ERRORS, LabelService, ReaderSession, RetryPolicy
+from .sharded import (
+    EpochVector,
+    ShardedLabelService,
+    ShardedReaderSession,
+    ShardedWriteTicket,
+    bulk_load_sharded,
+)
 from .stats import ServiceCounters, ServiceStats
 
 __all__ = [
     "Epoch",
+    "EpochVector",
     "FATAL_WRITER_ERRORS",
     "WriteTicket",
     "WriteQueue",
@@ -23,4 +37,9 @@ __all__ = [
     "RetryPolicy",
     "ServiceCounters",
     "ServiceStats",
+    "ShardRouter",
+    "ShardedLabelService",
+    "ShardedReaderSession",
+    "ShardedWriteTicket",
+    "bulk_load_sharded",
 ]

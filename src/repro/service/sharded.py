@@ -1,0 +1,424 @@
+"""Multi-writer sharded label service with cross-shard snapshot epochs.
+
+:class:`ShardedLabelService` runs N independent
+:class:`~repro.service.service.LabelService` instances — each with its own
+scheme, store, WAL, write queue and single-writer thread — behind one
+global label space bound together by a :class:`~repro.service.router.ShardRouter`.
+Write batches are routed into per-shard sub-batches (order-preserving, so
+each shard's group-commit I/O coalescing survives) and applied by the
+shards' writers concurrently; a :class:`ShardedWriteTicket` joins the
+per-shard tickets and reassembles submission-order results with global
+LIDs.
+
+Snapshot consistency generalizes from one epoch to an **epoch vector**:
+each shard publishes epochs independently (under its own exclusive
+latch), and a :class:`ShardedReaderSession` pins one
+:class:`~repro.service.epoch.Epoch` per shard.  Single-shard reads are
+exactly today's pinned-epoch protocol on that shard.  Multi-label reads
+spanning shards (:meth:`ShardedReaderSession.lookup_many`) run each
+shard's group through the per-shard torn-read retry, then retry the whole
+round if any involved component of the vector moved mid-read — the same
+pin-only-advances argument that makes the single-epoch retry terminate
+applies per component, so the cross-shard read returns values that all
+match the session's pinned vector at return.
+
+The shard partition follows contiguous document-order chunks (see
+:class:`~repro.service.router.ShardRouter`), so cross-shard ``compare``
+reduces to comparing shard indices and cross-shard ancestor tests are
+always false; cross-shard *element pairs* (a start LID on one shard, its
+end on another) cannot exist under the partition invariant and are
+rejected with :class:`~repro.errors.CrossShardError`.
+
+``n_shards == 1`` degenerates exactly to today's stack: the codec is the
+identity, stats stay unlabeled, the fault injector is not scoped, and the
+on-disk file is byte-identical to an unsharded service's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..core.batch import BatchOp, BatchResult
+from ..core.interface import Label, LabelingScheme
+from ..errors import CrossShardError, ServiceError
+from .epoch import Epoch, WriteTicket
+from .router import ShardRouter
+from .service import LabelService, RetryPolicy
+
+__all__ = [
+    "EpochVector",
+    "ShardedLabelService",
+    "ShardedReaderSession",
+    "ShardedWriteTicket",
+    "bulk_load_sharded",
+]
+
+
+@dataclass(frozen=True)
+class EpochVector:
+    """One published epoch per shard, in shard order."""
+
+    components: tuple[Epoch, ...]
+
+    @property
+    def numbers(self) -> tuple[int, ...]:
+        """The per-shard epoch numbers (the vector most tests compare)."""
+        return tuple(epoch.number for epoch in self.components)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __getitem__(self, shard: int) -> Epoch:
+        return self.components[shard]
+
+
+def bulk_load_sharded(
+    schemes: Sequence[LabelingScheme], count: int
+) -> list[int]:
+    """Bulk-load ``count`` labels as contiguous chunks across ``schemes``.
+
+    Shard ``i`` receives the ``i``-th document-order chunk (near-even
+    split); the returned list holds *global* LIDs in document order.
+    Call this before constructing the :class:`ShardedLabelService` —
+    bulk load is an offline build step, the paper's Section 5, and the
+    services' epoch 0 then reflects the loaded state.
+    """
+    router = ShardRouter(len(schemes))
+    glids: list[int] = []
+    for shard, chunk in enumerate(router.split_bulk(count)):
+        if chunk == 0:
+            continue
+        for local in schemes[shard].bulk_load(chunk):
+            glids.append(router.to_global(local, shard))
+    return glids
+
+
+class ShardedWriteTicket:
+    """Joins the per-shard tickets of one routed submission.
+
+    ``wait`` blocks until every involved shard's writer committed its
+    sub-batch, then reassembles a single :class:`BatchResult` whose
+    ``results`` are in submission order with global LIDs.  If any shard
+    failed, the first failure (in shard order) re-raises.
+    """
+
+    __slots__ = ("_ops", "_router", "_routing", "_tickets")
+
+    def __init__(
+        self,
+        ops: list[BatchOp],
+        router: ShardRouter,
+        routing: Any,
+        tickets: list[tuple[int, WriteTicket]],
+    ) -> None:
+        self._ops = ops
+        self._router = router
+        self._routing = routing
+        self._tickets = tickets
+
+    @property
+    def done(self) -> bool:
+        """Whether every involved shard's sub-batch has been applied (or
+        failed)."""
+        return all(ticket.done for _shard, ticket in self._tickets)
+
+    def wait(self, timeout: float | None = None) -> BatchResult:
+        """Block for all shards; merged, globalized result or first error."""
+        per_shard: dict[int, Sequence[Any]] = {}
+        group_costs: list = []
+        group_sizes: list[int] = []
+        backend_commits = 0
+        for shard, ticket in self._tickets:
+            result = ticket.wait(timeout)
+            per_shard[shard] = result.results
+            group_costs.extend(result.group_costs)
+            group_sizes.extend(result.group_sizes)
+            backend_commits += result.backend_commits
+        return BatchResult(
+            results=self._router.merge(self._ops, self._routing, per_shard),
+            group_costs=group_costs,
+            group_sizes=group_sizes,
+            backend_commits=backend_commits,
+        )
+
+
+class ShardedLabelService:
+    """N per-shard label services behind one global label space.
+
+    Parameters mirror :class:`LabelService` and apply to every shard;
+    ``latches`` and ``epoch_hooks`` are optional per-shard lists (the
+    deterministic harness injects scheduler-aware latches and per-shard
+    oracles), ``yield_hook`` is shared.  ``fault_injector`` is scoped per
+    shard (``service.writer_apply@shard1``) when ``n_shards > 1``, so
+    chaos plans can target a single shard deterministically.
+    """
+
+    def __init__(
+        self,
+        schemes: Sequence[LabelingScheme],
+        *,
+        log_capacity: int = 1024,
+        queue_capacity: int = 64,
+        group_size: int = 64,
+        locality_grouping: bool = True,
+        latches: Sequence[Any] | None = None,
+        yield_hook: Callable[[str], None] | None = None,
+        epoch_hooks: Sequence[Callable[[Epoch], None]] | None = None,
+        retry_policy: RetryPolicy | None = RetryPolicy(),
+        fault_injector: Any = None,
+        write_buffer: int = 1,
+    ) -> None:
+        if not schemes:
+            raise ServiceError("a sharded service needs at least one scheme")
+        if latches is not None and len(latches) != len(schemes):
+            raise ServiceError("latches must match schemes one-to-one")
+        if epoch_hooks is not None and len(epoch_hooks) != len(schemes):
+            raise ServiceError("epoch_hooks must match schemes one-to-one")
+        self.router = ShardRouter(len(schemes))
+        self.schemes = list(schemes)
+        self.fault_injector = fault_injector
+        sharded = len(schemes) > 1
+        self.shards: list[LabelService] = []
+        for shard, scheme in enumerate(schemes):
+            injector = fault_injector
+            if injector is not None and sharded and hasattr(injector, "scoped"):
+                injector = injector.scoped(f"shard{shard}")
+            self.shards.append(
+                LabelService(
+                    scheme,
+                    log_capacity=log_capacity,
+                    queue_capacity=queue_capacity,
+                    group_size=group_size,
+                    locality_grouping=locality_grouping,
+                    latch=latches[shard] if latches is not None else None,
+                    yield_hook=yield_hook,
+                    epoch_hook=epoch_hooks[shard] if epoch_hooks is not None else None,
+                    retry_policy=retry_policy,
+                    fault_injector=injector,
+                    write_buffer=write_buffer,
+                    shard_name=f"shard{shard}" if sharded else None,
+                )
+            )
+
+    @property
+    def n_shards(self) -> int:
+        return self.router.n_shards
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "ShardedLabelService":
+        """Start every shard's writer thread (idempotent)."""
+        for shard in self.shards:
+            shard.start()
+        return self
+
+    def stop(self, timeout: float | None = None) -> None:
+        """Drain and join every shard's writer."""
+        for shard in self.shards:
+            shard.stop(timeout)
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedLabelService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- epochs / health -----------------------------------------------
+
+    @property
+    def current_epoch_vector(self) -> EpochVector:
+        """The latest published epoch of every shard (one atomic reference
+        read per shard; the components are mutually independent)."""
+        return EpochVector(tuple(shard.current_epoch for shard in self.shards))
+
+    @property
+    def degraded(self) -> bool:
+        """Whether *any* shard is in degraded read-only mode."""
+        return any(shard.degraded for shard in self.shards)
+
+    @property
+    def degraded_shards(self) -> list[int]:
+        """Indices of shards whose writers have died."""
+        return [i for i, shard in enumerate(self.shards) if shard.degraded]
+
+    @property
+    def queue_depth(self) -> int:
+        """Accepted-but-unapplied batches summed over all shards."""
+        return sum(shard.queue_depth for shard in self.shards)
+
+    # -- write path ----------------------------------------------------
+
+    def submit_ops(
+        self, ops: Sequence[BatchOp], timeout: float | None = None
+    ) -> ShardedWriteTicket:
+        """Route a batch and queue each sub-batch on its shard's writer.
+
+        Sub-batches are enqueued in shard order; the returned ticket joins
+        them.  A cross-shard op fails fast (before anything is queued)
+        with :class:`~repro.errors.CrossShardError`.
+        """
+        ops = list(ops)
+        routing = self.router.route(ops)
+        tickets: list[tuple[int, WriteTicket]] = []
+        for shard in sorted(routing.per_shard):
+            tickets.append(
+                (shard, self.shards[shard].submit_ops(routing.per_shard[shard], timeout))
+            )
+        return ShardedWriteTicket(ops, self.router, routing, tickets)
+
+    def apply_ops_sync(self, ops: Sequence[BatchOp]) -> BatchResult:
+        """Writer-context application: route, apply shard by shard on the
+        calling thread, reassemble.  (The deterministic harness's virtual
+        writers use the per-shard services directly instead.)"""
+        ops = list(ops)
+        routing = self.router.route(ops)
+        per_shard: dict[int, Sequence[Any]] = {}
+        group_costs: list = []
+        group_sizes: list[int] = []
+        backend_commits = 0
+        for shard in sorted(routing.per_shard):
+            result = self.shards[shard].apply_ops_sync(routing.per_shard[shard])
+            per_shard[shard] = result.results
+            group_costs.extend(result.group_costs)
+            group_sizes.extend(result.group_sizes)
+            backend_commits += result.backend_commits
+        return BatchResult(
+            results=self.router.merge(ops, routing, per_shard),
+            group_costs=group_costs,
+            group_sizes=group_sizes,
+            backend_commits=backend_commits,
+        )
+
+    # -- read path -----------------------------------------------------
+
+    def session(self) -> "ShardedReaderSession":
+        """A reader session pinning the current epoch vector (one cheap
+        per-shard session each; not itself thread-safe)."""
+        return ShardedReaderSession(self)
+
+    def describe(self) -> dict[str, Any]:
+        """Diagnostic summary: global state plus one section per shard."""
+        return {
+            "n_shards": self.n_shards,
+            "state": "degraded" if self.degraded else "running",
+            "degraded_shards": self.degraded_shards,
+            "epoch_vector": list(self.current_epoch_vector.numbers),
+            "queue_depth": self.queue_depth,
+            "shards": [shard.describe() for shard in self.shards],
+        }
+
+
+class ShardedReaderSession:
+    """A pinned-epoch-vector read view over a :class:`ShardedLabelService`.
+
+    Wraps one per-shard :class:`~repro.service.service.ReaderSession`;
+    every component pin only ever advances.  Same-shard reads are the
+    single-epoch protocol verbatim; cross-shard order queries use the
+    contiguous-chunk partition invariant (shard index order IS document
+    order across shards).
+    """
+
+    def __init__(self, service: ShardedLabelService) -> None:
+        self._service = service
+        self._router = service.router
+        self._sessions = [shard.session() for shard in service.shards]
+
+    @property
+    def vector(self) -> EpochVector:
+        """The session's currently pinned epoch vector."""
+        return EpochVector(tuple(session.epoch for session in self._sessions))
+
+    def refresh(self) -> EpochVector:
+        """Advance every component pin to its shard's latest epoch."""
+        for session in self._sessions:
+            session.refresh()
+        return self.vector
+
+    # -- reads ---------------------------------------------------------
+
+    def lookup(self, glid: int) -> Label:
+        router = self._router
+        return self._sessions[router.shard_of(glid)].lookup(router.to_local(glid))
+
+    def ordinal_lookup(self, glid: int) -> int:
+        router = self._router
+        return self._sessions[router.shard_of(glid)].ordinal_lookup(router.to_local(glid))
+
+    def lookup_pair(self, start_glid: int, end_glid: int) -> tuple[Label, Label]:
+        """(start, end) labels of one element.  An element lives entirely
+        on one shard (the partition cuts at subtree boundaries), so a
+        split pair is a caller error."""
+        router = self._router
+        shard = router.shard_of(start_glid)
+        if router.shard_of(end_glid) != shard:
+            raise CrossShardError(
+                f"element pair ({start_glid}, {end_glid}) spans shards "
+                f"{shard} and {router.shard_of(end_glid)}"
+            )
+        return self._sessions[shard].lookup_pair(
+            router.to_local(start_glid), router.to_local(end_glid)
+        )
+
+    def compare(self, glid1: int, glid2: int) -> int:
+        """Document-order comparison.  Cross-shard compares are free: the
+        chunks are contiguous in document order, so shard index order is
+        document order."""
+        router = self._router
+        shard1, shard2 = router.shard_of(glid1), router.shard_of(glid2)
+        if shard1 != shard2:
+            return (shard1 > shard2) - (shard1 < shard2)
+        return self._sessions[shard1].compare(
+            router.to_local(glid1), router.to_local(glid2)
+        )
+
+    def is_ancestor(
+        self, ancestor: tuple[int, int], descendant: tuple[int, int]
+    ) -> bool:
+        """Ancestor-axis test.  Each element pair must be same-shard;
+        elements on different shards are never in an ancestor relation
+        (the partition cuts at subtree boundaries)."""
+        router = self._router
+        a_shard = router.shard_of(ancestor[0])
+        if router.shard_of(ancestor[1]) != a_shard:
+            raise CrossShardError(f"element pair {ancestor} spans shards")
+        d_shard = router.shard_of(descendant[0])
+        if router.shard_of(descendant[1]) != d_shard:
+            raise CrossShardError(f"element pair {descendant} spans shards")
+        if a_shard != d_shard:
+            return False
+        return self._sessions[a_shard].is_ancestor(
+            (router.to_local(ancestor[0]), router.to_local(ancestor[1])),
+            (router.to_local(descendant[0]), router.to_local(descendant[1])),
+        )
+
+    def lookup_many(self, glids: Sequence[int]) -> list[Label]:
+        """Labels for several global LIDs, all consistent with the pinned
+        vector at return.
+
+        Each shard's group goes through that session's torn-read-safe
+        multi-lookup; then, if any involved component pin moved during the
+        round (a fallthrough advanced it after its group was served), the
+        whole round retries from the new vector — the epoch-vector
+        generalization of the single-epoch ``_get_consistent`` retry.
+        Terminates because every component pin only ever advances.
+        """
+        router = self._router
+        groups: dict[int, list[int]] = {}
+        for glid in glids:
+            groups.setdefault(router.shard_of(glid), []).append(router.to_local(glid))
+        involved = sorted(groups)
+        while True:
+            values: dict[int, list[Label]] = {}
+            served: dict[int, Epoch] = {}
+            for shard in involved:
+                values[shard] = self._sessions[shard]._get_consistent(groups[shard])
+                served[shard] = self._sessions[shard].epoch
+            if all(self._sessions[shard].epoch is served[shard] for shard in involved):
+                break
+        iters = {shard: iter(shard_values) for shard, shard_values in values.items()}
+        return [next(iters[router.shard_of(glid)]) for glid in glids]

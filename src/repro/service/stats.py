@@ -39,6 +39,7 @@ class ServiceCounters:
     backpressure_waits: int
     write_errors: int
     write_retries: int
+    write_merges: int
     degradations: int
     degraded_write_rejects: int
     degraded_read_rejects: int
@@ -57,9 +58,14 @@ class ServiceCounters:
 
 
 class ServiceStats:
-    """Mutable running totals for one :class:`~repro.service.LabelService`."""
+    """Mutable running totals for one :class:`~repro.service.LabelService`.
+
+    ``shard`` tags the instance with the shard it belongs to (``None`` for
+    an unsharded service); the default registry collector groups by it.
+    """
 
     __slots__ = (
+        "shard",
         "reads",
         "fresh_hits",
         "replay_hits",
@@ -70,6 +76,7 @@ class ServiceStats:
         "backpressure_waits",
         "write_errors",
         "write_retries",
+        "write_merges",
         "degradations",
         "degraded_write_rejects",
         "degraded_read_rejects",
@@ -92,6 +99,7 @@ class ServiceStats:
         "backpressure_waits",
         "write_errors",
         "write_retries",
+        "write_merges",
         "degradations",
         "degraded_write_rejects",
         "degraded_read_rejects",
@@ -99,7 +107,8 @@ class ServiceStats:
         "lag_samples",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, shard: str | None = None) -> None:
+        self.shard = shard
         self.reads = 0
         self.fresh_hits = 0
         self.replay_hits = 0
@@ -110,6 +119,7 @@ class ServiceStats:
         self.backpressure_waits = 0
         self.write_errors = 0
         self.write_retries = 0
+        self.write_merges = 0
         self.degradations = 0
         self.degraded_write_rejects = 0
         self.degraded_read_rejects = 0
@@ -132,6 +142,7 @@ class ServiceStats:
         backpressure_waits: int = 0,
         write_errors: int = 0,
         write_retries: int = 0,
+        write_merges: int = 0,
         degradations: int = 0,
         degraded_write_rejects: int = 0,
         degraded_read_rejects: int = 0,
@@ -148,6 +159,7 @@ class ServiceStats:
             self.backpressure_waits += backpressure_waits
             self.write_errors += write_errors
             self.write_retries += write_retries
+            self.write_merges += write_merges
             self.degradations += degradations
             self.degraded_write_rejects += degraded_write_rejects
             self.degraded_read_rejects += degraded_read_rejects
@@ -173,6 +185,7 @@ class ServiceStats:
             self.backpressure_waits = 0
             self.write_errors = 0
             self.write_retries = 0
+            self.write_merges = 0
             self.degradations = 0
             self.degraded_write_rejects = 0
             self.degraded_read_rejects = 0
@@ -194,6 +207,7 @@ class ServiceStats:
                 backpressure_waits=self.backpressure_waits,
                 write_errors=self.write_errors,
                 write_retries=self.write_retries,
+                write_merges=self.write_merges,
                 degradations=self.degradations,
                 degraded_write_rejects=self.degraded_write_rejects,
                 degraded_read_rejects=self.degraded_read_rejects,
@@ -230,25 +244,43 @@ _LIVE_STATS: "weakref.WeakSet[ServiceStats]" = weakref.WeakSet()
 
 
 def collect_service_samples() -> list[Sample]:
-    """Registry collector: summed counters over every live ServiceStats."""
-    totals = dict.fromkeys(ServiceStats.FIELDS, 0)
-    max_lag = 0
+    """Registry collector: per-shard counters over every live ServiceStats.
+
+    Unsharded services (``shard is None``) are summed into unlabeled
+    samples exactly as before; shard-tagged services each get their own
+    sample group with a ``shard`` label, so a sharded deployment's skew
+    is visible instead of being silently averaged away.
+    """
+    # The unlabeled family is always exported, even with zero live
+    # instances, so a fresh registry scrapes a complete (zeroed) surface.
+    groups: dict[str | None, dict[str, int]] = {
+        None: dict.fromkeys(ServiceStats.FIELDS, 0)
+    }
+    max_lags: dict[str | None, int] = {None: 0}
     for stats in list(_LIVE_STATS):
         with stats._lock:
+            totals = groups.setdefault(stats.shard, dict.fromkeys(ServiceStats.FIELDS, 0))
             for name in ServiceStats.FIELDS:
                 totals[name] += getattr(stats, name)
-            max_lag = max(max_lag, stats.max_epoch_lag)
-    samples = [
-        Sample(f"repro_service_{name}_total", (), float(value))
-        for name, value in totals.items()
-        if name not in ("lag_sum", "lag_samples")
-    ]
-    reads = totals["reads"]
-    ratio = (totals["fresh_hits"] + totals["replay_hits"]) / reads if reads else 0.0
-    samples.append(Sample("repro_service_repair_hit_ratio", (), ratio, "gauge"))
-    mean_lag = totals["lag_sum"] / totals["lag_samples"] if totals["lag_samples"] else 0.0
-    samples.append(Sample("repro_service_epoch_lag_mean", (), mean_lag, "gauge"))
-    samples.append(Sample("repro_service_epoch_lag_max", (), float(max_lag), "gauge"))
+            max_lags[stats.shard] = max(max_lags.get(stats.shard, 0), stats.max_epoch_lag)
+    samples: list[Sample] = []
+    for shard in sorted(groups, key=lambda s: (s is not None, s)):
+        totals = groups[shard]
+        labels = () if shard is None else (("shard", shard),)
+        samples.extend(
+            Sample(f"repro_service_{name}_total", labels, float(value))
+            for name, value in totals.items()
+            if name not in ("lag_sum", "lag_samples")
+        )
+        reads = totals["reads"]
+        ratio = (totals["fresh_hits"] + totals["replay_hits"]) / reads if reads else 0.0
+        samples.append(Sample("repro_service_repair_hit_ratio", labels, ratio, "gauge"))
+        lag_n = totals["lag_samples"]
+        mean_lag = totals["lag_sum"] / lag_n if lag_n else 0.0
+        samples.append(Sample("repro_service_epoch_lag_mean", labels, mean_lag, "gauge"))
+        samples.append(
+            Sample("repro_service_epoch_lag_max", labels, float(max_lags[shard]), "gauge")
+        )
     return samples
 
 

@@ -14,9 +14,21 @@ from .blockstore import BlockStore, OperationBuffer, ReaderWriterLatch
 from .filebackend import FileBackend, default_page_bytes, read_superblock
 from .heapfile import HeapFile
 from .mmapbackend import MmapBackend
+from .shardlayout import (
+    MANIFEST_NAME,
+    is_sharded_root,
+    read_manifest,
+    shard_page_path,
+    write_manifest,
+)
 from .wal import WALScan, scan_wal
 
 __all__ = [
+    "MANIFEST_NAME",
+    "is_sharded_root",
+    "read_manifest",
+    "shard_page_path",
+    "write_manifest",
     "IOStats",
     "OperationCost",
     "StorageBackend",

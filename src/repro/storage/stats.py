@@ -49,6 +49,7 @@ class IOStats:
     """
 
     __slots__ = (
+        "shard",
         "reads",
         "writes",
         "allocs",
@@ -62,7 +63,8 @@ class IOStats:
     #: Counter attributes exported to the metrics registry.
     FIELDS = ("reads", "writes", "allocs", "frees", "cache_hits", "cache_misses")
 
-    def __init__(self) -> None:
+    def __init__(self, shard: str | None = None) -> None:
+        self.shard = shard
         self.reads = 0
         self.writes = 0
         self.allocs = 0
@@ -142,19 +144,35 @@ _LIVE_STATS: "weakref.WeakSet[IOStats]" = weakref.WeakSet()
 
 
 def collect_io_samples() -> list[Sample]:
-    """Registry collector: summed counters over every live IOStats."""
-    totals = dict.fromkeys(IOStats.FIELDS, 0)
+    """Registry collector: per-shard counters over every live IOStats.
+
+    Instances with ``shard is None`` (the unsharded common case) are
+    summed into unlabeled samples exactly as before; shard-tagged
+    instances get a ``shard`` label per group so imbalanced I/O across
+    shards is observable rather than silently summed away.
+    """
+    # The unlabeled family is always exported, even with zero live
+    # instances, so a fresh registry scrapes a complete (zeroed) surface.
+    groups: dict[str | None, dict[str, int]] = {None: dict.fromkeys(IOStats.FIELDS, 0)}
+    counts: dict[str | None, int] = {None: 0}
     for stats in list(_LIVE_STATS):
         with stats._lock:
+            totals = groups.setdefault(stats.shard, dict.fromkeys(IOStats.FIELDS, 0))
             for name in IOStats.FIELDS:
                 totals[name] += getattr(stats, name)
-    samples = [
-        Sample(f"repro_io_{name}_total", (), float(value)) for name, value in totals.items()
-    ]
-    probes = totals["cache_hits"] + totals["cache_misses"]
-    ratio = totals["cache_hits"] / probes if probes else 0.0
-    samples.append(Sample("repro_io_cache_hit_ratio", (), ratio, "gauge"))
-    samples.append(Sample("repro_io_instances", (), float(len(_LIVE_STATS)), "gauge"))
+            counts[stats.shard] = counts.get(stats.shard, 0) + 1
+    samples: list[Sample] = []
+    for shard in sorted(groups, key=lambda s: (s is not None, s)):
+        totals = groups[shard]
+        labels = () if shard is None else (("shard", shard),)
+        samples.extend(
+            Sample(f"repro_io_{name}_total", labels, float(value))
+            for name, value in totals.items()
+        )
+        probes = totals["cache_hits"] + totals["cache_misses"]
+        ratio = totals["cache_hits"] / probes if probes else 0.0
+        samples.append(Sample("repro_io_cache_hit_ratio", labels, ratio, "gauge"))
+        samples.append(Sample("repro_io_instances", labels, float(counts[shard]), "gauge"))
     return samples
 
 

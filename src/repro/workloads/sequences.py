@@ -582,6 +582,127 @@ def run_service_stress(
     )
 
 
+@dataclass
+class ShardedStressResult:
+    """Outcome of one sharded concentrated-write stress run."""
+
+    shards: int
+    clients: int
+    write_ops: int
+    wall_seconds: float
+    epochs_published: int
+    write_merges: int
+    #: Mean submit-to-commit latency of one batch ticket (milliseconds) —
+    #: the freshness cost a submitter pays; write buffering trades this
+    #: against throughput.
+    mean_ticket_ms: float
+    epoch_numbers: tuple
+    errors: list = field(default_factory=list)
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.write_ops / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def run_sharded_write_stress(
+    schemes: "Sequence[LabelingScheme]",
+    base_labels: int = 1000,
+    clients: int = 4,
+    total_ops: int = 2000,
+    batch: int = 8,
+    group_size: int = 8,
+    write_buffer: int = 1,
+    queue_capacity: int = 64,
+    log_capacity: int = 4096,
+) -> ShardedStressResult:
+    """Concentrated-insert write stress against a sharded service.
+
+    ``clients`` producer threads each hammer one shard (client ``i`` pins
+    to shard ``i % n_shards``) with batches of ``batch`` inserts squeezed
+    before an anchor in the middle of that shard's chunk — the paper's
+    concentrated adversary, one hot spot per shard.  Every submission is
+    a synchronous ticket round-trip, so ``mean_ticket_ms`` measures the
+    freshness a submitter actually gets while ``ops_per_second`` measures
+    aggregate throughput across all shard writers; raising
+    ``write_buffer`` moves the run along that tradeoff curve.
+
+    The schemes must be freshly built (this function bulk loads them);
+    with one scheme this is exactly a single-writer stress run.
+    """
+    import threading
+
+    from ..service.sharded import ShardedLabelService, bulk_load_sharded
+
+    n_shards = len(schemes)
+    glids = bulk_load_sharded(schemes, base_labels)
+    by_shard: dict[int, list[int]] = {}
+    for glid in glids:
+        by_shard.setdefault(glid % n_shards, []).append(glid)
+    anchors = [chunk[len(chunk) // 2] for _, chunk in sorted(by_shard.items())]
+
+    service = ShardedLabelService(
+        schemes,
+        group_size=group_size,
+        queue_capacity=queue_capacity,
+        log_capacity=log_capacity,
+        write_buffer=write_buffer,
+    )
+    per_client = max(1, total_ops // (clients * batch))
+    barrier = threading.Barrier(clients + 1)
+    latencies = [0.0] * clients
+    counts = [0] * clients
+    errors: list = []
+
+    def client(index: int) -> None:
+        anchor = anchors[index % n_shards]
+        ops = [BatchOp("insert_before", (anchor,))] * batch
+        waited = 0.0
+        done = 0
+        try:
+            barrier.wait(timeout=60)
+            for _ in range(per_client):
+                t0 = time.perf_counter()
+                service.submit_ops(ops, timeout=60).wait(timeout=60)
+                waited += time.perf_counter() - t0
+                done += batch
+        except Exception as error:  # surfaced to the caller, fails the run
+            errors.append(error)
+        finally:
+            latencies[index] = waited
+            counts[index] = done
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name=f"shard-writer-client-{i}", daemon=True)
+        for i in range(clients)
+    ]
+    with service:
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=60)
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join(timeout=600)
+        wall = time.perf_counter() - started
+        if any(thread.is_alive() for thread in threads):
+            errors.append(RuntimeError("stress client failed to stop"))
+        epoch_numbers = service.current_epoch_vector.numbers
+        epochs = sum(s.stats.epochs_published for s in service.shards)
+        merges = sum(s.stats.write_merges for s in service.shards)
+    write_ops = sum(counts)
+    tickets = sum(counts) // batch if batch else 0
+    return ShardedStressResult(
+        shards=n_shards,
+        clients=clients,
+        write_ops=write_ops,
+        wall_seconds=wall,
+        epochs_published=epochs,
+        write_merges=merges,
+        mean_ticket_ms=(sum(latencies) / tickets * 1000.0) if tickets else 0.0,
+        epoch_numbers=epoch_numbers,
+        errors=errors,
+    )
+
+
 def crash_recovery_tape(
     n_ops: int, seed: int = 0, delete_fraction: float = 0.15
 ) -> list[tuple[str, int]]:
@@ -643,6 +764,8 @@ __all__ = [
     "run_scattered_batched",
     "run_xmark_build",
     "run_xmark_build_batched",
+    "ShardedStressResult",
+    "run_sharded_write_stress",
     "crash_recovery_tape",
     "apply_tape_step",
     "subtree_tags_and_pairing",

@@ -18,7 +18,7 @@ import pytest
 
 from repro.config import TINY_CONFIG
 from repro.faults import FaultPlan, run_chaos_trial, standard_plans
-from repro.faults.chaos import SCHEME_NAMES
+from repro.faults.chaos import SCHEME_NAMES, _plan_is_sharded, run_shard_chaos_trial
 from repro.persist import checkpoint_scheme
 from repro.storage import BlockStore, FileBackend, MmapBackend, default_page_bytes
 from repro.storage import filebackend as filebackend_module
@@ -130,9 +130,18 @@ def test_superblock_overflow_blob_crash(tmp_path, monkeypatch, scheme_name):
 
 def test_standard_plan_set_covers_all_windows(tmp_path):
     """The CLI's standard plan set, one seed, one scheme: every plan runs
-    to a verdict (crash plans crash, the latency plan completes clean)."""
+    to a verdict (crash plans crash, the latency plan completes clean).
+    Shard-scoped plans go through the 2-shard trial runner, exactly as
+    the sweep dispatches them."""
     for plan_name, plan in standard_plans().items():
-        trial = run_chaos_trial("wbox", plan_name, plan, 0, str(tmp_path), max_ops=150)
+        if _plan_is_sharded(plan):
+            trial = run_shard_chaos_trial(
+                "wbox", plan_name, plan, 0, str(tmp_path / plan_name), max_ops=150
+            )
+        else:
+            trial = run_chaos_trial(
+                "wbox", plan_name, plan, 0, str(tmp_path), max_ops=150
+            )
         assert trial.mismatches == 0 and not trial.error, trial
         if plan_name == "latency":
             assert not trial.crashed and trial.completed_ops == 150

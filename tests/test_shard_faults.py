@@ -1,0 +1,163 @@
+"""Shard-targeted fault injection: scoped hooks, shard kill, recovery.
+
+Three layers:
+
+* the ``hook@scope`` addressing surface itself — :func:`split_hook`,
+  spec validation, and one parent injector fanned out to per-shard
+  scoped views with a shared fault budget;
+* a **live** shard kill — one shard's writer dies mid-stream inside a
+  running :class:`ShardedLabelService`; the dead shard degrades (typed,
+  read-only) while the healthy shard keeps serving reads AND writes;
+* the crash-recovery matrix entry — the ``shard-writer-crash`` standard
+  plan kills shard 1's writer mid-tape in a file-backed 2-shard service,
+  every shard recovers through its own WAL, and every recovered label on
+  every shard must match a twin oracle (the same per-trial machinery the
+  ``repro chaos`` CLI sweeps nightly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BatchOp, TINY_CONFIG, WBox
+from repro.errors import ServiceDegradedError, WriterCrashError
+from repro.faults import (
+    WRITER_CRASH,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    run_chaos_sweep,
+    run_shard_chaos_trial,
+    split_hook,
+    standard_plans,
+)
+from repro.service import ShardedLabelService, bulk_load_sharded
+
+SHARD_CRASH_PLAN = standard_plans()["shard-writer-crash"]
+
+
+# ---------------------------------------------------------------------------
+# hook@scope addressing
+# ---------------------------------------------------------------------------
+
+
+def test_split_hook_separates_scope_suffix():
+    assert split_hook("service.writer_apply@shard2") == (
+        "service.writer_apply",
+        "shard2",
+    )
+    assert split_hook("backend.fsync") == ("backend.fsync", None)
+
+
+def test_spec_validates_base_hook_not_suffix():
+    # The scope suffix is free-form; the base hook must be real.
+    FaultSpec(WRITER_CRASH, "service.writer_apply@anything", at=1)
+    with pytest.raises(FaultPlanError):
+        FaultSpec(WRITER_CRASH, "service.no_such_hook@shard0", at=1)
+
+
+def test_scoped_views_share_one_budget_with_per_shard_addressing():
+    plan = FaultPlan(
+        [FaultSpec(WRITER_CRASH, "service.writer_apply@shard1", at=1)]
+    )
+    injector = FaultInjector(plan)
+    shard0 = injector.scoped("shard0")
+    shard1 = injector.scoped("shard1")
+    # shard0's invocations never match the shard1-addressed spec...
+    assert shard0.fire("service.writer_apply") is None
+    # ...but shard1's first invocation does.
+    action = shard1.fire("service.writer_apply")
+    assert action is not None and action.kind == WRITER_CRASH
+    # Counters live on the parent: both scoped and plain names counted.
+    assert injector.invocations("service.writer_apply") == 2
+    assert injector.invocations("service.writer_apply@shard0") == 1
+    assert injector.invocations("service.writer_apply@shard1") == 1
+
+
+# ---------------------------------------------------------------------------
+# live shard kill
+# ---------------------------------------------------------------------------
+
+
+def test_live_shard_kill_leaves_healthy_shard_serving():
+    schemes = [WBox(TINY_CONFIG) for _ in range(2)]
+    glids = bulk_load_sharded(schemes, 12)
+    shard0_glid = next(g for g in glids if g % 2 == 0)
+    shard1_glid = next(g for g in glids if g % 2 == 1)
+    injector = FaultInjector(
+        FaultPlan([FaultSpec(WRITER_CRASH, "service.writer_apply@shard1", at=1)])
+    )
+    service = ShardedLabelService(schemes, fault_injector=injector)
+    with service:
+        session = service.session()
+        before = session.lookup_many(glids)
+
+        # The first write routed to shard 1 kills that shard's writer.
+        ticket = service.submit_ops(
+            [BatchOp("insert_before", (shard1_glid,))], timeout=10
+        )
+        with pytest.raises(WriterCrashError):
+            ticket.wait(timeout=10)
+        assert service.degraded
+        assert service.degraded_shards == [1]
+
+        # Healthy shard: writes still commit, epoch component advances.
+        result = service.submit_ops(
+            [BatchOp("insert_before", (shard0_glid,))], timeout=10
+        ).wait(timeout=10)
+        assert result.results[0] % 2 == 0
+
+        # Dead shard: new writes are refused, typed.
+        with pytest.raises(ServiceDegradedError):
+            service.submit_ops(
+                [BatchOp("insert_before", (shard1_glid,))], timeout=10
+            )
+
+        # A session pinned before the crash still reads both shards.
+        assert session.lookup_many(glids) == before
+
+
+# ---------------------------------------------------------------------------
+# crash-recovery matrix + sweep dispatch
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme_name", ["wbox", "bbox"])
+def test_shard_crash_recovery_matrix(tmp_path, scheme_name):
+    """Kill shard 1's writer anywhere in the plan's seeded window; all
+    shards must recover and agree with their twin oracles LID-for-LID."""
+    crashed = 0
+    for seed in range(20):
+        trial = run_shard_chaos_trial(
+            scheme_name,
+            "shard-writer-crash",
+            SHARD_CRASH_PLAN,
+            seed,
+            str(tmp_path / f"{scheme_name}-{seed}"),
+        )
+        assert trial.ok, (
+            f"seed {seed}: {trial.error or f'{trial.mismatches} mismatch(es)'}"
+        )
+        assert trial.mismatches == 0
+        if trial.crashed:
+            crashed += 1
+            assert any("@shard1" in fired for fired in trial.faults_fired)
+    # The seeded window (1, 16) must actually reach shard 1's writer in
+    # the vast majority of tapes, or the matrix tests nothing.
+    assert crashed >= 16, f"only {crashed}/20 seeds crashed"
+
+
+def test_sweep_dispatches_sharded_plans_to_sharded_trials(tmp_path):
+    """run_chaos_sweep routes any plan with an @shard hook through the
+    2-shard trial runner — visible in the trial's scheme tag."""
+    report = run_chaos_sweep(
+        2,
+        schemes=["wbox"],
+        plans={"shard-writer-crash": SHARD_CRASH_PLAN},
+        max_ops=60,
+        root_dir=str(tmp_path),
+    )
+    assert report.total == 2
+    assert all(trial.scheme == "wboxx2" for trial in report.trials)
+    assert all(trial.ok for trial in report.trials)
