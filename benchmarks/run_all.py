@@ -54,6 +54,7 @@ TARGETS = [
     ("bench_ablation_bbox_fanout", "test_fanout_table"),
     ("bench_hotpath", "test_hotpath_table"),
     ("bench_shard_scaling", "test_shard_scaling_table"),
+    ("bench_net_latency", "test_net_latency_table"),
 ]
 
 

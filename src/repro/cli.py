@@ -401,9 +401,116 @@ def cmd_stress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_listen(listen: str) -> tuple[str, int]:
+    host, _, port_text = listen.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port_text)
+    except ValueError:
+        raise ReproError(f"--listen wants HOST:PORT, got {listen!r}")
+
+
+def _serve_net_service(args: argparse.Namespace) -> tuple[Any, list[Any]]:
+    """Build the service behind ``serve --listen``.
+
+    Three modes: an XML ``document`` positional (labeled in memory or on
+    the chosen storage), a synthetic in-memory store (``--base`` labels
+    over ``--shards`` shards), or a file-backed sharded root under
+    ``--storage-path`` — created and bulk-loaded on first start, reopened
+    (with per-shard WAL recovery) on every start after that.
+    """
+    from .service import LabelService, ShardedLabelService, bulk_load_sharded
+
+    config = BoxConfig(block_bytes=args.block_bytes)
+    if args.document:
+        scheme = make_scheme(args.scheme, config, args.storage, args.storage_path)
+        doc = _load_document(args.document, scheme)
+        return LabelService(doc, log_capacity=args.log_capacity), [scheme]
+    if args.storage == "memory":
+        schemes = [make_scheme(args.scheme, config) for _ in range(args.shards)]
+        bulk_load_sharded(schemes, args.base)
+    elif args.storage == "file":
+        if not args.storage_path:
+            raise ReproError("serve --listen with --storage file needs --storage-path DIR")
+        if is_sharded_root(args.storage_path):
+            from .persist import open_sharded_schemes
+
+            schemes = open_sharded_schemes(args.storage_path, fsync=args.fsync)
+        else:
+            from .persist import checkpoint_sharded
+
+            backends = create_sharded_backends(
+                args.storage_path,
+                args.shards,
+                page_bytes=default_page_bytes(config.block_bytes),
+                fsync=args.fsync,
+            )
+            schemes = [
+                make_scheme_on_store(args.scheme, config, BlockStore(config, backend=b))
+                for b in backends
+            ]
+            bulk_load_sharded(schemes, args.base)
+            checkpoint_sharded(schemes)
+    else:
+        raise ReproError("serve --listen supports --storage memory or file")
+    return (
+        ShardedLabelService(schemes, log_capacity=args.log_capacity),
+        schemes,
+    )
+
+
+def _cmd_serve_net(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .net.server import NetServer
+
+    host, port = _parse_listen(args.listen)
+    service, schemes = _serve_net_service(args)
+
+    async def _run() -> None:
+        server = NetServer(
+            service,
+            host,
+            port,
+            max_inflight=args.max_inflight,
+            submit_timeout=args.submit_timeout,
+        )
+        await server.start()
+        print(f"listening on {server.host}:{server.port}", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover — non-POSIX loop
+                signal.signal(signum, lambda *_: stop.set())
+        serving = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        serving.cancel()
+        try:
+            await serving
+        except asyncio.CancelledError:
+            pass
+        await server.stop()
+
+    service.start()
+    try:
+        asyncio.run(_run())
+    finally:
+        service.close()
+        for scheme in schemes:
+            _finish_scheme(scheme)
+    print("server stopped", flush=True)
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from .service import LabelService
 
+    if args.listen:
+        return _cmd_serve_net(args)
+    if not args.document:
+        raise ReproError("serve without --listen needs an XML document to label")
     config = BoxConfig(block_bytes=args.block_bytes)
     scheme = make_scheme(args.scheme, config, args.storage, args.storage_path)
     doc = _load_document(args.document, scheme)
@@ -752,6 +859,96 @@ def _cmd_trace_sharded(args: argparse.Namespace) -> int:
                 backend.close()
 
 
+def _cmd_trace_net(args: argparse.Namespace) -> int:
+    """Trace a request across the socket boundary.
+
+    Starts an in-process :class:`~repro.net.server.NetServer` over a
+    synthetic sharded service, submits one traced insert through the
+    :class:`~repro.net.client.NetClient`, and verifies the resulting
+    ``net.request`` span tree — client arrival through writer group
+    commit — sums to each shard's IOStats delta.
+    """
+    import threading
+
+    from .core import BatchOp
+    from .net.client import NetClient
+    from .net.server import run_server
+    from .obs import trace as trace_mod
+    from .obs.trace import Tracer
+    from .service import ShardedLabelService, bulk_load_sharded
+
+    config = BoxConfig(block_bytes=args.block_bytes)
+    n = args.shards
+    schemes = [make_scheme(args.scheme, config) for _ in range(n)]
+    glids = bulk_load_sharded(schemes, max(args.items * 30, 16 * n))
+    anchors = []
+    for shard in range(n):
+        chunk = [glid for glid in glids if glid % n == shard]
+        anchors.append(chunk[len(chunk) // 2])
+    service = ShardedLabelService(schemes).start()
+    ready = threading.Event()
+    holder: dict[str, Any] = {}
+    thread = threading.Thread(
+        target=run_server,
+        args=(service,),
+        kwargs={"ready": ready, "holder": holder},
+        daemon=True,
+    )
+    thread.start()
+    if not ready.wait(10):
+        print("error: server did not start", file=sys.stderr)
+        return 1
+    server = holder["server"]
+    try:
+        with NetClient("127.0.0.1", server.port) as client:
+            # The handshake ran untraced; from here every request is a
+            # span tree of its own.
+            tracer = Tracer(enabled=True, sample_every=1)
+            previous = trace_mod.set_tracer(tracer)
+            before = [scheme.stats.snapshot() for scheme in schemes]
+            try:
+                if args.op == "lookup":
+                    client.lookup(anchors)
+                else:
+                    client.submit(
+                        [BatchOp("insert_element_before", (a,)) for a in anchors]
+                    )
+            finally:
+                trace_mod.set_tracer(previous)
+        deltas = [
+            scheme.stats.snapshot() - snap for scheme, snap in zip(schemes, before)
+        ]
+    finally:
+        holder["stop"]()
+        thread.join(10)
+        service.close()
+    roots = tracer.finished
+    if len(roots) != 1:
+        print(
+            f"error: expected one net.request span tree, got {len(roots)}",
+            file=sys.stderr,
+        )
+        return 1
+    root = roots[0]
+    if args.json:
+        print(json.dumps(root.to_dict(), indent=2))
+    else:
+        print(root.render())
+    out = sys.stderr if args.json else sys.stdout
+    span_reads = root.total("io.reads")
+    span_writes = root.total("io.writes")
+    total_reads = sum(delta.reads for delta in deltas)
+    total_writes = sum(delta.writes for delta in deltas)
+    consistent = span_reads == total_reads and span_writes == total_writes
+    print(
+        f"net request span I/O: {span_reads:g} reads, {span_writes:g} writes | "
+        f"IOStats delta: {total_reads} reads, {total_writes} writes | "
+        f"{'consistent' if consistent else 'MISMATCH'}",
+        file=out,
+    )
+    return 0 if consistent else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     import tempfile
 
@@ -761,6 +958,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from .service import LabelService
     from .xml.xmark import xmark_document
 
+    if args.net:
+        return _cmd_trace_net(args)
     if args.shards > 1:
         return _cmd_trace_sharded(args)
     config = BoxConfig(block_bytes=args.block_bytes)
@@ -913,14 +1112,64 @@ def build_parser() -> argparse.ArgumentParser:
     stress.set_defaults(handler=cmd_stress)
 
     serve = subparsers.add_parser(
-        "serve", help="interactive label service over a document (stdin commands)"
+        "serve",
+        help=(
+            "serve labels: stdin commands over a document, or the binary "
+            "network protocol with --listen HOST:PORT"
+        ),
     )
-    serve.add_argument("document", help="XML file to label and serve")
+    serve.add_argument(
+        "document",
+        nargs="?",
+        help=(
+            "XML file to label and serve (optional with --listen: omitting "
+            "it serves a synthetic --base/--shards store instead)"
+        ),
+    )
     serve.add_argument(
         "--log-capacity", type=int, default=4096, help="modification log capacity"
     )
     serve.add_argument(
         "--input", metavar="FILE", help="read commands from FILE instead of stdin"
+    )
+    serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help=(
+            "run the asyncio network front end instead of the stdin loop "
+            "(port 0 picks a free port, printed on stdout)"
+        ),
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shards for the synthetic --listen store (default 1)",
+    )
+    serve.add_argument(
+        "--base",
+        type=int,
+        default=512,
+        metavar="N",
+        help="bulk-loaded labels for the synthetic --listen store (default 512)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admission cap before requests are shed with OVERLOADED frames",
+    )
+    serve.add_argument(
+        "--submit-timeout",
+        type=float,
+        default=2.0,
+        help="seconds a write may wait on the bounded queue before shedding",
+    )
+    serve.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync group commits on file-backed --listen stores",
     )
     _add_common(serve)
     serve.set_defaults(handler=cmd_serve)
@@ -1009,6 +1258,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "trace one op per shard through the ShardedLabelService and "
             "verify each shard's span I/O against its own IOStats delta"
+        ),
+    )
+    trace_cmd.add_argument(
+        "--net",
+        action="store_true",
+        help=(
+            "trace across the socket: in-process net server + client, one "
+            "traced request, span tree verified against IOStats per request"
         ),
     )
     _add_common(trace_cmd)

@@ -141,3 +141,17 @@ class ServiceDegradedError(ServiceError):
     caches keep working, but reads that would need a live BOX fallthrough
     are refused because the structure may hold an unpublished half-applied
     group."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service shed a request instead of queueing it: the bounded
+    admission queue (network front end) or the write queue was full for
+    longer than the overload budget.  Typed shedding — the caller should
+    back off and retry; nothing was applied."""
+
+
+class ProtocolError(ReproError):
+    """A network protocol violation: a malformed, truncated, oversized, or
+    otherwise undecodable frame.  The peer that detects it answers with a
+    typed error frame (when a transport still exists to answer on) and
+    closes the connection — never a hang, crash, or silent misparse."""

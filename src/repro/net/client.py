@@ -1,0 +1,295 @@
+"""Synchronous, pipelining client for the network front end.
+
+:class:`NetClient` is a plain-socket client usable from ordinary threads
+(no asyncio): a background reader thread decodes response frames and
+matches them to outstanding requests by request id, so any number of
+requests can be in flight on one connection.  The blocking convenience
+methods (:meth:`lookup`, :meth:`compare`, :meth:`submit`, ...) are
+``begin_*().wait()``; the ``begin_*`` forms are what the open-loop load
+generator drives so arrivals never wait for earlier departures.
+
+Typed error frames come back as the exceptions they encode —
+:class:`~repro.errors.ServiceOverloadedError` for shed requests,
+:class:`~repro.errors.ServiceDegradedError` when the writer has died, and
+so on — so a networked caller handles failures exactly like an in-process
+one.  A connection-level failure (protocol-violation close, peer gone)
+fails every outstanding request with :class:`ConnectionError` or
+:class:`~repro.errors.ProtocolError`; the client is then dead and a new
+one must be connected.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from typing import Any, Sequence
+
+from ..core.batch import BatchOp
+from ..errors import (
+    CrossShardError,
+    ProtocolError,
+    ReproError,
+    ServiceDegradedError,
+    ServiceError,
+    ServiceOverloadedError,
+    UnknownLIDError,
+)
+from . import protocol as proto
+from .protocol import (
+    Compare,
+    Epochs,
+    ErrorFrame,
+    Frame,
+    FrameDecoder,
+    Hello,
+    Lookup,
+    Ordinal,
+    Orders,
+    Ping,
+    Pong,
+    Refresh,
+    Results,
+    ServerHello,
+    Submit,
+    Values,
+    encode_frame,
+)
+
+#: Wire error code → the exception class raised client-side.
+EXCEPTION_FOR_CODE = {
+    proto.ERR_PROTOCOL: ProtocolError,
+    proto.ERR_OVERLOADED: ServiceOverloadedError,
+    proto.ERR_DEGRADED: ServiceDegradedError,
+    proto.ERR_CROSS_SHARD: CrossShardError,
+    proto.ERR_UNKNOWN_LID: UnknownLIDError,
+    proto.ERR_BAD_REQUEST: ReproError,
+    proto.ERR_INTERNAL: ServiceError,
+}
+
+
+def exception_for_frame(frame: ErrorFrame) -> ReproError:
+    """The typed exception an :class:`ErrorFrame` decodes to."""
+    cls = EXCEPTION_FOR_CODE.get(frame.code, ReproError)
+    return cls(f"[{frame.code_name}] {frame.message}")
+
+
+class Pending:
+    """One outstanding request: resolves to a frame or an exception."""
+
+    __slots__ = ("request_id", "completed_at", "_event", "_frame", "_error")
+
+    def __init__(self, request_id: int) -> None:
+        self.request_id = request_id
+        #: ``time.monotonic()`` at response delivery, stamped on the reader
+        #: thread — so latency measured against a scheduled arrival time is
+        #: not inflated by how long the caller took to get around to
+        #: :meth:`wait` (the load generator's coordinated-omission guard).
+        self.completed_at: float | None = None
+        self._event = threading.Event()
+        self._frame: Frame | None = None
+        self._error: BaseException | None = None
+
+    def _resolve(self, frame: Frame) -> None:
+        self._frame = frame
+        self.completed_at = time.monotonic()
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self.completed_at = time.monotonic()
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> Frame:
+        """Block for the response frame; raises the typed exception for
+        an error frame, :class:`TimeoutError` on timeout."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"no response to request {self.request_id} within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._frame is not None
+        return self._frame
+
+
+class NetClient:
+    """A connection to a :class:`~repro.net.server.NetServer`.
+
+    Thread-safe: sends are serialized by a lock, responses are matched by
+    id on the reader thread, and every public method may be called from
+    any thread.  Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float = 10.0,
+        max_frame_bytes: int = proto.MAX_FRAME_BYTES,
+        handshake: bool = True,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        self._sock.settimeout(None)
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, Pending] = {}
+        self._ids = itertools.count(1)
+        self._dead: BaseException | None = None
+        self._decoder = FrameDecoder(max_frame_bytes)
+        self._reader = threading.Thread(
+            target=self._read_loop, name="net-client-reader", daemon=True
+        )
+        self._reader.start()
+        #: Topology from the handshake (None when ``handshake=False``).
+        self.server_info: ServerHello | None = None
+        if handshake:
+            self.server_info = self.hello()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection; outstanding requests fail."""
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._reader.join(timeout=5.0)
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- reader thread --------------------------------------------------
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                data = self._sock.recv(1 << 16)
+                if not data:
+                    self._decoder.close()  # ProtocolError on partial frame
+                    raise ConnectionError("server closed the connection")
+                self._decoder.feed(data)
+                for frame in self._decoder.frames():
+                    self._deliver(frame)
+        except BaseException as error:  # noqa: BLE001 — fail all pending, typed
+            self._fail_all(error)
+
+    def _deliver(self, frame: Frame) -> None:
+        if isinstance(frame, ErrorFrame) and frame.request_id == 0:
+            # Connection-level failure: the server is about to close us.
+            raise exception_for_frame(frame)
+        with self._pending_lock:
+            pending = self._pending.pop(frame.request_id, None)
+        if pending is None:
+            return  # response to a request nobody is waiting on anymore
+        if isinstance(frame, ErrorFrame):
+            pending._fail(exception_for_frame(frame))
+        else:
+            pending._resolve(frame)
+
+    def _fail_all(self, error: BaseException) -> None:
+        with self._pending_lock:
+            if self._dead is None:
+                self._dead = error
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for item in pending:
+            item._fail(error)
+
+    # -- request submission ---------------------------------------------
+
+    def _begin(self, make_frame: Any) -> Pending:
+        request_id = next(self._ids)
+        pending = Pending(request_id)
+        with self._pending_lock:
+            if self._dead is not None:
+                raise ConnectionError(f"connection is dead: {self._dead}")
+            self._pending[request_id] = pending
+        wire = encode_frame(make_frame(request_id))
+        try:
+            with self._send_lock:
+                self._sock.sendall(wire)
+        except OSError as error:
+            with self._pending_lock:
+                self._pending.pop(request_id, None)
+            raise ConnectionError(f"send failed: {error}") from error
+        return pending
+
+    # pipelined forms ----------------------------------------------------
+
+    def begin_hello(self) -> Pending:
+        return self._begin(lambda rid: Hello(rid, proto.PROTOCOL_VERSION))
+
+    def begin_ping(self) -> Pending:
+        return self._begin(lambda rid: Ping(rid))
+
+    def begin_refresh(self) -> Pending:
+        return self._begin(lambda rid: Refresh(rid))
+
+    def begin_lookup(self, lids: Sequence[int]) -> Pending:
+        return self._begin(lambda rid: Lookup(rid, tuple(lids)))
+
+    def begin_ordinal(self, lids: Sequence[int]) -> Pending:
+        return self._begin(lambda rid: Ordinal(rid, tuple(lids)))
+
+    def begin_compare(self, pairs: Sequence[tuple[int, int]]) -> Pending:
+        return self._begin(
+            lambda rid: Compare(rid, tuple((a, b) for a, b in pairs))
+        )
+
+    def begin_submit(self, ops: Sequence[BatchOp]) -> Pending:
+        return self._begin(lambda rid: Submit(rid, tuple(ops)))
+
+    # blocking forms -----------------------------------------------------
+
+    def hello(self, timeout: float | None = 30.0) -> ServerHello:
+        frame = self.begin_hello().wait(timeout)
+        assert isinstance(frame, ServerHello)
+        return frame
+
+    def ping(self, timeout: float | None = 30.0) -> None:
+        frame = self.begin_ping().wait(timeout)
+        assert isinstance(frame, Pong)
+
+    def refresh(self, timeout: float | None = 30.0) -> tuple[int, ...]:
+        """Advance the connection's pinned session; new epoch numbers."""
+        frame = self.begin_refresh().wait(timeout)
+        assert isinstance(frame, Epochs)
+        return frame.numbers
+
+    def lookup(self, lids: Sequence[int], timeout: float | None = 30.0) -> list[Any]:
+        """Labels for ``lids`` at the connection's pinned epoch(s)."""
+        frame = self.begin_lookup(lids).wait(timeout)
+        assert isinstance(frame, Values)
+        return list(frame.values)
+
+    def ordinal(self, lids: Sequence[int], timeout: float | None = 30.0) -> list[int]:
+        frame = self.begin_ordinal(lids).wait(timeout)
+        assert isinstance(frame, Orders)
+        return list(frame.orders)
+
+    def compare(
+        self, pairs: Sequence[tuple[int, int]], timeout: float | None = 30.0
+    ) -> list[int]:
+        """Signed document-order comparisons for LID pairs."""
+        frame = self.begin_compare(pairs).wait(timeout)
+        assert isinstance(frame, Orders)
+        return list(frame.orders)
+
+    def submit(
+        self, ops: Sequence[BatchOp], timeout: float | None = 30.0
+    ) -> list[Any]:
+        """Apply a write tape through the service; positional results."""
+        frame = self.begin_submit(ops).wait(timeout)
+        assert isinstance(frame, Results)
+        return list(frame.values)

@@ -1,0 +1,710 @@
+"""The wire protocol: compact varint-framed binary messages.
+
+Every message on the wire is one *frame*::
+
+    uvarint(payload_length) ++ payload
+    payload = uvarint(frame_type) ++ uvarint(request_id) ++ body
+
+Varints are the storage codec's unsigned LEB128
+(:func:`~repro.storage.codec.write_uvarint` et al.) — the same primitive
+that encodes block payloads and WAL records encodes the wire, so one
+codec discipline covers disk and network.  ``request_id`` is chosen by
+the client and echoed verbatim in the response, which is what makes
+pipelining work: a client may have any number of requests in flight and
+match responses by id (responses to one connection additionally arrive
+in request order).
+
+Label values (which are scheme-specific: ints for W-BOX, component
+tuples for B-BOX/ORDPATH) travel as a small self-describing tagged
+encoding (:func:`encode_value` / :func:`_decode_value`) with a nesting
+depth cap, so every scheme's labels round-trip without per-scheme wire
+knowledge.
+
+Decoding discipline — the property the fuzz suite pins:
+
+* :func:`decode_payload` either returns a frame object or raises
+  :class:`~repro.errors.ProtocolError`.  Nothing else, ever: truncated
+  varints, element counts exceeding the bytes that could hold them,
+  unknown frame types or tags, trailing garbage, and over-deep value
+  nesting are all typed errors, detected in time linear in the payload.
+* :class:`FrameDecoder` (the incremental stream side) bounds the length
+  prefix (10 varint bytes, ``max_frame_bytes`` total) *before* buffering
+  a frame, so a hostile length prefix cannot balloon memory and an
+  oversized frame is rejected as soon as its header is readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..core.batch import BatchOp, BatchRef
+from ..errors import ProtocolError
+
+#: Protocol version spoken by this module (bumped on incompatible change).
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's payload (requests and responses alike).
+MAX_FRAME_BYTES = 1 << 20
+
+#: A uvarint longer than this many bytes is a protocol violation (10
+#: bytes already covers 70 bits — far past any sane length or id).
+MAX_VARINT_BYTES = 10
+
+#: Maximum nesting depth of an encoded value (labels are flat or nearly
+#: so; anything deeper is an encoding bomb, not a label).
+MAX_VALUE_DEPTH = 8
+
+# -- frame type codes (requests 0x01.., responses 0x81..) ---------------
+
+T_HELLO = 0x01
+T_PING = 0x02
+T_REFRESH = 0x03
+T_LOOKUP = 0x04
+T_ORDINAL = 0x05
+T_COMPARE = 0x06
+T_SUBMIT = 0x07
+
+T_SERVER_HELLO = 0x81
+T_PONG = 0x82
+T_EPOCHS = 0x83
+T_VALUES = 0x84
+T_ORDERS = 0x85
+T_RESULTS = 0x86
+T_ERROR = 0x87
+
+#: Human-readable request kind names (metrics labels, span labels).
+REQUEST_NAMES = {
+    T_HELLO: "hello",
+    T_PING: "ping",
+    T_REFRESH: "refresh",
+    T_LOOKUP: "lookup",
+    T_ORDINAL: "ordinal",
+    T_COMPARE: "compare",
+    T_SUBMIT: "submit",
+}
+
+# -- typed error-frame codes -------------------------------------------
+
+ERR_PROTOCOL = 1  # malformed frame; the server closes the connection
+ERR_OVERLOADED = 2  # typed shedding: admission or write queue full
+ERR_DEGRADED = 3  # service is read-only (writer died); pinned reads OK
+ERR_CROSS_SHARD = 4  # op spans shard boundaries
+ERR_UNKNOWN_LID = 5  # a referenced LID does not exist
+ERR_BAD_REQUEST = 6  # well-formed frame, semantically invalid request
+ERR_INTERNAL = 7  # unexpected server-side failure
+
+ERROR_NAMES = {
+    ERR_PROTOCOL: "protocol",
+    ERR_OVERLOADED: "overloaded",
+    ERR_DEGRADED: "degraded",
+    ERR_CROSS_SHARD: "cross_shard",
+    ERR_UNKNOWN_LID: "unknown_lid",
+    ERR_BAD_REQUEST: "bad_request",
+    ERR_INTERNAL: "internal",
+}
+
+#: Batch-op kinds in their wire order.  Index == wire code; append only.
+WIRE_KINDS = (
+    "lookup",
+    "ordinal_lookup",
+    "lookup_pair",
+    "compare",
+    "insert_before",
+    "insert_element_before",
+    "delete",
+    "delete_element",
+    "insert_subtree_before",
+    "delete_range",
+)
+_KIND_CODE = {kind: code for code, kind in enumerate(WIRE_KINDS)}
+
+# -- value-encoding tags ------------------------------------------------
+
+_V_NONE = 0
+_V_INT = 1
+_V_TUPLE = 2
+_V_LIST = 3
+_V_STR = 4
+_V_BOOL = 5
+
+
+# ----------------------------------------------------------------------
+# frame dataclasses
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Client handshake: the protocol version it speaks."""
+
+    request_id: int
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class Ping:
+    request_id: int
+
+
+@dataclass(frozen=True)
+class Refresh:
+    """Advance the connection's pinned session to the latest epochs."""
+
+    request_id: int
+
+
+@dataclass(frozen=True)
+class Lookup:
+    """Batched label lookup, served at the connection's pinned epoch(s)."""
+
+    request_id: int
+    lids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Ordinal:
+    """Batched ordinal lookup at the pinned epoch(s)."""
+
+    request_id: int
+    lids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Compare:
+    """Batched document-order comparison of LID pairs."""
+
+    request_id: int
+    pairs: tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class Submit:
+    """A write tape: batch ops applied through the service's writer."""
+
+    request_id: int
+    ops: tuple[BatchOp, ...]
+
+
+@dataclass(frozen=True)
+class ServerHello:
+    """Server handshake reply: topology plus the session's initial pin."""
+
+    request_id: int
+    version: int
+    n_shards: int
+    scheme: str
+    epochs: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Pong:
+    request_id: int
+
+
+@dataclass(frozen=True)
+class Epochs:
+    """The session's pinned epoch numbers, one per shard."""
+
+    request_id: int
+    numbers: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Values:
+    """Label values answering a :class:`Lookup`."""
+
+    request_id: int
+    values: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Orders:
+    """Signed comparison results answering a :class:`Compare` (or the
+    integer ordinals answering an :class:`Ordinal`)."""
+
+    request_id: int
+    orders: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Results:
+    """Positional results answering a :class:`Submit` tape."""
+
+    request_id: int
+    values: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class ErrorFrame:
+    """A typed failure: one of the ``ERR_*`` codes plus a message."""
+
+    request_id: int
+    code: int
+    message: str
+
+    @property
+    def code_name(self) -> str:
+        return ERROR_NAMES.get(self.code, f"code{self.code}")
+
+
+Frame = (
+    Hello | Ping | Refresh | Lookup | Ordinal | Compare | Submit
+    | ServerHello | Pong | Epochs | Values | Orders | Results | ErrorFrame
+)
+
+
+# ----------------------------------------------------------------------
+# low-level byte readers/writers
+# ----------------------------------------------------------------------
+
+
+def _append_uvarint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise ProtocolError(f"cannot encode negative value {value} as uvarint")
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _append_svarint(out: bytearray, value: int) -> None:
+    _append_uvarint(out, (value << 1) ^ (value >> 63) if value < 0 else value << 1)
+
+
+class _Reader:
+    """Bounds-checked sequential reads over one payload buffer."""
+
+    __slots__ = ("buf", "pos", "end")
+
+    def __init__(self, buf: bytes, pos: int = 0, end: int | None = None) -> None:
+        self.buf = buf
+        self.pos = pos
+        self.end = len(buf) if end is None else end
+
+    @property
+    def remaining(self) -> int:
+        return self.end - self.pos
+
+    def uvarint(self) -> int:
+        buf, pos, end = self.buf, self.pos, self.end
+        shift = 0
+        value = 0
+        while True:
+            if pos >= end:
+                raise ProtocolError("truncated varint")
+            byte = buf[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                self.pos = pos
+                return value
+            shift += 7
+            if shift > 7 * MAX_VARINT_BYTES:
+                raise ProtocolError("varint too long")
+
+    def svarint(self) -> int:
+        raw = self.uvarint()
+        return (raw >> 1) ^ -(raw & 1)
+
+    def count(self) -> int:
+        """An element count; each element costs >= 1 byte, so any count
+        exceeding the remaining bytes is an encoding bomb, not data."""
+        n = self.uvarint()
+        if n > self.remaining:
+            raise ProtocolError(
+                f"element count {n} exceeds {self.remaining} remaining payload bytes"
+            )
+        return n
+
+    def take(self, n: int) -> bytes:
+        if n > self.remaining:
+            raise ProtocolError("truncated payload")
+        chunk = self.buf[self.pos:self.pos + n]
+        self.pos += n
+        return bytes(chunk)
+
+    def expect_end(self) -> None:
+        if self.pos != self.end:
+            raise ProtocolError(f"{self.remaining} trailing garbage byte(s) after frame")
+
+
+# ----------------------------------------------------------------------
+# tagged value encoding (labels, submit results)
+# ----------------------------------------------------------------------
+
+
+def encode_value(out: bytearray, value: Any, depth: int = 0) -> None:
+    """Append one self-describing value (label, result component)."""
+    if depth > MAX_VALUE_DEPTH:
+        raise ProtocolError(f"value nesting exceeds depth {MAX_VALUE_DEPTH}")
+    if value is None:
+        out.append(_V_NONE)
+    elif value is True or value is False:
+        out.append(_V_BOOL)
+        out.append(1 if value else 0)
+    elif isinstance(value, int):
+        out.append(_V_INT)
+        _append_svarint(out, value)
+    elif isinstance(value, tuple):
+        out.append(_V_TUPLE)
+        _append_uvarint(out, len(value))
+        for item in value:
+            encode_value(out, item, depth + 1)
+    elif isinstance(value, list):
+        out.append(_V_LIST)
+        _append_uvarint(out, len(value))
+        for item in value:
+            encode_value(out, item, depth + 1)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_V_STR)
+        _append_uvarint(out, len(raw))
+        out += raw
+    else:
+        raise ProtocolError(f"value of type {type(value).__name__} is not encodable")
+
+
+def _decode_value(reader: _Reader, depth: int = 0) -> Any:
+    if depth > MAX_VALUE_DEPTH:
+        raise ProtocolError(f"value nesting exceeds depth {MAX_VALUE_DEPTH}")
+    if reader.remaining < 1:
+        raise ProtocolError("truncated value")
+    tag = reader.buf[reader.pos]
+    reader.pos += 1
+    if tag == _V_NONE:
+        return None
+    if tag == _V_BOOL:
+        raw = reader.take(1)[0]
+        if raw > 1:
+            raise ProtocolError(f"bad bool byte {raw}")
+        return bool(raw)
+    if tag == _V_INT:
+        return reader.svarint()
+    if tag in (_V_TUPLE, _V_LIST):
+        n = reader.count()
+        items = [_decode_value(reader, depth + 1) for _ in range(n)]
+        return tuple(items) if tag == _V_TUPLE else items
+    if tag == _V_STR:
+        n = reader.count()
+        raw = reader.take(n)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"bad utf-8 in string value: {error}") from None
+    raise ProtocolError(f"unknown value tag {tag}")
+
+
+def _decode_str(reader: _Reader) -> str:
+    n = reader.count()
+    raw = reader.take(n)
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise ProtocolError(f"bad utf-8 in string field: {error}") from None
+
+
+# ----------------------------------------------------------------------
+# batch-op encoding (the Submit tape)
+# ----------------------------------------------------------------------
+
+_A_INT = 0
+_A_REF = 1
+
+
+def _encode_op(out: bytearray, op: BatchOp) -> None:
+    code = _KIND_CODE.get(op.kind)
+    if code is None:
+        raise ProtocolError(f"batch op kind {op.kind!r} has no wire code")
+    _append_uvarint(out, code)
+    _append_uvarint(out, len(op.args))
+    for arg in op.args:
+        if isinstance(arg, BatchRef):
+            out.append(_A_REF)
+            _append_uvarint(out, arg.index)
+            _append_uvarint(out, 0 if arg.item is None else arg.item + 1)
+        elif isinstance(arg, int):
+            out.append(_A_INT)
+            _append_uvarint(out, arg)
+        else:
+            raise ProtocolError(
+                f"batch op argument of type {type(arg).__name__} is not encodable"
+            )
+
+
+def _decode_op(reader: _Reader) -> BatchOp:
+    code = reader.uvarint()
+    if code >= len(WIRE_KINDS):
+        raise ProtocolError(f"unknown batch op code {code}")
+    nargs = reader.count()
+    args: list[Any] = []
+    for _ in range(nargs):
+        if reader.remaining < 1:
+            raise ProtocolError("truncated batch op argument")
+        tag = reader.buf[reader.pos]
+        reader.pos += 1
+        if tag == _A_INT:
+            args.append(reader.uvarint())
+        elif tag == _A_REF:
+            index = reader.uvarint()
+            item = reader.uvarint()
+            args.append(BatchRef(index, None if item == 0 else item - 1))
+        else:
+            raise ProtocolError(f"unknown batch op argument tag {tag}")
+    return BatchOp(WIRE_KINDS[code], tuple(args))
+
+
+# ----------------------------------------------------------------------
+# frame encode
+# ----------------------------------------------------------------------
+
+
+def encode_payload(frame: Frame) -> bytes:
+    """The frame's payload bytes (everything after the length prefix)."""
+    out = bytearray()
+    if isinstance(frame, Hello):
+        _append_uvarint(out, T_HELLO)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, frame.version)
+    elif isinstance(frame, Ping):
+        _append_uvarint(out, T_PING)
+        _append_uvarint(out, frame.request_id)
+    elif isinstance(frame, Refresh):
+        _append_uvarint(out, T_REFRESH)
+        _append_uvarint(out, frame.request_id)
+    elif isinstance(frame, Lookup):
+        _append_uvarint(out, T_LOOKUP)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, len(frame.lids))
+        for lid in frame.lids:
+            _append_uvarint(out, lid)
+    elif isinstance(frame, Ordinal):
+        _append_uvarint(out, T_ORDINAL)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, len(frame.lids))
+        for lid in frame.lids:
+            _append_uvarint(out, lid)
+    elif isinstance(frame, Compare):
+        _append_uvarint(out, T_COMPARE)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, len(frame.pairs))
+        for first, second in frame.pairs:
+            _append_uvarint(out, first)
+            _append_uvarint(out, second)
+    elif isinstance(frame, Submit):
+        _append_uvarint(out, T_SUBMIT)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, len(frame.ops))
+        for op in frame.ops:
+            _encode_op(out, op)
+    elif isinstance(frame, ServerHello):
+        _append_uvarint(out, T_SERVER_HELLO)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, frame.version)
+        _append_uvarint(out, frame.n_shards)
+        raw = frame.scheme.encode("utf-8")
+        _append_uvarint(out, len(raw))
+        out += raw
+        _append_uvarint(out, len(frame.epochs))
+        for number in frame.epochs:
+            _append_uvarint(out, number)
+    elif isinstance(frame, Pong):
+        _append_uvarint(out, T_PONG)
+        _append_uvarint(out, frame.request_id)
+    elif isinstance(frame, Epochs):
+        _append_uvarint(out, T_EPOCHS)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, len(frame.numbers))
+        for number in frame.numbers:
+            _append_uvarint(out, number)
+    elif isinstance(frame, Values):
+        _append_uvarint(out, T_VALUES)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, len(frame.values))
+        for value in frame.values:
+            encode_value(out, value)
+    elif isinstance(frame, Orders):
+        _append_uvarint(out, T_ORDERS)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, len(frame.orders))
+        for order in frame.orders:
+            _append_svarint(out, order)
+    elif isinstance(frame, Results):
+        _append_uvarint(out, T_RESULTS)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, len(frame.values))
+        for value in frame.values:
+            encode_value(out, value)
+    elif isinstance(frame, ErrorFrame):
+        _append_uvarint(out, T_ERROR)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, frame.code)
+        raw = frame.message.encode("utf-8")
+        _append_uvarint(out, len(raw))
+        out += raw
+    else:
+        raise ProtocolError(f"cannot encode frame of type {type(frame).__name__}")
+    return bytes(out)
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Full wire bytes: length prefix plus payload."""
+    payload = encode_payload(frame)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    prefix = bytearray()
+    _append_uvarint(prefix, len(payload))
+    return bytes(prefix) + payload
+
+
+# ----------------------------------------------------------------------
+# frame decode
+# ----------------------------------------------------------------------
+
+
+def peek_header(payload: bytes) -> tuple[int, int, int]:
+    """``(frame_type, request_id, body_offset)`` without decoding the body.
+
+    The server's read loop uses this to account and shed requests before
+    paying for a full decode; raises :class:`ProtocolError` exactly like
+    :func:`decode_payload` would."""
+    reader = _Reader(payload)
+    frame_type = reader.uvarint()
+    request_id = reader.uvarint()
+    return frame_type, request_id, reader.pos
+
+
+def decode_payload(payload: bytes) -> Frame:
+    """Decode one payload into its frame, or raise :class:`ProtocolError`.
+
+    Total function: every possible byte string either decodes or raises
+    the one typed error — never hangs, never escapes another exception.
+    """
+    reader = _Reader(payload)
+    frame_type = reader.uvarint()
+    request_id = reader.uvarint()
+    frame = _decode_body(frame_type, request_id, reader)
+    reader.expect_end()
+    return frame
+
+
+def _decode_body(frame_type: int, request_id: int, reader: _Reader) -> Frame:
+    if frame_type == T_HELLO:
+        return Hello(request_id, reader.uvarint())
+    if frame_type == T_PING:
+        return Ping(request_id)
+    if frame_type == T_REFRESH:
+        return Refresh(request_id)
+    if frame_type in (T_LOOKUP, T_ORDINAL):
+        n = reader.count()
+        lids = tuple(reader.uvarint() for _ in range(n))
+        return (Lookup if frame_type == T_LOOKUP else Ordinal)(request_id, lids)
+    if frame_type == T_COMPARE:
+        n = reader.count()
+        pairs = tuple((reader.uvarint(), reader.uvarint()) for _ in range(n))
+        return Compare(request_id, pairs)
+    if frame_type == T_SUBMIT:
+        n = reader.count()
+        ops = tuple(_decode_op(reader) for _ in range(n))
+        return Submit(request_id, ops)
+    if frame_type == T_SERVER_HELLO:
+        version = reader.uvarint()
+        n_shards = reader.uvarint()
+        scheme = _decode_str(reader)
+        n = reader.count()
+        epochs = tuple(reader.uvarint() for _ in range(n))
+        return ServerHello(request_id, version, n_shards, scheme, epochs)
+    if frame_type == T_PONG:
+        return Pong(request_id)
+    if frame_type == T_EPOCHS:
+        n = reader.count()
+        return Epochs(request_id, tuple(reader.uvarint() for _ in range(n)))
+    if frame_type == T_VALUES:
+        n = reader.count()
+        return Values(request_id, tuple(_decode_value(reader) for _ in range(n)))
+    if frame_type == T_ORDERS:
+        n = reader.count()
+        return Orders(request_id, tuple(reader.svarint() for _ in range(n)))
+    if frame_type == T_RESULTS:
+        n = reader.count()
+        return Results(request_id, tuple(_decode_value(reader) for _ in range(n)))
+    if frame_type == T_ERROR:
+        code = reader.uvarint()
+        return ErrorFrame(request_id, code, _decode_str(reader))
+    raise ProtocolError(f"unknown frame type {frame_type:#x}")
+
+
+class FrameDecoder:
+    """Incremental frame extraction over an arbitrary byte stream.
+
+    Feed received chunks with :meth:`feed`; iterate :meth:`frames` for
+    every complete decoded frame.  The length prefix is validated as soon
+    as its bytes arrive — a prefix longer than :data:`MAX_VARINT_BYTES`
+    varint bytes or announcing more than ``max_frame_bytes`` raises
+    :class:`ProtocolError` *before* any body is buffered.  A final
+    partial frame at connection close is reported by :meth:`close`.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buf = bytearray()
+        self._pos = 0  # consumed prefix of _buf
+
+    def feed(self, data: bytes) -> None:
+        self._buf += data
+
+    @property
+    def buffered(self) -> int:
+        """Unconsumed bytes currently buffered."""
+        return len(self._buf) - self._pos
+
+    def _try_length(self) -> tuple[int, int] | None:
+        """``(payload_len, offset_past_prefix)`` or None if incomplete."""
+        buf, pos, end = self._buf, self._pos, len(self._buf)
+        shift = 0
+        value = 0
+        index = pos
+        while True:
+            if index >= end:
+                if index - pos >= MAX_VARINT_BYTES:
+                    raise ProtocolError("frame length prefix varint too long")
+                return None
+            byte = buf[index]
+            index += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                if value > self.max_frame_bytes:
+                    raise ProtocolError(
+                        f"announced frame of {value} bytes exceeds "
+                        f"limit {self.max_frame_bytes}"
+                    )
+                return value, index
+            shift += 7
+            if index - pos >= MAX_VARINT_BYTES:
+                raise ProtocolError("frame length prefix varint too long")
+
+    def frames(self) -> Iterator[Frame]:
+        """Yield every complete frame currently buffered."""
+        while True:
+            header = self._try_length()
+            if header is None:
+                break
+            length, offset = header
+            if len(self._buf) - offset < length:
+                break
+            payload = bytes(self._buf[offset:offset + length])
+            self._pos = offset + length
+            # Periodically drop the consumed prefix to bound the buffer.
+            if self._pos > 1 << 16:
+                del self._buf[:self._pos]
+                self._pos = 0
+            yield decode_payload(payload)
+
+    def close(self) -> None:
+        """Signal end of stream; a buffered partial frame is a violation."""
+        if self.buffered:
+            raise ProtocolError(
+                f"connection closed mid-frame with {self.buffered} byte(s) pending"
+            )

@@ -1,0 +1,464 @@
+"""Asyncio TCP front end over a label service.
+
+One :class:`NetServer` exposes a :class:`~repro.service.service.LabelService`
+or :class:`~repro.service.sharded.ShardedLabelService` to any number of
+connections speaking the varint-framed protocol (:mod:`repro.net.protocol`).
+
+Connection model
+----------------
+
+* **Session pinning.**  Each connection gets its own reader session
+  (:class:`ReaderSession` / :class:`ShardedReaderSession`) created at
+  accept time.  Every read the connection issues is served at the
+  session's pinned epoch(s); a ``Refresh`` frame advances the pin and
+  returns the new epoch numbers.  Sessions are not thread-safe, which
+  dovetails with the ordering contract below.
+* **Pipelining with per-connection order.**  The read loop decodes frames
+  as they arrive and spawns one task per request, but each task runs the
+  blocking work under the connection's FIFO lock — so one connection's
+  requests execute (and answer) in submission order, while different
+  connections run concurrently on the executor's threads.
+* **Admission control.**  A server-wide in-flight cap bounds the work
+  backlog.  When a request arrives above the cap it is *shed at the
+  door*: the read loop immediately answers with a typed ``OVERLOADED``
+  error frame and never queues the work.  The backlog therefore lives
+  where the server can see it (its own counter), not hidden in kernel
+  socket buffers — which is what keeps p99 bounded past the knee instead
+  of collapsing.
+* **Typed failure, clean close.**  Service-level failures (degraded
+  read-only mode, write-queue backpressure timeouts, cross-shard ops,
+  unknown LIDs) map to per-request error frames; the connection lives on.
+  A protocol violation answers with one ``ERR_PROTOCOL`` frame (when the
+  transport still exists) and closes that connection; other connections
+  are untouched.
+
+Tracing: each request runs inside a ``net.request`` span opened on the
+executor thread, so the service's apply spans — carried across the writer
+thread hop by ``Tracer.attach`` — land under it and the finished tree is
+a single client-to-commit trace per request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from ..errors import (
+    BackpressureTimeout,
+    CrossShardError,
+    LabelingError,
+    ProtocolError,
+    RecordNotFoundError,
+    ReproError,
+    ServiceClosedError,
+    ServiceDegradedError,
+    ServiceOverloadedError,
+    UnknownLIDError,
+    WriterCrashError,
+)
+from ..obs import trace
+from ..obs.metrics import get_registry
+from . import protocol as proto
+from .protocol import (
+    Compare,
+    Epochs,
+    ErrorFrame,
+    Frame,
+    FrameDecoder,
+    Hello,
+    Lookup,
+    Ordinal,
+    Orders,
+    Ping,
+    Pong,
+    Refresh,
+    Results,
+    ServerHello,
+    Submit,
+    Values,
+    encode_frame,
+)
+
+#: Default cap on requests admitted but not yet answered, server-wide.
+DEFAULT_MAX_INFLIGHT = 64
+
+#: Default bound on how long a submit may wait for write-queue space
+#: before it is shed with a typed ``OVERLOADED`` frame.
+DEFAULT_SUBMIT_TIMEOUT = 2.0
+
+
+def _error_code_for(error: BaseException) -> int:
+    """Map a service/labeling exception to its wire error code."""
+    if isinstance(error, (ServiceDegradedError, WriterCrashError)):
+        # A WriterCrashError failing an in-flight ticket IS the moment the
+        # service degrades; both tell the client the same thing.
+        return proto.ERR_DEGRADED
+    if isinstance(error, (ServiceOverloadedError, BackpressureTimeout)):
+        return proto.ERR_OVERLOADED
+    if isinstance(error, CrossShardError):
+        return proto.ERR_CROSS_SHARD
+    if isinstance(error, (UnknownLIDError, RecordNotFoundError)):
+        return proto.ERR_UNKNOWN_LID
+    if isinstance(error, ProtocolError):
+        return proto.ERR_PROTOCOL
+    if isinstance(error, (LabelingError, ReproError, ValueError, TypeError)):
+        return proto.ERR_BAD_REQUEST
+    return proto.ERR_INTERNAL
+
+
+class _Connection:
+    """Per-connection state: the pinned session and the FIFO order lock."""
+
+    __slots__ = ("reader", "writer", "session", "lock", "decoder", "peer")
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        session: Any,
+        max_frame_bytes: int,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.session = session
+        self.lock = asyncio.Lock()
+        self.decoder = FrameDecoder(max_frame_bytes)
+        self.peer = writer.get_extra_info("peername")
+
+
+class NetServer:
+    """The network front end.  Construct, then :meth:`start` /
+    :meth:`serve_forever`; or drive the lifecycle with ``async with``.
+
+    Parameters
+    ----------
+    service:
+        A started :class:`LabelService` or :class:`ShardedLabelService`.
+        The server does not own it (caller starts/closes it).
+    host / port:
+        Listen address; ``port=0`` picks a free port (see :attr:`port`).
+    max_inflight:
+        Server-wide admission cap; requests beyond it are shed with
+        typed ``OVERLOADED`` frames instead of queueing.
+    submit_timeout:
+        Longest a write submission may block on the service's bounded
+        write queue before shedding.
+    max_workers:
+        Executor threads running the blocking service calls.
+    """
+
+    def __init__(
+        self,
+        service: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        submit_timeout: float = DEFAULT_SUBMIT_TIMEOUT,
+        max_workers: int = 8,
+        max_frame_bytes: int = proto.MAX_FRAME_BYTES,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.max_inflight = max_inflight
+        self.submit_timeout = submit_timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="net-worker"
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._inflight = 0
+        self._connections: set[asyncio.StreamWriter] = set()
+        registry = get_registry()
+        self._requests_total = registry.counter(
+            "repro_net_requests_total",
+            help="requests answered by the network front end, by outcome",
+        )
+        self._shed_total = registry.counter(
+            "repro_net_shed_total",
+            help="requests shed at the admission door with OVERLOADED frames",
+        )
+        self._protocol_errors_total = registry.counter(
+            "repro_net_protocol_errors_total",
+            help="connections closed for protocol violations",
+        )
+        self._connections_total = registry.counter(
+            "repro_net_connections_total",
+            help="connections accepted by the network front end",
+        )
+
+    # -- service shape helpers -----------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return getattr(self.service, "n_shards", 1)
+
+    @property
+    def scheme_name(self) -> str:
+        service = self.service
+        if hasattr(service, "schemes"):
+            return service.schemes[0].name
+        return service.scheme.name
+
+    @staticmethod
+    def _epoch_numbers(session: Any) -> tuple[int, ...]:
+        if hasattr(session, "vector"):
+            return tuple(session.vector.numbers)
+        return (session.epoch.number,)
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (meaningful after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def inflight(self) -> int:
+        """Requests admitted but not yet answered (the visible backlog)."""
+        return self._inflight
+
+    async def start(self) -> "NetServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            writer.close()
+        self._executor.shutdown(wait=False)
+
+    async def __aenter__(self) -> "NetServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections_total.inc()
+        conn = _Connection(reader, writer, self.service.session(), self.max_frame_bytes)
+        self._connections.add(writer)
+        tasks: set[asyncio.Task] = set()
+        try:
+            await self._read_loop(conn, tasks)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass  # peer vanished; per-request tasks observe the closed writer
+        except asyncio.CancelledError:
+            # Server shutdown cancels live handlers; finish the cleanup
+            # below and end the task normally so the loop's teardown does
+            # not log the handler as crashed.
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _read_loop(self, conn: _Connection, tasks: set[asyncio.Task]) -> None:
+        while True:
+            data = await conn.reader.read(1 << 16)
+            if not data:
+                # Orderly EOF.  A partial frame left behind is a protocol
+                # violation, but there is nobody left to answer — count it
+                # and close.
+                try:
+                    conn.decoder.close()
+                except ProtocolError:
+                    self._protocol_errors_total.inc()
+                return
+            conn.decoder.feed(data)
+            try:
+                for frame in conn.decoder.frames():
+                    self._dispatch(conn, frame, tasks)
+            except ProtocolError as error:
+                # One typed error frame, then the connection dies.  The
+                # request id is unknowable for a malformed frame: 0 marks
+                # a connection-level failure.
+                self._protocol_errors_total.inc()
+                await self._send(
+                    conn, ErrorFrame(0, proto.ERR_PROTOCOL, str(error))
+                )
+                return
+
+    def _dispatch(
+        self, conn: _Connection, frame: Frame, tasks: set[asyncio.Task]
+    ) -> None:
+        if self._inflight >= self.max_inflight:
+            # Shed at the door: typed, immediate, nothing queued.
+            self._shed_total.inc()
+            self._queue_send(
+                conn,
+                ErrorFrame(
+                    frame.request_id,
+                    proto.ERR_OVERLOADED,
+                    f"server at {self.max_inflight} in-flight requests",
+                ),
+            )
+            return
+        self._inflight += 1
+        task = asyncio.ensure_future(self._serve_request(conn, frame))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+
+    async def _serve_request(self, conn: _Connection, frame: Frame) -> None:
+        try:
+            async with conn.lock:  # FIFO: per-connection program order
+                loop = asyncio.get_running_loop()
+                reply = await loop.run_in_executor(
+                    self._executor, self._execute, conn, frame
+                )
+                await self._send(conn, reply)
+        except (ConnectionError, OSError):
+            pass  # peer is gone; the work (if any) already happened
+        finally:
+            self._inflight -= 1
+
+    # -- blocking request execution (executor thread) ------------------
+
+    def _execute(self, conn: _Connection, frame: Frame) -> Frame:
+        """Run one request on an executor thread, returning its reply.
+
+        The ``net.request`` span opened here is the root of the request's
+        trace tree; ``submit_ops`` captures it as the cross-thread parent
+        for the writer's apply spans, and the ticket resolves only after
+        those spans close — so the tree is complete before the reply."""
+        kind = proto.REQUEST_NAMES.get(
+            getattr(proto, f"T_{type(frame).__name__.upper()}", 0),
+            type(frame).__name__.lower(),
+        )
+        with trace.span("net.request", kind=kind) as span:
+            if span.recording:
+                span.set("request_id", frame.request_id)
+            try:
+                reply = self._apply(conn, frame)
+            except BaseException as error:  # noqa: BLE001 — typed frame, conn lives
+                code = _error_code_for(error)
+                if span.recording:
+                    span.set("error", proto.ERROR_NAMES.get(code, str(code)))
+                self._requests_total.inc()
+                return ErrorFrame(frame.request_id, code, str(error))
+        self._requests_total.inc()
+        return reply
+
+    def _apply(self, conn: _Connection, frame: Frame) -> Frame:
+        session = conn.session
+        if isinstance(frame, Hello):
+            if frame.version != proto.PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"peer speaks protocol {frame.version}, "
+                    f"server speaks {proto.PROTOCOL_VERSION}"
+                )
+            return ServerHello(
+                frame.request_id,
+                proto.PROTOCOL_VERSION,
+                self.n_shards,
+                self.scheme_name,
+                self._epoch_numbers(session),
+            )
+        if isinstance(frame, Ping):
+            return Pong(frame.request_id)
+        if isinstance(frame, Refresh):
+            session.refresh()
+            return Epochs(frame.request_id, self._epoch_numbers(session))
+        if isinstance(frame, Lookup):
+            values = session.lookup_many(list(frame.lids))
+            return Values(frame.request_id, tuple(values))
+        if isinstance(frame, Ordinal):
+            ordinals = tuple(session.ordinal_lookup(lid) for lid in frame.lids)
+            return Orders(frame.request_id, ordinals)
+        if isinstance(frame, Compare):
+            orders = tuple(session.compare(a, b) for a, b in frame.pairs)
+            return Orders(frame.request_id, orders)
+        if isinstance(frame, Submit):
+            try:
+                ticket = self.service.submit_ops(
+                    list(frame.ops), timeout=self.submit_timeout
+                )
+            except BackpressureTimeout as error:
+                raise ServiceOverloadedError(
+                    f"write queue full for {self.submit_timeout}s: {error}"
+                ) from error
+            result = ticket.wait()
+            return Results(frame.request_id, tuple(result.results))
+        raise ProtocolError(
+            f"{type(frame).__name__} is not a request frame"
+        )
+
+    # -- writes ---------------------------------------------------------
+
+    async def _send(self, conn: _Connection, frame: Frame) -> None:
+        conn.writer.write(encode_frame(frame))
+        await conn.writer.drain()
+
+    def _queue_send(self, conn: _Connection, frame: Frame) -> None:
+        """Fire-and-forget write from the read loop (shed replies)."""
+        try:
+            conn.writer.write(encode_frame(frame))
+        except (ConnectionError, OSError):
+            pass
+
+
+def run_server(
+    service: Any,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    ready: threading.Event | None = None,
+    holder: dict | None = None,
+    **kwargs: Any,
+) -> None:
+    """Blocking convenience: run a :class:`NetServer` on a fresh event
+    loop until stopped.  ``ready`` (set once listening) and ``holder``
+    (receives ``server``, ``loop`` and a thread-safe ``stop`` callable)
+    let a host thread coordinate — tests and the CLI use this to run the
+    server off the main thread."""
+
+    async def _main() -> None:
+        server = NetServer(service, host, port, **kwargs)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        task = asyncio.current_task()
+        if holder is not None:
+            holder["server"] = server
+            holder["loop"] = loop
+            holder["stop"] = lambda: loop.call_soon_threadsafe(task.cancel)
+        if ready is not None:
+            ready.set()
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            # Swallowing the stop-callable's cancellation is the clean
+            # exit; uncancel so the runner does not re-raise it.
+            task.uncancel()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except asyncio.CancelledError:
+        pass

@@ -687,6 +687,12 @@ class ReaderSession:
         )
         return la_start < ld_start and ld_end < la_end
 
+    def lookup_many(self, lids: Sequence[int]) -> list[Label]:
+        """Labels for several LIDs, all at one pinned epoch (the torn-read
+        safe multi-lookup; single-service counterpart of
+        :meth:`~repro.service.sharded.ShardedReaderSession.lookup_many`)."""
+        return self._get_consistent(lids)
+
     # -- internals -----------------------------------------------------
 
     def _get_consistent(self, lids: Sequence[int]) -> list[Label]:

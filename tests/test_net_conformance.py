@@ -1,0 +1,254 @@
+"""Deterministic malformed-client conformance matrix.
+
+Scripted raw-socket clients abuse the server in specific, reproducible
+ways — interleaved partial writes, pipelined batches, mid-frame
+disconnects, hostile length prefixes, wrong-version handshakes — and
+every case asserts the same two things: the misbehaving connection gets a
+typed answer (or a clean close), and a concurrent well-behaved client on
+the same server keeps getting correct answers throughout.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import TINY_CONFIG, BatchOp, WBox
+from repro.net import protocol as proto
+from repro.net.client import NetClient
+from repro.net.protocol import (
+    ErrorFrame,
+    FrameDecoder,
+    Hello,
+    Lookup,
+    Orders,
+    Ping,
+    Pong,
+    Values,
+    encode_frame,
+)
+from repro.net.server import run_server
+from repro.service import ShardedLabelService, bulk_load_sharded
+
+N_BASE = 48
+
+
+@pytest.fixture(scope="module")
+def server():
+    schemes = [WBox(TINY_CONFIG) for _ in range(2)]
+    bulk_load_sharded(schemes, N_BASE)
+    service = ShardedLabelService(schemes).start()
+    ready = threading.Event()
+    holder: dict = {}
+    thread = threading.Thread(
+        target=run_server,
+        args=(service,),
+        kwargs={"ready": ready, "holder": holder},
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(10)
+    yield holder["server"]
+    holder["stop"]()
+    thread.join(10)
+    service.close()
+
+
+@pytest.fixture()
+def well_behaved(server):
+    """A concurrent correct client; every test asserts through it that the
+    server survived whatever the scripted client did."""
+    with NetClient("127.0.0.1", server.port) as client:
+        yield client
+        assert client.lookup([0, 2]) == [0, 1]  # glids 0,2 live on shard 0
+
+
+def _raw_connection(server) -> socket.socket:
+    return socket.create_connection(("127.0.0.1", server.port), timeout=10)
+
+
+def _read_frames(sock: socket.socket, n: int, deadline: float = 10.0) -> list:
+    decoder = FrameDecoder()
+    frames: list = []
+    sock.settimeout(deadline)
+    while len(frames) < n:
+        data = sock.recv(4096)
+        if not data:
+            break
+        decoder.feed(data)
+        frames.extend(decoder.frames())
+    return frames
+
+
+def _read_until_closed(sock: socket.socket, deadline: float = 10.0) -> list:
+    decoder = FrameDecoder()
+    frames: list = []
+    sock.settimeout(deadline)
+    while True:
+        data = sock.recv(4096)
+        if not data:
+            break
+        decoder.feed(data)
+        frames.extend(decoder.frames())
+    return frames
+
+
+# ---------------------------------------------------------------------------
+# the matrix
+# ---------------------------------------------------------------------------
+
+
+def test_partial_writes_reassemble(server, well_behaved):
+    """A valid request dribbled one byte at a time still gets its answer."""
+    wire = encode_frame(Lookup(9, (0, 2, 4)))
+    with _raw_connection(server) as sock:
+        for index in range(len(wire)):
+            sock.sendall(wire[index:index + 1])
+            time.sleep(0.002)
+        frames = _read_frames(sock, 1)
+    assert frames == [Values(9, (0, 1, 2))]
+
+
+def test_pipelined_batch_answers_in_order(server, well_behaved):
+    """Ten requests in one write: ten responses, ids echoed, in order."""
+    wire = b"".join(encode_frame(Lookup(i, (0,))) for i in range(1, 11))
+    wire += encode_frame(Ping(99))
+    with _raw_connection(server) as sock:
+        sock.sendall(wire)
+        frames = _read_frames(sock, 11)
+    assert [f.request_id for f in frames] == list(range(1, 11)) + [99]
+    assert frames[-1] == Pong(99)
+    assert all(isinstance(f, Values) for f in frames[:-1])
+
+
+def test_mid_frame_disconnect_leaves_server_serving(server, well_behaved):
+    """Dying mid-frame hurts nobody but the dead connection."""
+    wire = encode_frame(Lookup(5, tuple(range(16))))
+    for cut in (1, 3, len(wire) // 2, len(wire) - 1):
+        sock = _raw_connection(server)
+        sock.sendall(wire[:cut])
+        sock.close()
+    # The well-behaved fixture asserts liveness on teardown; also check
+    # immediately, after the server noticed the disconnects.
+    assert well_behaved.lookup([4]) == [2]
+
+
+def test_interleaved_partial_writes_across_connections(server, well_behaved):
+    """Two slow connections interleaving chunks don't corrupt each other."""
+    wire_a = encode_frame(Lookup(1, (0,)))
+    wire_b = encode_frame(Lookup(2, (2,)))
+    sock_a = _raw_connection(server)
+    sock_b = _raw_connection(server)
+    try:
+        for index in range(max(len(wire_a), len(wire_b))):
+            if index < len(wire_a):
+                sock_a.sendall(wire_a[index:index + 1])
+            if index < len(wire_b):
+                sock_b.sendall(wire_b[index:index + 1])
+            time.sleep(0.001)
+        assert _read_frames(sock_a, 1) == [Values(1, (0,))]
+        assert _read_frames(sock_b, 1) == [Values(2, (1,))]
+    finally:
+        sock_a.close()
+        sock_b.close()
+
+
+def test_garbage_gets_error_frame_then_close(server, well_behaved):
+    with _raw_connection(server) as sock:
+        sock.sendall(b"\x13\x37" + b"\xde\xad\xbe\xef" * 5)
+        frames = _read_until_closed(sock)
+    assert len(frames) == 1
+    frame = frames[0]
+    assert isinstance(frame, ErrorFrame)
+    assert frame.request_id == 0
+    assert frame.code == proto.ERR_PROTOCOL
+
+
+def test_oversized_announcement_rejected_before_body(server, well_behaved):
+    """A length prefix announcing a 64 MiB frame is refused immediately —
+    the server never waits for (or buffers) the body."""
+    prefix = bytearray()
+    value = 64 << 20
+    while value > 0x7F:
+        prefix.append((value & 0x7F) | 0x80)
+        value >>= 7
+    prefix.append(value)
+    with _raw_connection(server) as sock:
+        started = time.monotonic()
+        sock.sendall(bytes(prefix))
+        frames = _read_until_closed(sock)
+        elapsed = time.monotonic() - started
+    assert elapsed < 5.0
+    assert [f.code for f in frames if isinstance(f, ErrorFrame)] == [
+        proto.ERR_PROTOCOL
+    ]
+
+
+def test_never_ending_varint_prefix_rejected(server, well_behaved):
+    with _raw_connection(server) as sock:
+        sock.sendall(b"\xff" * 16)
+        frames = _read_until_closed(sock)
+    assert [f.code for f in frames if isinstance(f, ErrorFrame)] == [
+        proto.ERR_PROTOCOL
+    ]
+
+
+def test_wrong_version_hello_is_per_request_error(server, well_behaved):
+    """A bad handshake fails the request, typed — not the connection."""
+    with _raw_connection(server) as sock:
+        sock.sendall(encode_frame(Hello(3, version=proto.PROTOCOL_VERSION + 1)))
+        frames = _read_frames(sock, 1)
+        assert isinstance(frames[0], ErrorFrame)
+        assert frames[0].request_id == 3
+        assert frames[0].code == proto.ERR_PROTOCOL
+        # Same connection, correct frame: still served.
+        sock.sendall(encode_frame(Ping(4)))
+        assert _read_frames(sock, 1) == [Pong(4)]
+
+
+def test_unknown_lid_is_per_request_error(server, well_behaved):
+    with NetClient("127.0.0.1", server.port) as client:
+        from repro.errors import UnknownLIDError
+
+        with pytest.raises(UnknownLIDError):
+            client.lookup([10_000])
+        # The connection survives a per-request failure.
+        assert client.lookup([0]) == [0]
+
+
+def test_cross_shard_write_is_typed(server, well_behaved):
+    from repro.errors import CrossShardError
+
+    with NetClient("127.0.0.1", server.port) as client:
+        with pytest.raises(CrossShardError):
+            # glid 0 is shard 0, glid 1 is shard 1: one batch, two shards,
+            # with a cross-shard ref target.
+            client.submit(
+                [
+                    BatchOp("compare", (0, 1)),
+                ]
+            )
+
+
+def test_compare_pipeline_matches_bulk_order(server, well_behaved):
+    """Sanity on semantics through the raw path: compares agree with the
+    bulk-load document order (glid i before glid j iff i's chunk+offset
+    precedes)."""
+    with _raw_connection(server) as sock:
+        sock.sendall(encode_frame(proto.Compare(8, ((0, 2), (4, 2), (0, 1)))))
+        frames = _read_frames(sock, 1)
+    assert frames == [Orders(8, (-1, 1, -1))]
+
+
+def test_hundred_connection_churn(server, well_behaved):
+    """Open/close many short-lived connections, some rude, some polite;
+    the server answers the polite ones throughout."""
+    for round_index in range(25):
+        rude = _raw_connection(server)
+        rude.sendall(b"\xff")
+        rude.close()
+        with NetClient("127.0.0.1", server.port) as client:
+            assert client.lookup([2]) == [1]

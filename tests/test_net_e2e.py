@@ -1,0 +1,195 @@
+"""End-to-end: subprocess server, file-backed sharded store, crash, recover.
+
+The full production shape in one test: ``repro serve --listen`` runs in a
+child process over a sharded page-file root, mixed read/write clients
+drive it over real sockets, the process is killed with SIGKILL mid-burst,
+the server restarts on the same root (per-shard WAL recovery), and a
+client-side order oracle then verifies every known LID — every base
+label and every *acknowledged* insert — against the expected document
+order.  Acked is the durability contract: a result frame means the
+write's group commit reached the OS, so it must survive SIGKILL; writes
+still in flight at the kill may or may not have committed and the oracle
+is deliberately robust to both (order among known LIDs is preserved even
+when unacked labels landed between them).
+
+``REPRO_NET_E2E_KILLS`` (default 1) sets the number of kill/recover
+cycles — the nightly campaign runs several.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.core import BatchOp
+from repro.net.client import NetClient
+
+N_SHARDS = 2
+N_BASE = 48
+ACKED_PER_ANCHOR = 6
+KILL_CYCLES = int(os.environ.get("REPRO_NET_E2E_KILLS", "1"))
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def start_server(root: str) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--scheme",
+            "wbox",
+            "--shards",
+            str(N_SHARDS),
+            "--base",
+            str(N_BASE),
+            "--storage",
+            "file",
+            "--storage-path",
+            root,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line: list[str] = []
+
+    def read_banner() -> None:
+        assert proc.stdout is not None
+        line.append(proc.stdout.readline())
+
+    reader = threading.Thread(target=read_banner, daemon=True)
+    reader.start()
+    reader.join(30)
+    if reader.is_alive() or not line or "listening on" not in line[0]:
+        proc.kill()
+        stderr = proc.stderr.read() if proc.stderr else ""
+        pytest.fail(f"server did not come up: banner={line!r} stderr={stderr}")
+    return proc, int(line[0].rsplit(":", 1)[1])
+
+
+def stop_hard(proc: subprocess.Popen) -> None:
+    proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=30)
+    if proc.stdout:
+        proc.stdout.close()
+    if proc.stderr:
+        proc.stderr.close()
+
+
+class ShardOracle:
+    """Client-side document order for one shard: base glids in chunk
+    order, with every acked insert placed directly before its anchor in
+    submission order."""
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.order: list[int] = [
+            local * N_SHARDS + shard for local in range(N_BASE // N_SHARDS)
+        ]
+
+    def record_insert_before(self, new_glid: int, anchor: int) -> None:
+        self.order.insert(self.order.index(anchor), new_glid)
+
+    def verify(self, client: NetClient) -> int:
+        """Every known LID answers a lookup, and every adjacent pair is
+        in document order.  Returns LIDs checked."""
+        values = client.lookup(self.order)
+        assert len(values) == len(self.order)
+        pairs = list(zip(self.order, self.order[1:]))
+        assert client.compare(pairs) == [-1] * len(pairs)
+        return len(self.order)
+
+
+@pytest.mark.slow
+def test_crash_recover_verify_over_the_wire(tmp_path):
+    root = str(tmp_path / "store")
+    oracles = [ShardOracle(shard) for shard in range(N_SHARDS)]
+    anchors = {shard: oracles[shard].order[4] for shard in range(N_SHARDS)}
+
+    for cycle in range(KILL_CYCLES):
+        proc, port = start_server(root)
+        try:
+            writers = [NetClient("127.0.0.1", port) for _ in range(N_SHARDS)]
+            reader = NetClient("127.0.0.1", port)
+            try:
+                # Mixed load: acked writes interleaved with reads.
+                for round_index in range(ACKED_PER_ANCHOR):
+                    for shard, writer in enumerate(writers):
+                        anchor = anchors[shard]
+                        new_glid = writer.submit(
+                            [BatchOp("insert_before", (anchor,))]
+                        )[0]
+                        oracles[shard].record_insert_before(new_glid, anchor)
+                    reader.refresh()
+                    checked = sum(o.verify(reader) for o in oracles)
+                    assert checked >= N_BASE
+                # An in-flight burst nobody waits for, then SIGKILL: these
+                # may or may not commit — the oracle never records them.
+                for shard, writer in enumerate(writers):
+                    for _ in range(4):
+                        writer.begin_submit(
+                            [BatchOp("insert_before", (anchors[shard],))]
+                        )
+                time.sleep(0.05)
+            finally:
+                stop_hard(proc)
+                for client in writers + [reader]:
+                    client.close()
+        except BaseException:
+            proc.kill()
+            raise
+
+        # Recover: reopen the same root (per-shard WAL replay) and verify
+        # every known LID against the oracle.
+        proc, port = start_server(root)
+        try:
+            with NetClient("127.0.0.1", port) as client:
+                assert client.server_info is not None
+                assert client.server_info.n_shards == N_SHARDS
+                checked = sum(oracle.verify(client) for oracle in oracles)
+                assert checked == N_BASE + N_SHARDS * ACKED_PER_ANCHOR * (cycle + 1)
+        finally:
+            stop_hard(proc)
+
+
+@pytest.mark.slow
+def test_clean_restart_preserves_acked_writes(tmp_path):
+    """SIGTERM instead of SIGKILL: the checkpoint path, same oracle."""
+    root = str(tmp_path / "store")
+    oracle = ShardOracle(0)
+    anchor = oracle.order[3]
+    proc, port = start_server(root)
+    try:
+        with NetClient("127.0.0.1", port) as client:
+            for _ in range(3):
+                new_glid = client.submit([BatchOp("insert_before", (anchor,))])[0]
+                oracle.record_insert_before(new_glid, anchor)
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+        assert proc.returncode == 0
+        if proc.stdout:
+            proc.stdout.close()
+        if proc.stderr:
+            proc.stderr.close()
+    proc, port = start_server(root)
+    try:
+        with NetClient("127.0.0.1", port) as client:
+            oracle.verify(client)
+    finally:
+        stop_hard(proc)
