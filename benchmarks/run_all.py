@@ -55,6 +55,7 @@ TARGETS = [
     ("bench_hotpath", "test_hotpath_table"),
     ("bench_shard_scaling", "test_shard_scaling_table"),
     ("bench_net_latency", "test_net_latency_table"),
+    ("bench_replication", "test_replication_table"),
 ]
 
 

@@ -425,7 +425,10 @@ def _serve_net_service(args: argparse.Namespace) -> tuple[Any, list[Any]]:
         scheme = make_scheme(args.scheme, config, args.storage, args.storage_path)
         doc = _load_document(args.document, scheme)
         return LabelService(doc, log_capacity=args.log_capacity), [scheme]
+    replicate = getattr(args, "replicate", False)
     if args.storage == "memory":
+        if replicate:
+            raise ReproError("serve --replicate needs --storage file (WAL shipping)")
         schemes = [make_scheme(args.scheme, config) for _ in range(args.shards)]
         bulk_load_sharded(schemes, args.base)
     elif args.storage == "file":
@@ -434,7 +437,9 @@ def _serve_net_service(args: argparse.Namespace) -> tuple[Any, list[Any]]:
         if is_sharded_root(args.storage_path):
             from .persist import open_sharded_schemes
 
-            schemes = open_sharded_schemes(args.storage_path, fsync=args.fsync)
+            schemes = open_sharded_schemes(
+                args.storage_path, fsync=args.fsync, retain_wal=replicate
+            )
         else:
             from .persist import checkpoint_sharded
 
@@ -443,6 +448,7 @@ def _serve_net_service(args: argparse.Namespace) -> tuple[Any, list[Any]]:
                 args.shards,
                 page_bytes=default_page_bytes(config.block_bytes),
                 fsync=args.fsync,
+                retain_wal=replicate,
             )
             schemes = [
                 make_scheme_on_store(args.scheme, config, BlockStore(config, backend=b))
@@ -494,9 +500,28 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
         await server.stop()
 
     service.start()
+    checkpoint_stop = None
+    if getattr(args, "replicate", False):
+        from .repl import (
+            annotate_commits_with_epoch,
+            checkpoint_service,
+            start_checkpoint_thread,
+        )
+
+        annotate_commits_with_epoch(service)
+        checkpoint_service(service)  # the image followers bootstrap from
+        if args.checkpoint_interval > 0:
+            _, checkpoint_stop = start_checkpoint_thread(
+                service,
+                args.checkpoint_interval,
+                full_every=args.full_every,
+            )
+        print("replication enabled: WAL retained, checkpoint recorded", flush=True)
     try:
         asyncio.run(_run())
     finally:
+        if checkpoint_stop is not None:
+            checkpoint_stop.set()
         service.close()
         for scheme in schemes:
             _finish_scheme(scheme)
@@ -557,6 +582,84 @@ def cmd_serve(args: argparse.Namespace) -> int:
             if stream is not sys.stdin:
                 stream.close()
     _finish_scheme(scheme)
+    return 0
+
+
+def cmd_replicate(args: argparse.Namespace) -> int:
+    """``repro replicate --follow HOST:PORT --root DIR``: run a WAL-shipping
+    read replica of a ``serve --listen --replicate`` primary."""
+    import signal
+    import threading
+
+    from .repl import Follower
+
+    host, port = _parse_listen(args.follow)
+    follower = Follower(
+        host,
+        port,
+        args.root,
+        poll_interval=args.poll_interval,
+        log_capacity=args.log_capacity,
+    )
+    follower.connect()
+    n_shards = len(follower.shards)
+    print(
+        f"replicating {host}:{port} -> {args.root} ({n_shards} shard(s))",
+        flush=True,
+    )
+
+    def report() -> None:
+        for shard in follower.shards:
+            print(
+                f"  shard {shard.shard}: segment {shard.segment} "
+                f"applied {shard.txns_applied} txn(s), "
+                f"sealed {shard.segments_sealed} segment(s), "
+                f"lag {shard.lag_bytes:.0f} byte(s) / "
+                f"{shard.lag_epochs:.0f} epoch(s)"
+            )
+
+    if args.once:
+        follower.catch_up()
+        report()
+        follower.close()
+        return 0
+
+    server_holder: dict = {}
+    server_thread = None
+    if args.listen:
+        from .net.server import run_server
+
+        lhost, lport = _parse_listen(args.listen)
+        ready = threading.Event()
+        server_thread = threading.Thread(
+            target=run_server,
+            args=(follower.service,),
+            kwargs={
+                "host": lhost,
+                "port": lport,
+                "ready": ready,
+                "holder": server_holder,
+            },
+            daemon=True,
+        )
+        server_thread.start()
+        if not ready.wait(10):
+            raise ReproError("replica read server did not come up")
+        server = server_holder["server"]
+        print(f"serving replica reads on {server.host}:{server.port}", flush=True)
+
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    try:
+        follower.run(stop)
+    finally:
+        if server_thread is not None:
+            server_holder["stop"]()
+            server_thread.join(10)
+        report()
+        follower.close()
+    print("replica stopped", flush=True)
     return 0
 
 
@@ -683,6 +786,8 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import SCHEME_NAMES, run_chaos_sweep, standard_plans
 
+    if args.repl is not None:
+        return _cmd_chaos_repl(args)
     plans = standard_plans()
     if args.plans:
         wanted = [name.strip() for name in args.plans.split(",") if name.strip()]
@@ -741,6 +846,61 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             )
         return 1
     print("  verdict:           OK (every recovered LID matches its twin oracle)")
+    return 0
+
+
+def _cmd_chaos_repl(args: argparse.Namespace) -> int:
+    """``repro chaos --repl N``: replication crash sweep — follower kills
+    and primary restarts mid-stream, N kill(s) per trial, every LID
+    verified follower-vs-primary."""
+    from .faults import REPL_PLAN_NAMES, run_repl_chaos_sweep
+
+    schemes = (
+        [name.strip() for name in args.schemes.split(",") if name.strip()]
+        if args.schemes
+        else None
+    )
+    shown = 0
+
+    def progress(trial: Any) -> None:
+        nonlocal shown
+        shown += 1
+        if args.verbose:
+            status = "ok" if trial.ok else "FAIL"
+            print(
+                f"  [{shown}] {trial.scheme:12s} {trial.plan:16s} "
+                f"seed={trial.seed:<3d} {trial.completed_ops} op(s), "
+                f"{trial.checked_lids} LID(s) checked: {status}"
+            )
+
+    try:
+        report = run_repl_chaos_sweep(
+            args.seeds,
+            schemes=schemes,
+            max_ops=args.max_ops,
+            base_labels=args.base,
+            kills=args.repl,
+            progress=progress,
+        )
+    except KeyError as error:
+        raise ReproError(str(error.args[0]))
+    print(
+        f"repl chaos: {report.total} trial(s) "
+        f"({args.seeds} seed(s) x {len(REPL_PLAN_NAMES)} plan(s), "
+        f"{args.repl} kill(s) per trial)"
+    )
+    print(f"  kills injected:    {report.crashes}")
+    print(f"  LIDs checked:      {report.lids_checked}")
+    print(f"  oracle mismatches: {sum(t.mismatches for t in report.trials)}")
+    if report.failures:
+        for trial in report.failures:
+            detail = trial.error or f"{trial.mismatches} LID mismatch(es)"
+            print(
+                f"error: {trial.scheme}/{trial.plan}/seed={trial.seed}: {detail}",
+                file=sys.stderr,
+            )
+        return 1
+    print("  verdict:           OK (every follower LID matches the primary)")
     return 0
 
 
@@ -1171,8 +1331,78 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fsync group commits on file-backed --listen stores",
     )
+    serve.add_argument(
+        "--replicate",
+        action="store_true",
+        help=(
+            "retain the WAL as sealed segments and record a checkpoint "
+            "image so 'repro replicate' followers can attach (file "
+            "storage only)"
+        ),
+    )
+    serve.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=0.0,
+        metavar="SECS",
+        help=(
+            "with --replicate: rotate the WAL every SECS seconds in the "
+            "background (0 = only the startup checkpoint; default 0)"
+        ),
+    )
+    serve.add_argument(
+        "--full-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "with --checkpoint-interval: make every Nth rotation a full "
+            "checkpoint image (0 = rotations only; default 0)"
+        ),
+    )
     _add_common(serve)
     serve.set_defaults(handler=cmd_serve)
+
+    replicate = subparsers.add_parser(
+        "replicate",
+        help=(
+            "run a WAL-shipping read replica of a 'serve --listen "
+            "--replicate' primary"
+        ),
+    )
+    replicate.add_argument(
+        "--follow",
+        required=True,
+        metavar="HOST:PORT",
+        help="the primary's network front end",
+    )
+    replicate.add_argument(
+        "--root",
+        required=True,
+        metavar="DIR",
+        help="local directory for the mirrored page files + WAL segments",
+    )
+    replicate.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help="also serve pinned-epoch reads from the replica on this address",
+    )
+    replicate.add_argument(
+        "--once",
+        action="store_true",
+        help="catch up with the primary, print the cursor, and exit",
+    )
+    replicate.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.05,
+        metavar="SECS",
+        help="idle delay between pull rounds when caught up (default 0.05)",
+    )
+    replicate.add_argument(
+        "--log-capacity", type=int, default=4096, help="modification log capacity"
+    )
+    replicate.set_defaults(handler=cmd_replicate)
 
     inspect = subparsers.add_parser("inspect", help="inspect a saved structure")
     inspect.add_argument("file", help="file written by 'label --save'")
@@ -1215,6 +1445,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--verbose", action="store_true", help="print every trial as it finishes"
+    )
+    chaos.add_argument(
+        "--repl",
+        type=int,
+        default=None,
+        metavar="KILLS",
+        help=(
+            "run the replication crash sweep instead: kill/restart the "
+            "follower (and the primary) KILLS time(s) per trial and "
+            "verify every LID across the wire"
+        ),
     )
     chaos.set_defaults(handler=cmd_chaos)
 

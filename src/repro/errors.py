@@ -150,6 +150,14 @@ class ServiceOverloadedError(ServiceError):
     back off and retry; nothing was applied."""
 
 
+class ReplicationError(ServiceError):
+    """A replication request cannot be served: the target shard does not
+    retain its WAL (``retain_wal=False``), names a segment outside the
+    manifest, or asks for a checkpoint image that was never recorded.
+    On the wire this is a ``BAD_REQUEST`` error frame — the connection
+    lives on."""
+
+
 class ProtocolError(ReproError):
     """A network protocol violation: a malformed, truncated, oversized, or
     otherwise undecodable frame.  The peer that detects it answers with a

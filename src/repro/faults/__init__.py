@@ -4,9 +4,17 @@
 :class:`FaultSpec` vocabulary and the :class:`FaultInjector` runtime that
 backends, the WAL, and the label service consult at named hook points;
 :mod:`repro.faults.chaos` drives seeded crash-recovery sweeps that check
-every recovered label against a twin oracle (the ``repro chaos`` CLI).
+every recovered label against a twin oracle (the ``repro chaos`` CLI);
+:mod:`repro.faults.replchaos` kills and restarts replication followers
+(and the primary) mid-stream and verifies every LID across the wire
+(``repro chaos --repl``).
 """
 
+from .replchaos import (
+    REPL_PLAN_NAMES,
+    run_repl_chaos_sweep,
+    run_repl_chaos_trial,
+)
 from .chaos import (
     SCHEME_NAMES,
     ChaosReport,
@@ -55,11 +63,14 @@ __all__ = [
     "SHORT_WRITE",
     "TORN_WRITE",
     "WRITER_CRASH",
+    "REPL_PLAN_NAMES",
     "SCHEME_NAMES",
     "ScopedFaultInjector",
     "apply_simple_action",
     "run_chaos_sweep",
     "run_chaos_trial",
+    "run_repl_chaos_sweep",
+    "run_repl_chaos_trial",
     "run_shard_chaos_trial",
     "spec_at",
     "split_hook",

@@ -26,6 +26,9 @@ hook                   fires
 ``backend.commit``     entry of :meth:`StorageBackend.commit` (any backend,
                        including :class:`MemoryBackend` — no bytes moved yet)
 ``wal.append``         entry of :meth:`WALWriter.append_transaction`
+``wal.truncate``       entry of :meth:`WALWriter.truncate` (and segment
+                       sealing) — *after* pages + superblock are synced,
+                       *before* the log is emptied; the stale-tail window
 ``service.writer_apply``   writer loop, before applying one queued batch
 ``service.group_commit``   inside a group commit, before the epoch publishes
 =====================  ==========================================================
@@ -101,6 +104,7 @@ HOOKS = frozenset(
         "backend.fsync",
         "backend.commit",
         "wal.append",
+        "wal.truncate",
         "service.writer_apply",
         "service.group_commit",
     )

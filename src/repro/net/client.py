@@ -24,6 +24,7 @@ import itertools
 import socket
 import threading
 import time
+import warnings
 from typing import Any, Sequence
 
 from ..core.batch import BatchOp
@@ -50,6 +51,10 @@ from .protocol import (
     Ping,
     Pong,
     Refresh,
+    ReplChunk,
+    ReplFetch,
+    ReplManifest,
+    ReplState,
     Results,
     ServerHello,
     Submit,
@@ -142,6 +147,7 @@ class NetClient:
         self._pending: dict[int, Pending] = {}
         self._ids = itertools.count(1)
         self._dead: BaseException | None = None
+        self._closed = False
         self._decoder = FrameDecoder(max_frame_bytes)
         self._reader = threading.Thread(
             target=self._read_loop, name="net-client-reader", daemon=True
@@ -154,14 +160,36 @@ class NetClient:
 
     # -- lifecycle ------------------------------------------------------
 
-    def close(self) -> None:
-        """Close the connection; outstanding requests fail."""
+    def close(self, timeout: float = 5.0) -> None:
+        """Close the connection.  Idempotent and deterministic:
+
+        * every still-pending request fails with :class:`ConnectionError`
+          *now* (not whenever the reader thread notices the dead socket),
+          and later ``begin_*`` calls raise the same error immediately;
+        * a second ``close`` is a no-op — it does not ``shutdown`` an
+          already-closed socket;
+        * if the reader thread fails to exit within ``timeout`` a
+          :class:`RuntimeWarning` is emitted instead of silently leaking
+          the thread.
+        """
+        with self._pending_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._fail_all(ConnectionError("client closed while request in flight"))
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:
-            pass
+            pass  # peer already gone; the socket still needs closing
         self._sock.close()
-        self._reader.join(timeout=5.0)
+        self._reader.join(timeout=timeout)
+        if self._reader.is_alive():
+            warnings.warn(
+                f"net-client reader thread still alive {timeout}s after close "
+                "(stuck in recv?); it is daemonic and will not block exit",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def __enter__(self) -> "NetClient":
         return self
@@ -250,6 +278,16 @@ class NetClient:
     def begin_submit(self, ops: Sequence[BatchOp]) -> Pending:
         return self._begin(lambda rid: Submit(rid, tuple(ops)))
 
+    def begin_repl_state(self, shard: int = 0) -> Pending:
+        return self._begin(lambda rid: ReplState(rid, shard))
+
+    def begin_repl_fetch(
+        self, shard: int, kind: int, segment: int, offset: int = 0, limit: int = 0
+    ) -> Pending:
+        return self._begin(
+            lambda rid: ReplFetch(rid, shard, kind, segment, offset, limit)
+        )
+
     # blocking forms -----------------------------------------------------
 
     def hello(self, timeout: float | None = 30.0) -> ServerHello:
@@ -293,3 +331,23 @@ class NetClient:
         frame = self.begin_submit(ops).wait(timeout)
         assert isinstance(frame, Results)
         return list(frame.values)
+
+    def repl_state(self, shard: int = 0, timeout: float | None = 30.0) -> ReplManifest:
+        """One shard's replication position (segment manifest + epoch)."""
+        frame = self.begin_repl_state(shard).wait(timeout)
+        assert isinstance(frame, ReplManifest)
+        return frame
+
+    def repl_fetch(
+        self,
+        shard: int,
+        kind: int,
+        segment: int,
+        offset: int = 0,
+        limit: int = 0,
+        timeout: float | None = 30.0,
+    ) -> ReplChunk:
+        """One windowed read of a replication source (image or WAL)."""
+        frame = self.begin_repl_fetch(shard, kind, segment, offset, limit).wait(timeout)
+        assert isinstance(frame, ReplChunk)
+        return frame

@@ -64,6 +64,8 @@ T_LOOKUP = 0x04
 T_ORDINAL = 0x05
 T_COMPARE = 0x06
 T_SUBMIT = 0x07
+T_REPL_STATE = 0x08
+T_REPL_FETCH = 0x09
 
 T_SERVER_HELLO = 0x81
 T_PONG = 0x82
@@ -72,6 +74,8 @@ T_VALUES = 0x84
 T_ORDERS = 0x85
 T_RESULTS = 0x86
 T_ERROR = 0x87
+T_REPL_MANIFEST = 0x88
+T_REPL_CHUNK = 0x89
 
 #: Human-readable request kind names (metrics labels, span labels).
 REQUEST_NAMES = {
@@ -82,7 +86,13 @@ REQUEST_NAMES = {
     T_ORDINAL: "ordinal",
     T_COMPARE: "compare",
     T_SUBMIT: "submit",
+    T_REPL_STATE: "repl_state",
+    T_REPL_FETCH: "repl_fetch",
 }
+
+#: :class:`ReplFetch` source kinds.
+REPL_FETCH_IMAGE = 0  # a checkpoint image (page-file copy)
+REPL_FETCH_WAL = 1  # a WAL segment (sealed file, or the live tail)
 
 # -- typed error-frame codes -------------------------------------------
 
@@ -187,6 +197,33 @@ class Submit:
 
 
 @dataclass(frozen=True)
+class ReplState:
+    """A follower asking one shard's replication position (manifest)."""
+
+    request_id: int
+    shard: int
+
+
+@dataclass(frozen=True)
+class ReplFetch:
+    """A follower pulling bytes of one replication source.
+
+    ``kind`` selects the source (:data:`REPL_FETCH_IMAGE` /
+    :data:`REPL_FETCH_WAL`); ``segment`` names it — for WAL fetches a
+    sealed segment id, or the manifest's ``next_segment`` for the live
+    tail.  ``offset``/``limit`` window the read so one fetch never
+    exceeds a frame.
+    """
+
+    request_id: int
+    shard: int
+    kind: int
+    segment: int
+    offset: int
+    limit: int
+
+
+@dataclass(frozen=True)
 class ServerHello:
     """Server handshake reply: topology plus the session's initial pin."""
 
@@ -236,6 +273,44 @@ class Results:
 
 
 @dataclass(frozen=True)
+class ReplManifest:
+    """One shard's replication position, answering :class:`ReplState`.
+
+    ``segments`` are the sealed segment ids; ``next_segment`` is the id
+    the live tail will take when sealed; ``tail_bytes`` its current
+    length.  ``checkpoint_segment``/``checkpoint_bytes`` describe the
+    newest checkpoint image (0/0 when none is recorded — segment ids
+    start at 1).  ``epoch`` is the shard service's current epoch number,
+    the follower's lag-in-epochs reference.
+    """
+
+    request_id: int
+    shard: int
+    next_segment: int
+    segments: tuple[int, ...]
+    checkpoint_segment: int
+    checkpoint_bytes: int
+    epoch: int
+    tail_bytes: int
+
+
+@dataclass(frozen=True)
+class ReplChunk:
+    """One windowed read answering a :class:`ReplFetch`.
+
+    ``total`` is the source's current byte length; ``sealed`` says the
+    source can no longer grow (a sealed segment or checkpoint image —
+    the live tail ships with ``sealed=False``).  ``data`` may be empty
+    when the offset is at (or past) the current end.
+    """
+
+    request_id: int
+    sealed: bool
+    total: int
+    data: bytes
+
+
+@dataclass(frozen=True)
 class ErrorFrame:
     """A typed failure: one of the ``ERR_*`` codes plus a message."""
 
@@ -250,7 +325,9 @@ class ErrorFrame:
 
 Frame = (
     Hello | Ping | Refresh | Lookup | Ordinal | Compare | Submit
+    | ReplState | ReplFetch
     | ServerHello | Pong | Epochs | Values | Orders | Results | ErrorFrame
+    | ReplManifest | ReplChunk
 )
 
 
@@ -497,6 +574,18 @@ def encode_payload(frame: Frame) -> bytes:
         _append_uvarint(out, len(frame.ops))
         for op in frame.ops:
             _encode_op(out, op)
+    elif isinstance(frame, ReplState):
+        _append_uvarint(out, T_REPL_STATE)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, frame.shard)
+    elif isinstance(frame, ReplFetch):
+        _append_uvarint(out, T_REPL_FETCH)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, frame.shard)
+        _append_uvarint(out, frame.kind)
+        _append_uvarint(out, frame.segment)
+        _append_uvarint(out, frame.offset)
+        _append_uvarint(out, frame.limit)
     elif isinstance(frame, ServerHello):
         _append_uvarint(out, T_SERVER_HELLO)
         _append_uvarint(out, frame.request_id)
@@ -535,6 +624,25 @@ def encode_payload(frame: Frame) -> bytes:
         _append_uvarint(out, len(frame.values))
         for value in frame.values:
             encode_value(out, value)
+    elif isinstance(frame, ReplManifest):
+        _append_uvarint(out, T_REPL_MANIFEST)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, frame.shard)
+        _append_uvarint(out, frame.next_segment)
+        _append_uvarint(out, len(frame.segments))
+        for segment in frame.segments:
+            _append_uvarint(out, segment)
+        _append_uvarint(out, frame.checkpoint_segment)
+        _append_uvarint(out, frame.checkpoint_bytes)
+        _append_uvarint(out, frame.epoch)
+        _append_uvarint(out, frame.tail_bytes)
+    elif isinstance(frame, ReplChunk):
+        _append_uvarint(out, T_REPL_CHUNK)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, 1 if frame.sealed else 0)
+        _append_uvarint(out, frame.total)
+        _append_uvarint(out, len(frame.data))
+        out += frame.data
     elif isinstance(frame, ErrorFrame):
         _append_uvarint(out, T_ERROR)
         _append_uvarint(out, frame.request_id)
@@ -630,6 +738,39 @@ def _decode_body(frame_type: int, request_id: int, reader: _Reader) -> Frame:
     if frame_type == T_RESULTS:
         n = reader.count()
         return Results(request_id, tuple(_decode_value(reader) for _ in range(n)))
+    if frame_type == T_REPL_STATE:
+        return ReplState(request_id, reader.uvarint())
+    if frame_type == T_REPL_FETCH:
+        return ReplFetch(
+            request_id,
+            reader.uvarint(),
+            reader.uvarint(),
+            reader.uvarint(),
+            reader.uvarint(),
+            reader.uvarint(),
+        )
+    if frame_type == T_REPL_MANIFEST:
+        shard = reader.uvarint()
+        next_segment = reader.uvarint()
+        n = reader.count()
+        segments = tuple(reader.uvarint() for _ in range(n))
+        return ReplManifest(
+            request_id,
+            shard,
+            next_segment,
+            segments,
+            reader.uvarint(),
+            reader.uvarint(),
+            reader.uvarint(),
+            reader.uvarint(),
+        )
+    if frame_type == T_REPL_CHUNK:
+        sealed_raw = reader.uvarint()
+        if sealed_raw > 1:
+            raise ProtocolError(f"bad sealed flag {sealed_raw}")
+        total = reader.uvarint()
+        n = reader.count()
+        return ReplChunk(request_id, bool(sealed_raw), total, reader.take(n))
     if frame_type == T_ERROR:
         code = reader.uvarint()
         return ErrorFrame(request_id, code, _decode_str(reader))

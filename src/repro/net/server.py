@@ -41,6 +41,7 @@ a single client-to-commit trace per request.
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
@@ -51,6 +52,7 @@ from ..errors import (
     LabelingError,
     ProtocolError,
     RecordNotFoundError,
+    ReplicationError,
     ReproError,
     ServiceClosedError,
     ServiceDegradedError,
@@ -60,6 +62,7 @@ from ..errors import (
 )
 from ..obs import trace
 from ..obs.metrics import get_registry
+from ..storage.walseg import checkpoint_image_path, segment_path
 from . import protocol as proto
 from .protocol import (
     Compare,
@@ -74,6 +77,10 @@ from .protocol import (
     Ping,
     Pong,
     Refresh,
+    ReplChunk,
+    ReplFetch,
+    ReplManifest,
+    ReplState,
     Results,
     ServerHello,
     Submit,
@@ -87,6 +94,10 @@ DEFAULT_MAX_INFLIGHT = 64
 #: Default bound on how long a submit may wait for write-queue space
 #: before it is shed with a typed ``OVERLOADED`` frame.
 DEFAULT_SUBMIT_TIMEOUT = 2.0
+
+#: Hard cap on one ``ReplChunk``'s data, comfortably under the frame
+#: limit with headers to spare.  Fetch limits above this are clamped.
+REPL_CHUNK_CAP = 256 * 1024
 
 
 def _error_code_for(error: BaseException) -> int:
@@ -188,6 +199,14 @@ class NetServer:
         self._connections_total = registry.counter(
             "repro_net_connections_total",
             help="connections accepted by the network front end",
+        )
+        self._repl_chunks_total = registry.counter(
+            "repro_repl_chunks_shipped_total",
+            help="replication chunks served to followers",
+        )
+        self._repl_bytes_total = registry.counter(
+            "repro_repl_bytes_shipped_total",
+            help="replication payload bytes served to followers",
         )
 
     # -- service shape helpers -----------------------------------------
@@ -394,6 +413,10 @@ class NetServer:
         if isinstance(frame, Compare):
             orders = tuple(session.compare(a, b) for a, b in frame.pairs)
             return Orders(frame.request_id, orders)
+        if isinstance(frame, ReplState):
+            return self._repl_state(frame)
+        if isinstance(frame, ReplFetch):
+            return self._repl_fetch(frame)
         if isinstance(frame, Submit):
             try:
                 ticket = self.service.submit_ops(
@@ -408,6 +431,90 @@ class NetServer:
         raise ProtocolError(
             f"{type(frame).__name__} is not a request frame"
         )
+
+    # -- replication (WAL shipping) ------------------------------------
+
+    def _repl_shard(self, shard: int) -> tuple[Any, Any]:
+        """``(shard service, retain-mode backend)`` for one shard index."""
+        services = getattr(self.service, "shards", None) or [self.service]
+        if not 0 <= shard < len(services):
+            raise ReplicationError(
+                f"shard {shard} out of range (service has {len(services)})"
+            )
+        shard_service = services[shard]
+        backend = shard_service.scheme.store.backend
+        if getattr(backend, "wal_manifest", None) is None:
+            raise ReplicationError(
+                f"shard {shard} does not retain its WAL "
+                "(backend opened without retain_wal=True)"
+            )
+        return shard_service, backend
+
+    def _repl_state(self, frame: ReplState) -> ReplManifest:
+        shard_service, backend = self._repl_shard(frame.shard)
+        manifest = backend.wal_manifest
+        checkpoints = manifest["checkpoints"]
+        newest = checkpoints[-1] if checkpoints else None
+        try:
+            tail_bytes = os.path.getsize(backend.wal_path)
+        except OSError:
+            tail_bytes = 0
+        return ReplManifest(
+            frame.request_id,
+            frame.shard,
+            manifest["next_segment"],
+            tuple(manifest["segments"]),
+            newest["segment"] if newest else 0,
+            newest["bytes"] if newest else 0,
+            shard_service.current_epoch.number,
+            tail_bytes,
+        )
+
+    def _repl_fetch(self, frame: ReplFetch) -> ReplChunk:
+        _shard_service, backend = self._repl_shard(frame.shard)
+        manifest = backend.wal_manifest
+        if frame.kind == proto.REPL_FETCH_IMAGE:
+            if not any(
+                record["segment"] == frame.segment
+                for record in manifest["checkpoints"]
+            ):
+                raise ReplicationError(
+                    f"no checkpoint image recorded at segment {frame.segment}"
+                )
+            path = checkpoint_image_path(backend.path, frame.segment)
+            sealed = True
+        elif frame.kind == proto.REPL_FETCH_WAL:
+            if frame.segment in manifest["segments"]:
+                path = segment_path(backend.path, frame.segment)
+                sealed = True
+            elif frame.segment == manifest["next_segment"]:
+                # The live tail.  The WAL handle is flushed at every
+                # commit, so the file always ends on a whole committed
+                # transaction boundary (plus, at worst, bytes of one the
+                # writer is mid-append on — the follower applies only the
+                # committed prefix).
+                path = backend.wal_path
+                sealed = False
+            else:
+                raise ReplicationError(
+                    f"segment {frame.segment} is neither sealed nor the "
+                    f"live tail (next is {manifest['next_segment']})"
+                )
+        else:
+            raise ReplicationError(f"unknown replication fetch kind {frame.kind}")
+        limit = min(frame.limit, REPL_CHUNK_CAP) if frame.limit else REPL_CHUNK_CAP
+        try:
+            with open(path, "rb") as handle:
+                total = os.fstat(handle.fileno()).st_size
+                handle.seek(frame.offset)
+                data = handle.read(limit)
+        except FileNotFoundError:
+            if sealed:
+                raise ReplicationError(f"replication source {path} vanished") from None
+            total, data = 0, b""  # live tail not created yet: empty
+        self._repl_chunks_total.inc()
+        self._repl_bytes_total.inc(len(data))
+        return ReplChunk(frame.request_id, sealed, total, data)
 
     # -- writes ---------------------------------------------------------
 

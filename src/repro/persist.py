@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 from typing import Any
 
 from .config import BoxConfig
@@ -68,6 +69,9 @@ __all__ = [
     "load_document",
     "attach_scheme_to_backend",
     "checkpoint_scheme",
+    "full_checkpoint",
+    "incremental_checkpoint",
+    "restore_to_checkpoint",
     "open_file_scheme",
     "create_sharded_backends",
     "open_sharded_schemes",
@@ -393,11 +397,116 @@ def attach_scheme_to_backend(scheme: Any) -> FileBackend:
 def checkpoint_scheme(scheme: Any) -> FileBackend:
     """Flush ``scheme`` to its file backend: every resident block is
     committed in one WAL transaction together with the scheme metadata,
-    and the log is truncated.  The file is then a complete, self-describing
-    checkpoint — the file-backend counterpart of :func:`save_scheme`."""
+    and the log is truncated (or, in ``retain_wal`` mode, left standing
+    as segment history).  The commit path enforces the durability order
+    explicitly: WAL fsync -> page images -> superblock -> fsync barrier
+    -> truncate, so a crash at any point recovers to either the old or
+    the new checkpoint, never a hybrid.  The file is then a complete,
+    self-describing checkpoint — the file-backend counterpart of
+    :func:`save_scheme`."""
     backend = attach_scheme_to_backend(scheme)
     backend.checkpoint()
     return backend
+
+
+def full_checkpoint(scheme: Any, extra: dict | None = None) -> dict:
+    """Checkpoint + rotate + record a page-file image (``retain_wal``).
+
+    The three steps establish the PITR contract (see
+    :mod:`repro.storage.walseg`):
+
+    1. :meth:`~repro.storage.FileBackend.checkpoint` commits every
+       resident block — the last transaction of the current live log;
+    2. :meth:`~repro.storage.FileBackend.seal_wal_segment` rotates that
+       log into sealed segment *S*;
+    3. the page file (now reflecting everything through *S*) is copied
+       as the checkpoint image for segment *S*\\ +1.
+
+    Restoring the returned record's image and replaying segments
+    ``>= record["segment"]`` reproduces any later state.  ``extra``
+    (e.g. the service epoch) is stored in the record verbatim.
+
+    The caller must hold the latch that guards commits — under a running
+    service use :func:`repro.repl.checkpoint_service`, which latches.
+    """
+    backend = attach_scheme_to_backend(scheme)
+    backend.checkpoint()
+    backend.seal_wal_segment()
+    return backend.record_checkpoint_image(extra)
+
+
+def incremental_checkpoint(scheme: Any) -> int | None:
+    """Seal the accumulated live log as one segment (``retain_wal``).
+
+    The cheap durability point: a metadata-only commit closes the
+    segment with the current scheme metadata, then the log rotates.  No
+    page-file image is copied — the sealed segment *is* the increment;
+    recovery (and PITR, and a replication follower) replays it on top of
+    the last full checkpoint.  Returns the sealed segment's id, or
+    ``None`` when nothing was committed since the last rotation.  Same
+    latching requirement as :func:`full_checkpoint`.
+    """
+    backend = attach_scheme_to_backend(scheme)
+    backend.commit([])
+    return backend.seal_wal_segment()
+
+
+def restore_to_checkpoint(
+    path: str,
+    target: str,
+    upto_segment: int | None = None,
+    backend_cls: type[FileBackend] = FileBackend,
+) -> dict:
+    """Point-in-time recovery: rebuild ``path``'s state at a recorded
+    checkpoint + sealed-segment prefix into a fresh page file ``target``.
+
+    Picks the newest checkpoint whose replay range fits
+    ``upto_segment`` (``None`` = all sealed segments), copies its image
+    to ``target``, then replays each in-range segment through the stock
+    recovery path: the segment file is placed as ``target``'s WAL and
+    the backend is opened and closed, which replays the committed
+    transactions and truncates.  Every mechanism is the ordinary crash
+    path — PITR adds no second way to interpret the log.  Returns the
+    checkpoint record used.
+    """
+    from .storage.walseg import read_wal_manifest, segment_path
+
+    manifest = read_wal_manifest(path)
+    segments = [
+        seg
+        for seg in manifest["segments"]
+        if upto_segment is None or seg <= upto_segment
+    ]
+    horizon = (upto_segment if upto_segment is not None else None)
+    candidates = [
+        record
+        for record in manifest["checkpoints"]
+        if horizon is None or record["segment"] <= horizon + 1
+    ]
+    if not candidates:
+        raise PersistError(
+            f"{path}: no checkpoint image covers segments <= {upto_segment}"
+        )
+    record = candidates[-1]
+    image = os.path.join(os.path.dirname(path) or ".", record["image"])
+    with open(image, "rb") as src, open(target, "wb") as dst:
+        while True:
+            chunk = src.read(1 << 20)
+            if not chunk:
+                break
+            dst.write(chunk)
+    for seg in segments:
+        if seg < record["segment"]:
+            continue
+        with open(segment_path(path, seg), "rb") as src:
+            with open(target + ".wal", "wb") as dst:
+                while True:
+                    chunk = src.read(1 << 20)
+                    if not chunk:
+                        break
+                    dst.write(chunk)
+        backend_cls(target).close()
+    return record
 
 
 def open_file_scheme(
@@ -405,6 +514,7 @@ def open_file_scheme(
     page_bytes: int | None = None,
     fsync: bool = False,
     backend_cls: type[FileBackend] = FileBackend,
+    retain_wal: bool = False,
 ) -> Any:
     """Open a page file written through a scheme-attached
     :class:`~repro.storage.filebackend.FileBackend` and return a working
@@ -417,7 +527,9 @@ def open_file_scheme(
     for zero-copy page reads) — the on-disk format is shared, so any
     variant opens any file.
     """
-    backend = backend_cls(path, page_bytes=page_bytes, fsync=fsync)
+    backend = backend_cls(
+        path, page_bytes=page_bytes, fsync=fsync, retain_wal=retain_wal
+    )
     header = backend.metadata
     if not header or "scheme" not in header:
         backend.close()
@@ -449,6 +561,7 @@ def create_sharded_backends(
     page_bytes: int | None = None,
     fsync: bool = False,
     backend_cls: type[FileBackend] = FileBackend,
+    retain_wal: bool = False,
 ) -> list[FileBackend]:
     """Create a sharded store directory: the manifest plus one fresh
     :class:`~repro.storage.filebackend.FileBackend` per shard.
@@ -461,7 +574,12 @@ def create_sharded_backends(
     """
     write_manifest(root, n_shards, page_bytes=page_bytes)
     return [
-        backend_cls(shard_page_path(root, shard), page_bytes=page_bytes, fsync=fsync)
+        backend_cls(
+            shard_page_path(root, shard),
+            page_bytes=page_bytes,
+            fsync=fsync,
+            retain_wal=retain_wal,
+        )
         for shard in range(n_shards)
     ]
 
@@ -471,6 +589,7 @@ def open_sharded_schemes(
     page_bytes: int | None = None,
     fsync: bool = False,
     backend_cls: type[FileBackend] = FileBackend,
+    retain_wal: bool = False,
 ) -> list[Any]:
     """Open every shard of a sharded store directory, in shard order.
 
@@ -487,6 +606,7 @@ def open_sharded_schemes(
             page_bytes=page_bytes,
             fsync=fsync,
             backend_cls=backend_cls,
+            retain_wal=retain_wal,
         )
         for shard in range(manifest["n_shards"])
     ]

@@ -1,0 +1,127 @@
+"""Primary-side replication duties: latched checkpoints and rotation.
+
+:func:`~repro.persist.full_checkpoint` and
+:func:`~repro.persist.incremental_checkpoint` operate on a bare scheme
+and require the caller to exclude concurrent commits.  Under a running
+:class:`~repro.service.service.LabelService` the writer thread commits
+whenever a batch drains, so these wrappers take each shard's exclusive
+latch for the duration — a checkpoint or rotation then sits between two
+group commits, never inside one.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from ..persist import full_checkpoint, incremental_checkpoint
+
+__all__ = [
+    "annotate_commits_with_epoch",
+    "checkpoint_service",
+    "rotate_service_wal",
+    "start_checkpoint_thread",
+]
+
+
+def shard_services(service: Any) -> list[Any]:
+    """The per-shard :class:`LabelService` list of ``service`` (itself,
+    singly, when unsharded)."""
+    shards = getattr(service, "shards", None)
+    return list(shards) if shards is not None else [service]
+
+
+@contextmanager
+def _exclusive(shard_service: Any) -> Iterator[None]:
+    shard_service._latch.acquire_exclusive()
+    try:
+        yield
+    finally:
+        shard_service._latch.release_exclusive()
+
+
+def annotate_commits_with_epoch(service: Any) -> Any:
+    """Stamp every commit's journaled metadata with the epoch it will
+    publish as (``repl_epoch``).
+
+    Installs each shard backend's ``metadata_decorator`` (which survives
+    provider re-attachment by checkpoints): the writer commits first and
+    publishes after, so the transaction that produces epoch N+1 carries
+    ``current_epoch.number + 1``.  Followers use the stamp to report lag
+    in epochs; everything else ignores the extra key.  Returns
+    ``service`` for chaining; idempotent per service.
+    """
+    for shard_service in shard_services(service):
+        backend = shard_service.scheme.store.backend
+
+        def decorate(meta, shard_service=shard_service):
+            meta = dict(meta or {})
+            meta["repl_epoch"] = shard_service.current_epoch.number + 1
+            return meta
+
+        backend.metadata_decorator = decorate
+    return service
+
+
+def checkpoint_service(service: Any) -> list[dict]:
+    """Full checkpoint of every shard, each under its commit latch.
+
+    Per shard: flush every resident block, seal the live log, and record
+    a page-file checkpoint image stamped with the shard's current epoch
+    (the follower's lag-in-epochs reference).  Returns the checkpoint
+    records in shard order.  This is the durability point bootstrap
+    requires: a follower attaches to the newest recorded image.
+    """
+    records = []
+    for shard_service in shard_services(service):
+        with _exclusive(shard_service):
+            records.append(
+                full_checkpoint(
+                    shard_service.scheme,
+                    extra={"epoch": shard_service.current_epoch.number},
+                )
+            )
+    return records
+
+
+def rotate_service_wal(service: Any) -> list[int | None]:
+    """Incremental checkpoint of every shard, each under its commit latch.
+
+    Seals each shard's accumulated live log as one segment (metadata-only
+    commit, no image copy) so followers can mirror-and-seal it and
+    recovery replays less tail.  Returns per-shard sealed segment ids
+    (``None`` where nothing had been committed since the last rotation).
+    """
+    sealed = []
+    for shard_service in shard_services(service):
+        with _exclusive(shard_service):
+            sealed.append(incremental_checkpoint(shard_service.scheme))
+    return sealed
+
+
+def start_checkpoint_thread(
+    service: Any,
+    interval: float,
+    *,
+    full_every: int = 0,
+    stop: threading.Event | None = None,
+) -> tuple[threading.Thread, threading.Event]:
+    """Background periodic rotation: every ``interval`` seconds run
+    :func:`rotate_service_wal`; every ``full_every``-th tick (0 = never)
+    run :func:`checkpoint_service` instead.  Returns the started daemon
+    thread and its stop event."""
+    stop_event = stop if stop is not None else threading.Event()
+
+    def _loop() -> None:
+        tick = 0
+        while not stop_event.wait(interval):
+            tick += 1
+            if full_every and tick % full_every == 0:
+                checkpoint_service(service)
+            else:
+                rotate_service_wal(service)
+
+    thread = threading.Thread(target=_loop, name="repl-checkpointer", daemon=True)
+    thread.start()
+    return thread, stop_event

@@ -154,6 +154,15 @@ class LabelService:
         spans) when the service is one shard of a
         :class:`~repro.service.sharded.ShardedLabelService`.  ``None``
         (default) keeps the unsharded, unlabeled metrics output.
+    replica:
+        Start in replica (read-only follower) mode: every write path is
+        refused with :class:`~repro.errors.ServiceDegradedError`, exactly
+        like degraded mode on the wire, but :attr:`degraded` stays False —
+        the structure is healthy and fallthrough reads still work.  The
+        replication follower applies shipped WAL transactions directly to
+        the structure (under the exclusive latch) and publishes epochs;
+        :meth:`promote` flips the service to a normal writable one
+        (failover handoff).
     """
 
     def __init__(
@@ -171,6 +180,7 @@ class LabelService:
         fault_injector: Any = None,
         write_buffer: int = 1,
         shard_name: str | None = None,
+        replica: bool = False,
     ) -> None:
         if isinstance(target, LabeledDocument):
             self.document: LabeledDocument | None = target
@@ -197,6 +207,8 @@ class LabelService:
         self._closed = False
         self.retry_policy = retry_policy
         self.fault_injector = fault_injector
+        #: Replica (read-only follower) mode; see the class docstring.
+        self.replica = replica
         #: Why the service degraded, or None while healthy.  Set exactly
         #: once (the writer's dying act); reads are plain attribute loads.
         self._degraded_reason: str | None = None
@@ -302,6 +314,21 @@ class LabelService:
             raise ServiceDegradedError(
                 f"service is degraded (read-only): {self._degraded_reason}"
             )
+        if self.replica:
+            self.stats.add(degraded_write_rejects=1)
+            raise ServiceDegradedError(
+                "service is a replica (read-only); promote() to accept writes"
+            )
+
+    def promote(self) -> "LabelService":
+        """Leave replica mode and become the writer (failover handoff).
+
+        Clears the replica flag and starts the writer thread; subsequent
+        submits are accepted.  The caller is responsible for making sure
+        the old primary is no longer committing (split-brain is not
+        detected here)."""
+        self.replica = False
+        return self.start()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -608,7 +635,11 @@ class LabelService:
         counters = self.stats.snapshot()
         return {
             "scheme": self.scheme.name,
-            "state": "degraded" if self.degraded else "running",
+            "state": (
+                "degraded" if self.degraded
+                else "replica" if self.replica
+                else "running"
+            ),
             "degraded_reason": self._degraded_reason,
             "epoch": self._current.number,
             "queue_depth": self.queue_depth,

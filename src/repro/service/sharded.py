@@ -168,6 +168,7 @@ class ShardedLabelService:
         retry_policy: RetryPolicy | None = RetryPolicy(),
         fault_injector: Any = None,
         write_buffer: int = 1,
+        replica: bool = False,
     ) -> None:
         if not schemes:
             raise ServiceError("a sharded service needs at least one scheme")
@@ -198,6 +199,7 @@ class ShardedLabelService:
                     fault_injector=injector,
                     write_buffer=write_buffer,
                     shard_name=f"shard{shard}" if sharded else None,
+                    replica=replica,
                 )
             )
 
@@ -217,6 +219,17 @@ class ShardedLabelService:
         """Drain and join every shard's writer."""
         for shard in self.shards:
             shard.stop(timeout)
+
+    @property
+    def replica(self) -> bool:
+        """Whether every shard is in replica (read-only follower) mode."""
+        return all(shard.replica for shard in self.shards)
+
+    def promote(self) -> "ShardedLabelService":
+        """Promote every shard out of replica mode (failover handoff)."""
+        for shard in self.shards:
+            shard.promote()
+        return self
 
     def close(self) -> None:
         for shard in self.shards:
@@ -305,7 +318,11 @@ class ShardedLabelService:
         """Diagnostic summary: global state plus one section per shard."""
         return {
             "n_shards": self.n_shards,
-            "state": "degraded" if self.degraded else "running",
+            "state": (
+                "degraded" if self.degraded
+                else "replica" if self.replica
+                else "running"
+            ),
             "degraded_shards": self.degraded_shards,
             "epoch_vector": list(self.current_epoch_vector.numbers),
             "queue_depth": self.queue_depth,

@@ -21,7 +21,14 @@ from .shardlayout import (
     shard_page_path,
     write_manifest,
 )
-from .wal import WALScan, scan_wal
+from .wal import WALScan, scan_wal, scan_wal_bytes
+from .walseg import (
+    checkpoint_image_path,
+    manifest_path,
+    read_wal_manifest,
+    segment_path,
+    write_wal_manifest,
+)
 
 __all__ = [
     "MANIFEST_NAME",
@@ -44,4 +51,10 @@ __all__ = [
     "HeapFile",
     "WALScan",
     "scan_wal",
+    "scan_wal_bytes",
+    "checkpoint_image_path",
+    "manifest_path",
+    "read_wal_manifest",
+    "segment_path",
+    "write_wal_manifest",
 ]

@@ -65,7 +65,14 @@ from ..obs import trace
 from ..obs.metrics import get_registry
 from .backend import StorageBackend
 from .codec import decode_block_payload, encode_block_payload
+from .wal import MAGIC as WAL_MAGIC
 from .wal import WALWriter, scan_wal
+from .walseg import (
+    checkpoint_image_path,
+    read_wal_manifest,
+    segment_path,
+    write_wal_manifest,
+)
 
 MAGIC = b"BOXPAGE1"
 
@@ -150,10 +157,20 @@ class FileBackend(StorageBackend):
         Fixed page size.  Must match the file's on opening an existing
         file (omit to accept the stored geometry).
     fsync:
-        Issue ``os.fsync`` at the two durability points of each commit.
+        Issue ``os.fsync`` at the durability points of each commit.
         Off by default: simulated crashes (the only kind tests can make)
         do not lose OS-buffered writes, and benchmarks should measure the
         protocol, not the host's disk.
+    retain_wal:
+        Keep committed transactions in the log instead of truncating it
+        after each commit (segment-retaining mode, the substrate of
+        replication and incremental checkpoints — see
+        :mod:`repro.storage.walseg`).  The live log accumulates until
+        :meth:`seal_wal_segment` rotates it into a numbered segment
+        file; recovery on reopen replays the committed tail (page writes
+        are idempotent) and trims only a torn suffix.  Off by default:
+        the classic truncate-per-commit protocol is byte-identical to
+        before.
     """
 
     def __init__(
@@ -161,11 +178,18 @@ class FileBackend(StorageBackend):
         path: str,
         page_bytes: int | None = None,
         fsync: bool = False,
+        retain_wal: bool = False,
     ) -> None:
         super().__init__()
         self.path = path
         self.wal_path = path + ".wal"
         self.fsync = fsync
+        self.retain_wal = retain_wal
+        #: Segment bookkeeping (see :mod:`repro.storage.walseg`); loaded
+        #: lazily so non-retaining backends never touch the manifest.
+        self.wal_manifest: dict[str, Any] | None = (
+            read_wal_manifest(path) if retain_wal else None
+        )
         #: Decoded live payloads (the buffer pool); identity-stable.
         self._objects: dict[int, Any] = {}
         #: Ids with a page image on disk (committed at some point).
@@ -176,6 +200,10 @@ class FileBackend(StorageBackend):
         #: set, every commit journals its result (schemes use this to keep
         #: their LIDF directory recoverable).
         self.metadata_provider: Any = None
+        #: Optional one-arg callable applied to the provider's result
+        #: before journaling; survives re-attachment of the provider
+        #: (replication stamps each commit's publish epoch through this).
+        self.metadata_decorator: Any = None
         #: A write-kind fault armed by a page/superblock hook, consumed by
         #: the next physical write (so "tear the superblock" tears the
         #: actual image bytes, wherever they land).
@@ -200,7 +228,17 @@ class FileBackend(StorageBackend):
             self._handle = open(self.path, "w+b")
             self._raw_write_at(0, MAGIC)
             self._write_superblock()
-        self._wal = WALWriter(self.wal_path, self._raw_write, fault_fire=self._fire_fault)
+            self._sync(self._handle)
+        self._wal = self._make_wal_writer()
+
+    def _make_wal_writer(self) -> WALWriter:
+        return WALWriter(
+            self.wal_path,
+            self._raw_write,
+            fault_fire=self._fire_fault,
+            sync=self._sync_raw,
+            sync_dir=self._sync_dir,
+        )
 
     # ------------------------------------------------------------------
     # physical writes (single funnel; fault injection lives here)
@@ -283,6 +321,36 @@ class FileBackend(StorageBackend):
                     self._perform_fsync_fault(action)
             os.fsync(handle.fileno())
 
+    def _sync_raw(self, handle: Any) -> None:
+        """Like :meth:`_sync` but without the ``backend.fsync`` hook.
+
+        Used for the post-truncate/post-seal sync of the (now empty or
+        renamed) log: the transaction is already durable in pages +
+        superblock by then, so an injected fsync failure there would
+        crash the machine *after* the commit point — a window the chaos
+        oracle cannot attribute.  The hookable crash point for this
+        window is ``wal.truncate``, fired at entry while the log still
+        holds the transaction.
+        """
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    def _sync_dir(self, dirpath: str) -> None:
+        """fsync a directory so renames/truncations within it are durable.
+
+        A no-op unless the backend was opened with ``fsync=True`` — the
+        same policy gate as :meth:`_sync`; metadata-only, so it bypasses
+        the write-fault funnel (there are no bytes to tear).
+        """
+        if not self.fsync:
+            return
+        fd = os.open(dirpath or ".", os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
     def _perform_fsync_fault(self, action: Any) -> None:
         from ..faults.plan import FSYNC_FAIL, LATENCY, apply_simple_action
 
@@ -334,7 +402,6 @@ class FileBackend(StorageBackend):
             ).encode("utf-8")
         image = _SUPER_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
         self._raw_write_at(len(MAGIC), image.ljust(SUPERBLOCK_BYTES, b"\0"))
-        self._sync(self._handle)
 
     def _read_superblock(self) -> dict[str, Any] | None:
         """Decode the superblock (following overflow), or None if torn."""
@@ -381,8 +448,14 @@ class FileBackend(StorageBackend):
                 f"{self.path}: superblock unreadable and no committed WAL "
                 "transaction supplies a replacement"
             )
-        if scan.committed or scan.torn_tail:
-            WALWriter(self.wal_path, self._raw_write).truncate()
+        if self.retain_wal:
+            # The committed tail is retained history (it will be sealed
+            # into a segment); only a torn suffix is cut away, at the
+            # clean commit boundary the scan reports.
+            if scan.torn_tail:
+                self._make_wal_writer().trim(scan.committed_bytes)
+        elif scan.committed or scan.torn_tail:
+            self._make_wal_writer().truncate()
         if page_bytes is not None and page_bytes != self.page_bytes:
             raise StorageError(
                 f"{self.path} has {self.page_bytes}-byte pages, not {page_bytes}"
@@ -505,6 +578,8 @@ class FileBackend(StorageBackend):
                     puts[block_id] = encode_block_payload(self._objects[block_id])
             if self.metadata_provider is not None:
                 self.metadata = self.metadata_provider()
+                if self.metadata_decorator is not None:
+                    self.metadata = self.metadata_decorator(self.metadata)
             # The WAL's META record embeds the full superblock so replay can
             # rebuild it even if the on-file superblock write was torn.
             after_state = self._superblock_dict()
@@ -514,7 +589,14 @@ class FileBackend(StorageBackend):
             for block_id, image in puts.items():
                 self._write_page_image(block_id, image)
             self._write_superblock(after_state)
-            self._wal.truncate()
+            # Explicit barrier: pages + superblock must be durable before
+            # the log stops being the source of truth.  Truncating (or, in
+            # retain mode, letting the tail stand as history) ahead of
+            # this sync would leave a window where neither the file nor
+            # the log holds the committed state.
+            self._sync(self._handle)
+            if not self.retain_wal:
+                self._wal.truncate()
             self.commits += 1
             if span.recording:
                 span.add("backend.pages", len(puts))
@@ -527,6 +609,84 @@ class FileBackend(StorageBackend):
     def checkpoint(self) -> None:
         """Force a commit of every resident object (plus metadata)."""
         self.commit(list(self._objects))
+
+    # ------------------------------------------------------------------
+    # WAL segmentation (retain_wal mode; see repro.storage.walseg)
+    # ------------------------------------------------------------------
+
+    def _require_retain(self) -> dict[str, Any]:
+        if not self.retain_wal or self.wal_manifest is None:
+            raise StorageError(
+                f"{self.path}: WAL segmentation requires retain_wal=True"
+            )
+        return self.wal_manifest
+
+    def seal_wal_segment(self) -> int | None:
+        """Rotate the live log into a sealed, numbered segment file.
+
+        Returns the new segment's id, or ``None`` when the live log holds
+        no transactions (sealing would produce an empty segment).  The
+        caller must hold whatever latch guards commits — rotation must
+        not interleave with a transaction being appended.
+        """
+        manifest = self._require_retain()
+        if (
+            not os.path.exists(self.wal_path)
+            or os.path.getsize(self.wal_path) <= len(WAL_MAGIC)
+        ):
+            return None
+        seg_id = manifest["next_segment"]
+        self._wal.seal_to(segment_path(self.path, seg_id))
+        manifest["segments"].append(seg_id)
+        manifest["next_segment"] = seg_id + 1
+        write_wal_manifest(self.path, manifest, fsync=self.fsync)
+        get_registry().counter(
+            "repro_wal_segments_sealed_total",
+            help="live WAL rotations into sealed segment files",
+        ).inc()
+        return seg_id
+
+    def record_checkpoint_image(self, extra: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Copy the page file as the checkpoint image for the *next*
+        segment and record it in the manifest.
+
+        Call after :meth:`checkpoint` + :meth:`seal_wal_segment`: the
+        image then reflects every sealed segment, so restoring it and
+        replaying segments ``>= record["segment"]`` reproduces any later
+        state.  ``extra`` (e.g. the service epoch at checkpoint time) is
+        stored verbatim in the record for lag accounting.
+        """
+        manifest = self._require_retain()
+        seg = manifest["next_segment"]
+        image = checkpoint_image_path(self.path, seg)
+        self._handle.flush()
+        tmp = image + ".tmp"
+        with open(self.path, "rb") as src, open(tmp, "wb") as dst:
+            while True:
+                chunk = src.read(1 << 20)
+                if not chunk:
+                    break
+                dst.write(chunk)
+            if self.fsync:
+                dst.flush()
+                os.fsync(dst.fileno())
+            size = dst.tell()
+        os.replace(tmp, image)
+        self._sync_dir(os.path.dirname(image) or ".")
+        record: dict[str, Any] = {
+            "segment": seg,
+            "image": os.path.basename(image),
+            "bytes": size,
+        }
+        if extra:
+            record.update(extra)
+        manifest["checkpoints"].append(record)
+        write_wal_manifest(self.path, manifest, fsync=self.fsync)
+        get_registry().counter(
+            "repro_wal_checkpoint_images_total",
+            help="checkpoint images recorded in the WAL manifest",
+        ).inc()
+        return record
 
     def drop_clean_objects(self) -> None:
         """Evict the object table (committed blocks only).

@@ -64,6 +64,7 @@ class MmapBackend(FileBackend):
         path: str,
         page_bytes: int | None = None,
         fsync: bool = False,
+        retain_wal: bool = False,
     ) -> None:
         # Map state must exist before super().__init__: opening an existing
         # file reads the superblock, which already goes through the view.
@@ -74,7 +75,9 @@ class MmapBackend(FileBackend):
         self._page_file_dirty = False
         self.generation = 0
         self.remaps = 0
-        super().__init__(path, page_bytes=page_bytes, fsync=fsync)
+        super().__init__(
+            path, page_bytes=page_bytes, fsync=fsync, retain_wal=retain_wal
+        )
 
     # ------------------------------------------------------------------
     # map lifecycle

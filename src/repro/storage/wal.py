@@ -71,6 +71,11 @@ class WALScan:
     #: Why the tail was discarded (empty when the log scanned clean) —
     #: surfaced so recovery diagnostics never silently swallow a reason.
     tail_reason: str = ""
+    #: Absolute offset (magic included when present) where the committed
+    #: prefix ends — a clean cut point: truncating the log here drops
+    #: exactly the torn tail, and a replication follower resumes its
+    #: incremental parse from here.
+    committed_bytes: int = 0
 
     @property
     def committed(self) -> int:
@@ -95,12 +100,19 @@ class WALWriter:
         path: str,
         raw_write: Callable[[Any, bytes], None],
         fault_fire: Callable[..., Any] | None = None,
+        sync: Callable[[Any], None] | None = None,
+        sync_dir: Callable[[str], None] | None = None,
     ) -> None:
         self.path = path
         self._raw_write = raw_write
         #: Optional fault dispatcher (the owning backend's ``_fire_fault``)
-        #: consulted at the ``wal.append`` hook point.
+        #: consulted at the ``wal.append`` and ``wal.truncate`` hook points.
         self._fault_fire = fault_fire
+        #: Durability callables supplied by the owning backend: ``sync``
+        #: flushes (and, per backend policy, fsyncs) a handle; ``sync_dir``
+        #: fsyncs a directory so renames/truncations survive power loss.
+        self._sync = sync
+        self._sync_dir = sync_dir
         self._handle: Any = None
         self.records_written = 0
         self.bytes_written = 0
@@ -183,13 +195,63 @@ class WALWriter:
         self.records_written = records
         self.bytes_written = bytes_written
 
+    def _fire(self, hook: str) -> None:
+        if self._fault_fire is not None:
+            action = self._fault_fire(hook)
+            if action is not None:
+                from ..faults.plan import apply_simple_action
+
+                apply_simple_action(action)
+
     def truncate(self) -> None:
-        """Empty the log (step 3 of the protocol)."""
+        """Empty the log (step 3 of the protocol).
+
+        The truncation itself is a durability point: if it is lost to a
+        crash, a *stale* WAL tail survives next to newer pages and a
+        later checkpoint, and recovery would replay its old metadata over
+        the newer state.  So the emptied file and its parent directory
+        are both synced (through the owning backend's fsync policy)
+        before the protocol step counts as done.
+        """
+        self._fire("wal.truncate")
         if self._handle is not None:
             self._handle.close()
             self._handle = None
-        with open(self.path, "wb"):
-            pass
+        with open(self.path, "wb") as handle:
+            if self._sync is not None:
+                self._sync(handle)
+        if self._sync_dir is not None:
+            self._sync_dir(os.path.dirname(self.path) or ".")
+
+    def trim(self, offset: int) -> None:
+        """Cut the log at ``offset``: drop a torn tail, keep the committed
+        prefix (segment-retaining mode's recovery step — the committed
+        records stay in place because they are part of segment history)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        with open(self.path, "r+b") as handle:
+            handle.truncate(offset)
+            if self._sync is not None:
+                self._sync(handle)
+
+    def seal_to(self, target: str) -> None:
+        """Atomically rename the live log to ``target`` (segment sealing).
+
+        The file is synced before the rename and the directory after it,
+        so the sealed segment is durable under its final name — the same
+        two-step discipline as :meth:`truncate`.
+        """
+        self._fire("wal.truncate")
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        with open(self.path, "ab") as handle:
+            if self._sync is not None:
+                self._sync(handle)
+        os.replace(self.path, target)
+        if self._sync_dir is not None:
+            self._sync_dir(os.path.dirname(target) or ".")
 
     def close(self) -> None:
         if self._handle is not None:
@@ -205,22 +267,47 @@ def scan_wal(path: str) -> WALScan:
     an incomplete or CRC-mismatched tail is expected after a crash and is
     reported, not raised.
     """
-    scan = WALScan()
     if not os.path.exists(path) or os.path.getsize(path) == 0:
-        return scan
+        return WALScan()
     with open(path, "rb") as handle:
         data = handle.read()
-    if data[: len(MAGIC)] != MAGIC:
-        if MAGIC.startswith(data[: len(MAGIC)]):
-            # The very first physical write (the magic itself) was torn:
-            # nothing was ever committed, the whole file is a torn tail.
-            scan.torn_tail = True
-            scan.tail_bytes = len(data)
-            scan.tail_reason = "torn magic"
-            _count_torn_tail(scan)
-            return scan
-        raise WALError(f"{path} is not a write-ahead log (bad magic)")
-    offset = len(MAGIC)
+    return scan_wal_bytes(data, source=path)
+
+
+def scan_wal_bytes(
+    data: bytes,
+    *,
+    expect_magic: bool = True,
+    source: str = "<bytes>",
+    count_tail: bool = True,
+) -> WALScan:
+    """Decode raw log bytes (the worker behind :func:`scan_wal`).
+
+    ``expect_magic=False`` parses a mid-stream slice (a replication
+    follower resuming after the magic it already consumed).
+    ``count_tail=False`` suppresses the torn-tail metric: an incomplete
+    tail is *normal* for a follower polling a live log, not a recovery
+    event.  ``scan.committed_bytes`` is where the committed prefix ends —
+    the follower's resume offset, and recovery's trim point.
+    """
+    scan = WALScan()
+    if not data:
+        return scan
+    if expect_magic:
+        if data[: len(MAGIC)] != MAGIC:
+            if MAGIC.startswith(data[: len(MAGIC)]):
+                # The very first physical write (the magic itself) was torn:
+                # nothing was ever committed, the whole file is a torn tail.
+                scan.torn_tail = True
+                scan.tail_bytes = len(data)
+                scan.tail_reason = "torn magic"
+                if count_tail:
+                    _count_torn_tail(scan)
+                return scan
+            raise WALError(f"{source} is not a write-ahead log (bad magic)")
+        offset = len(MAGIC)
+    else:
+        offset = 0
     pending = WALTransaction()
     pending_start = offset
     crc = 0
@@ -231,7 +318,7 @@ def scan_wal(path: str) -> WALScan:
         rec_type, length = _HEADER.unpack_from(data, offset)
         body_start = offset + _HEADER.size
         if rec_type not in (REC_PUT, REC_META, REC_COMMIT):
-            raise WALError(f"{path}: impossible record type {rec_type}")
+            raise WALError(f"{source}: impossible record type {rec_type}")
         if body_start + length > len(data):
             scan.tail_reason = "torn record body"
             break
@@ -269,12 +356,14 @@ def scan_wal(path: str) -> WALScan:
                 scan.tail_reason = "corrupt META body"
                 break
         offset = body_start + length
+    scan.committed_bytes = pending_start
     if pending_start < len(data):
         scan.torn_tail = True
         scan.tail_bytes = len(data) - pending_start
         if not scan.tail_reason:
             scan.tail_reason = "uncommitted trailing records"
-        _count_torn_tail(scan)
+        if count_tail:
+            _count_torn_tail(scan)
     else:
         scan.tail_reason = ""
     return scan

@@ -1,0 +1,127 @@
+"""WAL segmentation: the on-disk vocabulary of retained log history.
+
+A :class:`~repro.storage.FileBackend` opened with ``retain_wal=True``
+stops truncating its log after each commit.  Instead the live log
+accumulates transactions until it is **sealed**: atomically renamed to a
+numbered *segment* file next to the page file.  Segment ids are
+monotonic and never reused; a small JSON manifest (atomic temp-file +
+rename, same discipline as the shard manifest) records what exists:
+
+.. code-block:: text
+
+    mystore.pages               <- the page file
+    mystore.pages.wal           <- live log (the tail; becomes segment 3)
+    mystore.pages.seg-000001.wal
+    mystore.pages.seg-000002.wal
+    mystore.pages.ckpt-000002   <- checkpoint image: replay segments >= 2
+    mystore.pages.walseg.json   <- {"next_segment": 3, "segments": [1, 2],
+                                    "checkpoints": [{"segment": 2, ...}]}
+
+Every segment file is an ordinary write-ahead log (magic + records), so
+:func:`~repro.storage.wal.scan_wal` and the whole recovery path apply to
+each one unchanged.  A *checkpoint record* pairs a copy of the page file
+with the id of the first segment NOT reflected in it: restoring that
+image and replaying segments ``>= record["segment"]`` (in id order)
+reproduces any later state — that is the point-in-time-recovery
+contract, and exactly what a replication follower does at bootstrap.
+
+The manifest is advisory bookkeeping over files that are individually
+self-describing; it is written *after* the filesystem operations it
+records, so a crash between the two leaves a sealed segment the next
+rotation re-records, never a manifest naming files that don't exist.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..errors import PersistError
+
+__all__ = [
+    "checkpoint_image_path",
+    "fresh_manifest",
+    "manifest_path",
+    "read_wal_manifest",
+    "segment_path",
+    "write_wal_manifest",
+]
+
+#: Manifest filename suffix (next to the page file).
+MANIFEST_SUFFIX = ".walseg.json"
+
+#: Manifest format version this code writes and understands.
+MANIFEST_VERSION = 1
+
+
+def manifest_path(page_path: str) -> str:
+    """Path of the segment manifest for page file ``page_path``."""
+    return page_path + MANIFEST_SUFFIX
+
+
+def segment_path(page_path: str, segment: int) -> str:
+    """Path of sealed segment ``segment`` of page file ``page_path``."""
+    return f"{page_path}.seg-{segment:06d}.wal"
+
+
+def checkpoint_image_path(page_path: str, segment: int) -> str:
+    """Path of the checkpoint image whose replay starts at ``segment``."""
+    return f"{page_path}.ckpt-{segment:06d}"
+
+
+def fresh_manifest() -> dict:
+    """The manifest of a store with no sealed history yet.
+
+    The live log will become segment 1 when first sealed.
+    """
+    return {
+        "version": MANIFEST_VERSION,
+        "next_segment": 1,
+        "segments": [],
+        "checkpoints": [],
+    }
+
+
+def read_wal_manifest(page_path: str) -> dict:
+    """Read the segment manifest, defaulting to a fresh one when absent."""
+    path = manifest_path(page_path)
+    if not os.path.exists(path):
+        return fresh_manifest()
+    try:
+        with open(path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise PersistError(f"unreadable WAL manifest {path}: {error}") from error
+    if not isinstance(manifest, dict) or manifest.get("version") != MANIFEST_VERSION:
+        raise PersistError(
+            f"WAL manifest {path} has unsupported version "
+            f"{manifest.get('version') if isinstance(manifest, dict) else manifest!r}"
+        )
+    for key in ("next_segment", "segments", "checkpoints"):
+        if key not in manifest:
+            raise PersistError(f"malformed WAL manifest {path}: missing {key!r}")
+    return manifest
+
+
+def write_wal_manifest(page_path: str, manifest: dict, *, fsync: bool = False) -> None:
+    """Atomically persist the segment manifest (temp file + rename).
+
+    With ``fsync`` the temp file is synced before the rename and the
+    directory after it, so the manifest update itself cannot be lost to
+    a crash that the files it describes survived.
+    """
+    path = manifest_path(page_path)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    if fsync:
+        fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)

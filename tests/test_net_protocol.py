@@ -40,6 +40,10 @@ from repro.net.protocol import (
     Ping,
     Pong,
     Refresh,
+    ReplChunk,
+    ReplFetch,
+    ReplManifest,
+    ReplState,
     Results,
     ServerHello,
     Submit,
@@ -137,6 +141,34 @@ frames = st.one_of(
         request_ids,
         st.integers(min_value=1, max_value=7),
         st.text(max_size=40),
+    ),
+    st.builds(ReplState, request_ids, st.integers(min_value=0, max_value=63)),
+    st.builds(
+        ReplFetch,
+        request_ids,
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=0, max_value=2**40),
+        st.integers(min_value=0, max_value=2**20),
+    ),
+    st.builds(
+        ReplManifest,
+        request_ids,
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=1, max_value=2**31),
+        st.lists(st.integers(min_value=1, max_value=2**31), max_size=8).map(tuple),
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=0, max_value=2**40),
+        epoch_numbers,
+        st.integers(min_value=0, max_value=2**40),
+    ),
+    st.builds(
+        ReplChunk,
+        request_ids,
+        st.booleans(),
+        st.integers(min_value=0, max_value=2**40),
+        st.binary(max_size=64),
     ),
 )
 

@@ -1,0 +1,279 @@
+"""WAL-shipping replication, in-process and over real sockets.
+
+A file-backed primary (``retain_wal`` mode) runs under a
+:class:`~repro.service.LabelService` behind the network front end; a
+:class:`~repro.repl.Follower` bootstraps from its newest checkpoint
+image, mirrors the WAL — sealed segments and the live tail — through the
+wire protocol's replication frames, and applies committed transactions
+through the stock recovery machinery.  These tests pin the tier-1
+contract: bootstrap requires a checkpoint, catch-up agrees with the
+primary LID-for-LID, reader sessions on the follower stay pinned to
+their epoch while new transactions apply, the replica rejects writes
+(in-process and over the wire) until promoted, and the lag gauges read
+zero exactly when the follower is caught up.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import TINY_CONFIG, BatchOp, WBox
+from repro.errors import ReplicationError, ServiceDegradedError
+from repro.net.client import NetClient
+from repro.persist import attach_scheme_to_backend, create_sharded_backends
+from repro.repl import (
+    Follower,
+    annotate_commits_with_epoch,
+    checkpoint_service,
+    rotate_service_wal,
+)
+from repro.service import LabelService, ShardedLabelService, bulk_load_sharded
+from repro.storage import BlockStore, FileBackend, default_page_bytes
+
+
+class Primary:
+    """A file-backed primary service behind a real server socket."""
+
+    def __init__(self, tmp_path, n_shards=1, base=24, checkpoint=True):
+        from repro.net.server import run_server
+
+        page_bytes = default_page_bytes(TINY_CONFIG.block_bytes)
+        if n_shards == 1:
+            backend = FileBackend(
+                str(tmp_path / "primary.pages"),
+                page_bytes=page_bytes,
+                retain_wal=True,
+            )
+            scheme = WBox(TINY_CONFIG, store=BlockStore(TINY_CONFIG, backend=backend))
+            attach_scheme_to_backend(scheme)
+            self.lids = scheme.bulk_load(base, [i ^ 1 for i in range(base)])
+            self.service = LabelService(scheme).start()
+        else:
+            root = str(tmp_path / "primary-shards")
+            backends = create_sharded_backends(
+                root, n_shards, page_bytes=page_bytes, retain_wal=True
+            )
+            schemes = [
+                WBox(TINY_CONFIG, store=BlockStore(TINY_CONFIG, backend=backend))
+                for backend in backends
+            ]
+            for scheme in schemes:
+                attach_scheme_to_backend(scheme)
+            self.lids = bulk_load_sharded(schemes, base)
+            self.service = ShardedLabelService(schemes).start()
+        annotate_commits_with_epoch(self.service)
+        if checkpoint:
+            checkpoint_service(self.service)
+        ready = threading.Event()
+        self.holder: dict = {}
+        self.thread = threading.Thread(
+            target=run_server,
+            args=(self.service,),
+            kwargs={"ready": ready, "holder": self.holder},
+            daemon=True,
+        )
+        self.thread.start()
+        assert ready.wait(10)
+        self.port = self.holder["server"].port
+
+    def insert(self, anchor):
+        ticket = self.service.submit_ops([BatchOp("insert_before", (anchor,))])
+        lid = ticket.wait(10).results[0]
+        self.lids.append(lid)
+        return lid
+
+    def close(self):
+        for cleanup in (self.holder["stop"], lambda: self.thread.join(10),
+                        self.service.close):
+            try:
+                cleanup()
+            except Exception:  # noqa: BLE001 — teardown
+                pass
+
+
+@pytest.fixture()
+def primary(tmp_path):
+    harness = Primary(tmp_path)
+    yield harness
+    harness.close()
+
+
+def assert_twin(primary, follower):
+    psess = primary.service.session()
+    fsess = follower.service.session()
+    for lid in primary.lids:
+        assert fsess.lookup(lid) == psess.lookup(lid)
+
+
+class TestBootstrap:
+    def test_requires_a_checkpoint_image(self, tmp_path):
+        harness = Primary(tmp_path, checkpoint=False)
+        try:
+            with pytest.raises(ReplicationError, match="no checkpoint image"):
+                Follower("127.0.0.1", harness.port, str(tmp_path / "f")).connect()
+        finally:
+            harness.close()
+
+    def test_bootstrap_matches_every_lid(self, primary, tmp_path):
+        with Follower("127.0.0.1", primary.port, str(tmp_path / "f")).connect() as f:
+            f.catch_up()
+            assert_twin(primary, f)
+
+    def test_streams_post_checkpoint_writes(self, primary, tmp_path):
+        with Follower("127.0.0.1", primary.port, str(tmp_path / "f")).connect() as f:
+            f.catch_up()
+            for index in range(10):
+                primary.insert(primary.lids[index])
+                if index % 4 == 3:
+                    rotate_service_wal(primary.service)
+            f.catch_up()
+            assert_twin(primary, f)
+            shard = f.shards[0]
+            assert shard.txns_applied > 0
+            assert shard.segments_sealed >= 2  # mirrored rotations sealed locally
+
+    def test_catch_up_is_safe_alongside_the_background_thread(self, primary, tmp_path):
+        # Regression: catch_up() from the host thread and the start()ed
+        # background run() drive the same per-shard cursors; without the
+        # step lock the interleaving misaligned the mirrored-tail offset
+        # and the follower died scanning magic bytes as a record header.
+        with Follower("127.0.0.1", primary.port, str(tmp_path / "f")).connect() as f:
+            f.start()
+            for index in range(12):
+                primary.insert(primary.lids[index])
+                if index % 3 == 2:
+                    rotate_service_wal(primary.service)
+                f.catch_up()
+            f.catch_up()
+            assert_twin(primary, f)
+
+    def test_follower_restart_resumes_from_local_state(self, primary, tmp_path):
+        root = str(tmp_path / "f")
+        with Follower("127.0.0.1", primary.port, root).connect() as f:
+            f.catch_up()
+            applied_before = f.shards[0].txns_applied
+        for index in range(5):
+            primary.insert(primary.lids[index])
+        with Follower("127.0.0.1", primary.port, root).connect() as f:
+            f.catch_up()
+            assert_twin(primary, f)
+            # Fresh instance over the same files: it resumed, not re-applied.
+            assert f.shards[0].txns_applied <= applied_before + 6
+
+
+class TestPinnedEpochReads:
+    def test_session_stays_pinned_while_transactions_apply(self, primary, tmp_path):
+        with Follower("127.0.0.1", primary.port, str(tmp_path / "f")).connect() as f:
+            f.catch_up()
+            pinned = f.service.session()
+            before = {lid: pinned.lookup(lid) for lid in primary.lids[:12]}
+            for index in range(6):
+                primary.insert(primary.lids[index])
+            f.catch_up()
+            # The old session still answers at its pinned epoch...
+            assert {lid: pinned.lookup(lid) for lid in before} == before
+            # ...while a fresh session sees the applied transactions and
+            # agrees with the primary on every label, new LIDs included.
+            assert_twin(primary, f)
+
+    def test_refresh_advances_to_applied_epoch(self, primary, tmp_path):
+        with Follower("127.0.0.1", primary.port, str(tmp_path / "f")).connect() as f:
+            f.catch_up()
+            session = f.service.session()
+            for index in range(4):
+                primary.insert(primary.lids[index])
+            f.catch_up()
+            session.refresh()
+            psess = primary.service.session()
+            for lid in primary.lids:
+                assert session.lookup(lid) == psess.lookup(lid)
+
+
+class TestReplicaWritePath:
+    def test_replica_rejects_writes_in_process(self, primary, tmp_path):
+        with Follower("127.0.0.1", primary.port, str(tmp_path / "f")).connect() as f:
+            f.catch_up()
+            with pytest.raises(ServiceDegradedError, match="replica"):
+                f.service.submit_ops([BatchOp("insert_before", (primary.lids[0],))])
+            assert f.service.describe()["state"] == "replica"
+
+    def test_replica_rejects_writes_over_the_wire(self, primary, tmp_path):
+        from repro.net.server import run_server
+
+        with Follower("127.0.0.1", primary.port, str(tmp_path / "f")).connect() as f:
+            f.catch_up()
+            ready = threading.Event()
+            holder: dict = {}
+            thread = threading.Thread(
+                target=run_server,
+                args=(f.service,),
+                kwargs={"ready": ready, "holder": holder},
+                daemon=True,
+            )
+            thread.start()
+            assert ready.wait(10)
+            try:
+                with NetClient("127.0.0.1", holder["server"].port) as client:
+                    psess = primary.service.session()
+                    got = client.lookup(primary.lids[:8])
+                    assert got == [psess.lookup(lid) for lid in primary.lids[:8]]
+                    with pytest.raises(ServiceDegradedError):
+                        client.submit([BatchOp("insert_before", (primary.lids[0],))])
+            finally:
+                holder["stop"]()
+                thread.join(10)
+
+    def test_promote_enables_writes(self, primary, tmp_path):
+        with Follower("127.0.0.1", primary.port, str(tmp_path / "f")).connect() as f:
+            f.catch_up()
+            promoted = f.promote()
+            assert promoted.describe()["state"] != "replica"
+            ticket = promoted.submit_ops(
+                [BatchOp("insert_before", (primary.lids[0],))]
+            )
+            lid = ticket.wait(10).results[0]
+            session = promoted.session()
+            assert session.lookup(lid) is not None
+
+
+class TestLag:
+    def test_lag_is_zero_when_caught_up(self, primary, tmp_path):
+        with Follower("127.0.0.1", primary.port, str(tmp_path / "f")).connect() as f:
+            f.catch_up()
+            shard = f.shards[0]
+            assert shard.lag_bytes == 0
+            assert shard.lag_epochs == 0
+
+    def test_position_epoch_tracks_the_primary(self, primary, tmp_path):
+        with Follower("127.0.0.1", primary.port, str(tmp_path / "f")).connect() as f:
+            for index in range(4):
+                primary.insert(primary.lids[index])
+            f.catch_up()
+            shard = f.shards[0]
+            assert shard.position_epoch == primary.service.current_epoch.number
+            assert shard.primary_epoch == primary.service.current_epoch.number
+
+
+class TestSharded:
+    def test_two_shard_replication(self, tmp_path):
+        harness = Primary(tmp_path, n_shards=2, base=48)
+        try:
+            with Follower(
+                "127.0.0.1", harness.port, str(tmp_path / "f")
+            ).connect() as f:
+                f.catch_up()
+                assert len(f.shards) == 2
+                assert_twin(harness, f)
+                for index in range(8):
+                    harness.insert(harness.lids[index])
+                rotate_service_wal(harness.service)
+                f.catch_up()
+                assert_twin(harness, f)
+                with pytest.raises(ServiceDegradedError, match="replica"):
+                    f.service.submit_ops(
+                        [BatchOp("insert_before", (harness.lids[0],))]
+                    )
+        finally:
+            harness.close()

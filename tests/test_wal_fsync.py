@@ -1,0 +1,174 @@
+"""The WAL protocol's fsync discipline, pinned syscall-by-syscall.
+
+Two durability bugs motivate this file:
+
+* **Truncate durability** — emptying the log (protocol step 3) must fsync
+  the emptied file *and* its parent directory.  A truncation that only
+  reaches the page cache can be lost to power failure, leaving a stale
+  WAL next to newer pages; recovery would then replay old metadata over
+  the newer state.
+* **Barrier ordering** — pages + superblock must be fsynced *before* the
+  truncate begins.  Truncating first opens a window where neither the
+  log nor the page file holds the committed transaction.
+
+The tests record every ``os.fsync`` target (inode + file/dir bit) during
+a single commit on an ``fsync=True`` backend and assert the exact
+sequence; a directed fault-matrix entry then crashes *at* the truncate
+hook and proves recovery replays the still-present log correctly.
+"""
+
+import os
+import stat
+
+import pytest
+
+from repro import WBox
+from repro.config import TINY_CONFIG
+from repro.errors import CrashError
+from repro.faults import TORN_WRITE, FaultInjector, FaultPlan, FaultSpec, run_chaos_trial
+from repro.persist import attach_scheme_to_backend, open_file_scheme
+from repro.storage import BlockStore, FileBackend, default_page_bytes, scan_wal
+
+
+def make_scheme(tmp_path, fsync=True):
+    path = str(tmp_path / "t.pages")
+    backend = FileBackend(
+        path,
+        page_bytes=default_page_bytes(TINY_CONFIG.block_bytes),
+        fsync=fsync,
+    )
+    scheme = WBox(TINY_CONFIG, store=BlockStore(TINY_CONFIG, backend=backend))
+    attach_scheme_to_backend(scheme)
+    return scheme, backend, path
+
+
+def bulk(scheme, count):
+    return scheme.bulk_load(count, [i ^ 1 for i in range(count)])
+
+
+class FsyncRecorder:
+    """Every ``os.fsync`` target as ``(inode, is_directory)``, in call
+    order — classifying by inode keeps the record meaningful across the
+    truncate, which recreates the log file under a new inode."""
+
+    def __init__(self, monkeypatch):
+        self.targets = []
+        real = os.fsync
+
+        def record(fd):
+            info = os.fstat(fd)
+            self.targets.append((info.st_ino, stat.S_ISDIR(info.st_mode)))
+            real(fd)
+
+        monkeypatch.setattr(os, "fsync", record)
+
+    def files(self):
+        return [ino for ino, is_dir in self.targets if not is_dir]
+
+    def dirs(self):
+        return [ino for ino, is_dir in self.targets if is_dir]
+
+
+class TestTruncateDurability:
+    def test_truncate_syncs_emptied_log_and_parent_dir(
+        self, tmp_path, monkeypatch
+    ):
+        """The emptied log file and its directory both reach disk before
+        truncate returns — the regression for truncations lost to the
+        page cache."""
+        scheme, backend, path = make_scheme(tmp_path)
+        bulk(scheme, 8)
+        recorder = FsyncRecorder(monkeypatch)
+        backend._wal.truncate()
+        wal_ino = os.stat(backend.wal_path).st_ino
+        dir_ino = os.stat(tmp_path).st_ino
+        assert wal_ino in recorder.files()
+        assert dir_ino in recorder.dirs()
+        backend.close()
+
+    def test_no_fsync_policy_means_no_fsync(self, tmp_path, monkeypatch):
+        """The durability gate is the backend's one fsync policy: with
+        ``fsync=False`` the truncate path must not sneak syncs in."""
+        scheme, backend, path = make_scheme(tmp_path, fsync=False)
+        bulk(scheme, 8)
+        recorder = FsyncRecorder(monkeypatch)
+        backend._wal.truncate()
+        assert recorder.targets == []
+        backend.close()
+
+
+class TestCommitBarrierOrdering:
+    def test_single_commit_fsync_sequence(self, tmp_path, monkeypatch):
+        """One commit fsyncs, in order: the appended log, the page file
+        (the barrier), the emptied log, the directory.  The barrier
+        strictly preceding the truncate syncs is the commit protocol's
+        safety argument."""
+        scheme, backend, path = make_scheme(tmp_path)
+        bulk(scheme, 8)
+        wal_before = os.stat(backend.wal_path).st_ino
+        pages_ino = os.stat(path).st_ino
+        recorder = FsyncRecorder(monkeypatch)
+        backend.checkpoint()
+        wal_after = os.stat(backend.wal_path).st_ino
+        dir_ino = os.stat(tmp_path).st_ino
+        assert recorder.targets == [
+            (wal_before, False),  # WAL append + commit record
+            (pages_ino, False),  # pages + superblock barrier
+            (wal_after, False),  # emptied log
+            (dir_ino, True),  # its directory entry
+        ]
+        backend.close()
+
+
+class TestTruncateCrashWindow:
+    def test_crash_at_truncate_preserves_log_and_recovers(self, tmp_path):
+        """A crash at truncate entry leaves the full log *and* the full
+        pages+superblock; reopening must replay the log's metadata (the
+        newest committed state) without double-applying anything."""
+        scheme, backend, path = make_scheme(tmp_path, fsync=False)
+        lids = bulk(scheme, 24)
+        for index in range(6):
+            lids.append(scheme.insert_before(lids[index]))
+        order = sorted(lids, key=scheme.lookup)
+        backend.install_faults(
+            FaultInjector(
+                FaultPlan(
+                    [FaultSpec(TORN_WRITE, "wal.truncate", at=1)],
+                    name="truncate-crash",
+                )
+            )
+        )
+        with pytest.raises(CrashError):
+            scheme.insert_before(lids[0])
+        # The commit finished everything except the truncate: the log
+        # still holds the committed transaction.
+        assert scan_wal(path + ".wal").committed
+        backend.close()
+
+        reopened = open_file_scheme(path)
+        report = reopened.store.backend.recovery_report
+        assert report["replayed_transactions"] >= 1
+        assert sorted(lids, key=reopened.lookup) == order
+        reopened.store.backend.close()
+
+    def test_truncate_crash_matrix_entry(self, tmp_path):
+        """The directed fault-matrix entry: crash anywhere a seeded
+        window puts the truncate, recover, agree with the twin oracle on
+        every LID — the sweep-level regression for the stale-WAL window."""
+        plan = FaultPlan(
+            [FaultSpec(TORN_WRITE, "wal.truncate", at=None, window=(1, 40))],
+            name="wal-truncate-crash",
+        )
+        for seed in (0, 1, 2):
+            trial = run_chaos_trial(
+                "wbox",
+                "wal-truncate-crash",
+                plan,
+                seed,
+                str(tmp_path),
+                max_ops=200,
+            )
+            assert trial.crashed, f"seed {seed}: truncate fault never fired"
+            assert trial.mismatches == 0 and not trial.error, trial
+            assert trial.checked_lids > 0
+            assert any("wal.truncate" in fired for fired in trial.faults_fired)

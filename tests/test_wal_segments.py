@@ -1,0 +1,231 @@
+"""WAL segmentation: rotation, manifests, retained tails, and PITR.
+
+In ``retain_wal`` mode the live log rotates into numbered sealed
+segments instead of being truncated after each commit; together with
+recorded checkpoint images the segment chain supports point-in-time
+recovery and replication shipping.  These tests pin the manifest
+discipline (monotonic ids, survives reopen), retain-mode crash recovery
+(trim the torn tail, keep the committed prefix *in place*), and the PITR
+contract: restore image + replay sealed segments == the exact state at
+the chosen rotation boundary, reproducibly.
+"""
+
+import os
+
+import pytest
+
+from repro import WBox
+from repro.config import TINY_CONFIG
+from repro.persist import (
+    PersistError,
+    attach_scheme_to_backend,
+    full_checkpoint,
+    incremental_checkpoint,
+    open_file_scheme,
+    restore_to_checkpoint,
+)
+from repro.storage import BlockStore, FileBackend, default_page_bytes, scan_wal
+from repro.storage.walseg import (
+    checkpoint_image_path,
+    read_wal_manifest,
+    segment_path,
+)
+from repro.storage.wal import MAGIC, _HEADER, REC_PUT
+
+
+def make_scheme(tmp_path, name="t.pages", fsync=False):
+    path = str(tmp_path / name)
+    backend = FileBackend(
+        path,
+        page_bytes=default_page_bytes(TINY_CONFIG.block_bytes),
+        retain_wal=True,
+        fsync=fsync,
+    )
+    scheme = WBox(TINY_CONFIG, store=BlockStore(TINY_CONFIG, backend=backend))
+    attach_scheme_to_backend(scheme)
+    return scheme, backend, path
+
+
+def bulk(scheme, count):
+    return scheme.bulk_load(count, [i ^ 1 for i in range(count)])
+
+
+def edit(scheme, lids, rounds):
+    for index in range(rounds):
+        lids.append(scheme.insert_before(lids[(5 * index) % len(lids)]))
+    return lids
+
+
+def snapshot(scheme, lids):
+    return {lid: scheme.lookup(lid) for lid in lids}
+
+
+class TestRotation:
+    def test_seal_produces_numbered_segment(self, tmp_path):
+        scheme, backend, path = make_scheme(tmp_path)
+        lids = edit(scheme, bulk(scheme, 24), 10)
+        sealed = incremental_checkpoint(scheme)
+        assert sealed == 1
+        manifest = read_wal_manifest(path)
+        assert manifest["segments"] == [1]
+        assert manifest["next_segment"] == 2
+        segment = segment_path(path, 1)
+        assert os.path.exists(segment)
+        scan = scan_wal(segment)
+        assert scan.committed and not scan.torn_tail
+        backend.close()
+
+    def test_seal_of_empty_log_is_none(self, tmp_path):
+        scheme, backend, path = make_scheme(tmp_path)
+        bulk(scheme, 24)
+        assert incremental_checkpoint(scheme) == 1
+        # The live log is empty right after sealing: a bare rotation with
+        # no intervening commit has nothing to seal and must not burn an id.
+        assert backend.seal_wal_segment() is None
+        assert read_wal_manifest(path)["segments"] == [1]
+        assert read_wal_manifest(path)["next_segment"] == 2
+        backend.close()
+
+    def test_segment_ids_monotonic_across_reopen(self, tmp_path):
+        scheme, backend, path = make_scheme(tmp_path)
+        lids = bulk(scheme, 24)
+        edit(scheme, lids, 6)
+        assert incremental_checkpoint(scheme) == 1
+        edit(scheme, lids, 6)
+        assert incremental_checkpoint(scheme) == 2
+        backend.close()
+
+        reopened = open_file_scheme(path, retain_wal=True)
+        edit(reopened, list(lids), 6)
+        assert incremental_checkpoint(reopened) == 3
+        manifest = read_wal_manifest(path)
+        assert manifest["segments"] == [1, 2, 3]
+        assert manifest["next_segment"] == 4
+        reopened.store.backend.close()
+
+    def test_retain_mode_recovery_trims_tail_in_place(self, tmp_path):
+        """A torn in-flight append dies at reopen, but the committed live
+        tail is *trimmed*, not truncated away — it is segment history the
+        next rotation will seal."""
+        scheme, backend, path = make_scheme(tmp_path)
+        lids = edit(scheme, bulk(scheme, 24), 8)
+        order = sorted(lids, key=scheme.lookup)
+        backend.close()
+
+        committed = scan_wal(path + ".wal").committed_bytes
+        body = bytes(12)
+        torn = (_HEADER.pack(REC_PUT, len(body) + 40) + body)[:9]
+        with open(path + ".wal", "ab") as handle:
+            handle.write(torn)
+
+        reopened = open_file_scheme(path, retain_wal=True)
+        report = reopened.store.backend.recovery_report
+        assert report["discarded_tail_bytes"] == len(torn)
+        assert report["replayed_transactions"] > 0
+        assert os.path.getsize(path + ".wal") == committed
+        assert sorted(lids, key=reopened.lookup) == order
+        reopened.store.backend.close()
+
+
+class TestPITR:
+    def test_restore_reproduces_sealed_state_exactly(self, tmp_path):
+        scheme, backend, path = make_scheme(tmp_path)
+        lids = edit(scheme, bulk(scheme, 24), 8)
+        record = full_checkpoint(scheme, extra={"note": "base"})
+        assert record["note"] == "base"
+        assert os.path.getsize(checkpoint_image_path(path, record["segment"])) == (
+            record["bytes"]
+        )
+
+        edit(scheme, lids, 9)
+        incremental_checkpoint(scheme)
+        sealed_labels = snapshot(scheme, lids)
+        sealed_count = scheme.label_count()
+        # Commits past the last rotation stay in the live tail and must
+        # NOT appear in the restored state.
+        edit(scheme, lids, 7)
+        backend.checkpoint()
+
+        target = str(tmp_path / "restored.pages")
+        used = restore_to_checkpoint(path, target)
+        assert used["segment"] == record["segment"]
+        restored = open_file_scheme(target)
+        assert restored.label_count() == sealed_count
+        assert snapshot(restored, list(sealed_labels)) == sealed_labels
+        restored.store.backend.close()
+        backend.close()
+
+    def test_restore_is_reproducible_byte_for_byte(self, tmp_path):
+        scheme, backend, path = make_scheme(tmp_path)
+        lids = edit(scheme, bulk(scheme, 24), 8)
+        full_checkpoint(scheme)
+        edit(scheme, lids, 9)
+        incremental_checkpoint(scheme)
+        backend.close()
+
+        targets = [str(tmp_path / f"restored-{i}.pages") for i in (0, 1)]
+        for target in targets:
+            restore_to_checkpoint(path, target)
+        with open(targets[0], "rb") as a, open(targets[1], "rb") as b:
+            assert a.read() == b.read()
+
+    def test_restore_upto_segment_prefix(self, tmp_path):
+        scheme, backend, path = make_scheme(tmp_path)
+        lids = edit(scheme, bulk(scheme, 24), 6)
+        full_checkpoint(scheme)
+
+        edit(scheme, lids, 5)
+        first = incremental_checkpoint(scheme)
+        at_first = snapshot(scheme, lids)
+        count_at_first = scheme.label_count()
+
+        edit(scheme, lids, 5)
+        second = incremental_checkpoint(scheme)
+        assert second == first + 1
+        backend.close()
+
+        target = str(tmp_path / "prefix.pages")
+        restore_to_checkpoint(path, target, upto_segment=first)
+        restored = open_file_scheme(target)
+        assert restored.label_count() == count_at_first
+        assert snapshot(restored, list(at_first)) == at_first
+        restored.store.backend.close()
+
+    def test_restore_without_covering_checkpoint_raises(self, tmp_path):
+        scheme, backend, path = make_scheme(tmp_path)
+        edit(scheme, bulk(scheme, 24), 4)
+        incremental_checkpoint(scheme)  # sealed segment, but no image yet
+        backend.close()
+        with pytest.raises(PersistError, match="no checkpoint image"):
+            restore_to_checkpoint(path, str(tmp_path / "nope.pages"))
+
+    def test_full_checkpoint_image_covers_prior_segments(self, tmp_path):
+        """The recorded image reflects everything through the segment it
+        seals: restoring it with zero replay already answers correctly."""
+        scheme, backend, path = make_scheme(tmp_path)
+        lids = edit(scheme, bulk(scheme, 24), 10)
+        labels = snapshot(scheme, lids)
+        record = full_checkpoint(scheme)
+        backend.close()
+
+        target = str(tmp_path / "image-only.pages")
+        used = restore_to_checkpoint(path, target, upto_segment=record["segment"] - 1)
+        assert used == record
+        restored = open_file_scheme(target)
+        assert snapshot(restored, list(labels)) == labels
+        restored.store.backend.close()
+
+
+def test_plain_mode_has_no_manifest(tmp_path):
+    path = str(tmp_path / "plain.pages")
+    backend = FileBackend(path, page_bytes=default_page_bytes(TINY_CONFIG.block_bytes))
+    scheme = WBox(TINY_CONFIG, store=BlockStore(TINY_CONFIG, backend=backend))
+    attach_scheme_to_backend(scheme)
+    bulk(scheme, 24)
+    from repro.errors import StorageError
+
+    with pytest.raises(StorageError, match="retain_wal"):
+        backend.seal_wal_segment()
+    assert backend.wal_manifest is None
+    backend.close()
+    assert MAGIC  # imported for the torn-tail helpers above
