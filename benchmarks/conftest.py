@@ -18,7 +18,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import BBox, BoxConfig, NaiveScheme, WBox, WBoxO
+from repro import AncestryDynamic, AncestryScheme, BBox, BoxConfig, NaiveScheme, WBox, WBoxO
 from repro.workloads import run_concentrated, run_scattered, run_xmark_build
 
 #: Block configuration for all benchmarks (1 KB blocks; see module docstring).
@@ -56,6 +56,8 @@ def scheme_factories():
     }
     for k in NAIVE_KS:
         factories[f"naive-{k}"] = (lambda k=k: NaiveScheme(k, BENCH_CONFIG))
+    factories["ancestry"] = lambda: AncestryScheme(BENCH_CONFIG)
+    factories["ancestry-dyn"] = lambda: AncestryDynamic(BENCH_CONFIG)
     return factories
 
 
@@ -71,6 +73,10 @@ def workload_inserts(scheme_name: str) -> int:
     if scheme_name.startswith("naive-"):
         k = int(scheme_name.split("-")[1])
         return min(SCALE["inserts"], max(50, 15 * k))
+    if scheme_name == "ancestry":
+        # The static ancestry scheme relabels on every concentrated
+        # insert (same failure mode as naive-1); cap like naive-small.
+        return min(SCALE["inserts"], 60)
     return SCALE["inserts"]
 
 

@@ -56,6 +56,7 @@ TARGETS = [
     ("bench_shard_scaling", "test_shard_scaling_table"),
     ("bench_net_latency", "test_net_latency_table"),
     ("bench_replication", "test_replication_table"),
+    ("bench_query_streams", "test_query_streams_table"),
 ]
 
 

@@ -18,6 +18,8 @@ sequences.
 
 from .config import BENCH_CONFIG, TINY_CONFIG, BoxConfig
 from .core import (
+    AncestryDynamic,
+    AncestryScheme,
     BatchExecutor,
     BatchOp,
     BatchRef,
@@ -49,6 +51,8 @@ __all__ = [
     "BBox",
     "NaiveScheme",
     "OrdPath",
+    "AncestryScheme",
+    "AncestryDynamic",
     "BatchExecutor",
     "BatchOp",
     "BatchRef",

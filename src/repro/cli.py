@@ -55,7 +55,16 @@ import sys
 from typing import Any
 
 from .config import BoxConfig
-from .core import BBox, LabeledDocument, NaiveScheme, OrdPath, WBox, WBoxO
+from .core import (
+    AncestryDynamic,
+    AncestryScheme,
+    BBox,
+    LabeledDocument,
+    NaiveScheme,
+    OrdPath,
+    WBox,
+    WBoxO,
+)
 from .errors import PersistError, ReproError
 from .persist import (
     MAGIC,
@@ -135,7 +144,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scheme",
         default="bbox",
-        help="wbox | wbox-ordinal | wboxo | bbox | bbox-o | ordpath | naive-<k> (default: bbox)",
+        help="wbox | wbox-ordinal | wboxo | bbox | bbox-o | ordpath | naive-<k> "
+        "| ancestry | ancestry-dyn (default: bbox)",
     )
     parser.add_argument(
         "--block-bytes",
@@ -315,6 +325,10 @@ def make_scheme_on_store(
         scheme = BBox(config, store=store, ordinal=True)
     elif name == "ordpath":
         scheme = OrdPath(config, store=store)
+    elif name == "ancestry":
+        scheme = AncestryScheme(config, store=store)
+    elif name == "ancestry-dyn":
+        scheme = AncestryDynamic(config, store=store)
     elif name.startswith("naive-"):
         scheme = NaiveScheme(int(name.split("-", 1)[1]), config, store=store)
     else:

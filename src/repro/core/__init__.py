@@ -2,6 +2,7 @@
 baseline, plus the LID indirection and caching/logging layers."""
 
 from .interface import LabelingScheme, LabelKind
+from .ancestry import AncestryDynamic, AncestryScheme
 from .batch import AmortizedCost, BatchExecutor, BatchOp, BatchRef, BatchResult
 from .naive import NaiveScheme
 from .ordpath import OrdPath
@@ -16,6 +17,8 @@ from .cachelog import CachedLabelStore, LogSnapshot, ModificationLog, RangeShift
 __all__ = [
     "LabelingScheme",
     "LabelKind",
+    "AncestryDynamic",
+    "AncestryScheme",
     "AmortizedCost",
     "BatchExecutor",
     "BatchOp",

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from ..config import BoxConfig
+from ..core.ancestry import AncestryDynamic, AncestryScheme
 from ..core.bbox.tree import BBox
 from ..core.naive import NaiveScheme
 from ..core.ordpath import OrdPath
@@ -56,8 +57,8 @@ from ..storage import BlockStore, FileBackend, default_page_bytes
 from ..workloads.sequences import apply_tape_step, crash_recovery_tape
 from .plan import WRITER_CRASH, FaultInjector, FaultPlan, FaultSpec
 
-#: The five scheme variants every sweep covers (CLI names).
-SCHEME_NAMES = ("wbox", "wboxo", "bbox", "bbox-o", "naive-8")
+#: The scheme variants every sweep covers (CLI names).
+SCHEME_NAMES = ("wbox", "wboxo", "bbox", "bbox-o", "naive-8", "ancestry-dyn")
 
 _SCHEME_FACTORIES: dict[str, Callable[[BoxConfig, Any], Any]] = {
     "wbox": lambda config, store: WBox(config, store=store),
@@ -66,6 +67,8 @@ _SCHEME_FACTORIES: dict[str, Callable[[BoxConfig, Any], Any]] = {
     "bbox-o": lambda config, store: BBox(config, store=store, ordinal=True),
     "naive-8": lambda config, store: NaiveScheme(8, config, store=store),
     "ordpath": lambda config, store: OrdPath(config, store=store),
+    "ancestry": lambda config, store: AncestryScheme(config, store=store),
+    "ancestry-dyn": lambda config, store: AncestryDynamic(config, store=store),
 }
 
 #: Exceptions that mean "the machine died here" for sweep purposes.

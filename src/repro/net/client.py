@@ -50,6 +50,8 @@ from .protocol import (
     Orders,
     Ping,
     Pong,
+    Query,
+    QueryChunk,
     Refresh,
     ReplChunk,
     ReplFetch,
@@ -121,6 +123,39 @@ class Pending:
             raise self._error
         assert self._frame is not None
         return self._frame
+
+
+class PendingStream(Pending):
+    """One outstanding query stream: accumulates :class:`QueryChunk`
+    frames on the reader thread and resolves when the last one lands.
+
+    The epochs stamped on every chunk must be identical — a mismatch
+    means the stream mixed epochs mid-flight, which the server's design
+    makes impossible, so :meth:`result` treats it as a protocol error
+    rather than silently splicing torn results."""
+
+    __slots__ = ("chunks",)
+
+    def __init__(self, request_id: int) -> None:
+        super().__init__(request_id)
+        self.chunks: list[QueryChunk] = []
+
+    def result(
+        self, timeout: float | None = None
+    ) -> tuple[tuple[int, ...], list[tuple[int, int]]]:
+        """Block for the whole stream; ``(epochs, elements)``."""
+        self.wait(timeout)
+        assert self.chunks, "stream resolved without chunks"
+        epochs = self.chunks[0].epochs
+        elements: list[tuple[int, int]] = []
+        for chunk in self.chunks:
+            if chunk.epochs != epochs:
+                raise ProtocolError(
+                    f"torn query stream {self.request_id}: chunk at epochs "
+                    f"{chunk.epochs} after {epochs}"
+                )
+            elements.extend(chunk.elements)
+        return epochs, elements
 
 
 class NetClient:
@@ -217,11 +252,23 @@ class NetClient:
             # Connection-level failure: the server is about to close us.
             raise exception_for_frame(frame)
         with self._pending_lock:
-            pending = self._pending.pop(frame.request_id, None)
+            pending = self._pending.get(frame.request_id)
+            if (
+                isinstance(pending, PendingStream)
+                and isinstance(frame, QueryChunk)
+                and not frame.last
+            ):
+                # Mid-stream chunk: stay registered for the rest.
+                pending.chunks.append(frame)
+                return
+            self._pending.pop(frame.request_id, None)
         if pending is None:
             return  # response to a request nobody is waiting on anymore
         if isinstance(frame, ErrorFrame):
             pending._fail(exception_for_frame(frame))
+        elif isinstance(pending, PendingStream) and isinstance(frame, QueryChunk):
+            pending.chunks.append(frame)
+            pending._resolve(frame)
         else:
             pending._resolve(frame)
 
@@ -236,9 +283,9 @@ class NetClient:
 
     # -- request submission ---------------------------------------------
 
-    def _begin(self, make_frame: Any) -> Pending:
+    def _begin(self, make_frame: Any, factory: type[Pending] = Pending) -> Pending:
         request_id = next(self._ids)
-        pending = Pending(request_id)
+        pending = factory(request_id)
         with self._pending_lock:
             if self._dead is not None:
                 raise ConnectionError(f"connection is dead: {self._dead}")
@@ -277,6 +324,23 @@ class NetClient:
 
     def begin_submit(self, ops: Sequence[BatchOp]) -> Pending:
         return self._begin(lambda rid: Submit(rid, tuple(ops)))
+
+    def begin_query(
+        self,
+        axis: int,
+        start_lid: int,
+        end_lid: int,
+        *,
+        depth: int = 0,
+        chunk: int = 0,
+    ) -> PendingStream:
+        """Start a query stream; :meth:`PendingStream.result` collects it."""
+        pending = self._begin(
+            lambda rid: Query(rid, axis, start_lid, end_lid, depth, chunk),
+            factory=PendingStream,
+        )
+        assert isinstance(pending, PendingStream)
+        return pending
 
     def begin_repl_state(self, shard: int = 0) -> Pending:
         return self._begin(lambda rid: ReplState(rid, shard))
@@ -331,6 +395,28 @@ class NetClient:
         frame = self.begin_submit(ops).wait(timeout)
         assert isinstance(frame, Results)
         return list(frame.values)
+
+    def query(
+        self,
+        axis: int,
+        start_lid: int,
+        end_lid: int,
+        *,
+        depth: int = 0,
+        chunk: int = 0,
+        timeout: float | None = 30.0,
+    ) -> tuple[tuple[int, ...], list[tuple[int, int]]]:
+        """Evaluate one ordered-axis stream against the server's element
+        catalog at the connection's pinned epoch(s).
+
+        ``axis`` is one of the ``AXIS_*`` codes in
+        :mod:`repro.net.protocol`; ``depth`` applies only to
+        ``AXIS_ANCESTOR_AT_DEPTH``.  Returns ``(epochs, elements)`` where
+        every chunk of the stream carried the same ``epochs`` (verified
+        client-side)."""
+        return self.begin_query(
+            axis, start_lid, end_lid, depth=depth, chunk=chunk
+        ).result(timeout)
 
     def repl_state(self, shard: int = 0, timeout: float | None = 30.0) -> ReplManifest:
         """One shard's replication position (segment manifest + epoch)."""

@@ -66,6 +66,7 @@ T_COMPARE = 0x06
 T_SUBMIT = 0x07
 T_REPL_STATE = 0x08
 T_REPL_FETCH = 0x09
+T_QUERY = 0x0A
 
 T_SERVER_HELLO = 0x81
 T_PONG = 0x82
@@ -76,6 +77,7 @@ T_RESULTS = 0x86
 T_ERROR = 0x87
 T_REPL_MANIFEST = 0x88
 T_REPL_CHUNK = 0x89
+T_QUERY_CHUNK = 0x8A
 
 #: Human-readable request kind names (metrics labels, span labels).
 REQUEST_NAMES = {
@@ -88,6 +90,20 @@ REQUEST_NAMES = {
     T_SUBMIT: "submit",
     T_REPL_STATE: "repl_state",
     T_REPL_FETCH: "repl_fetch",
+    T_QUERY: "query",
+}
+
+#: :class:`Query` axis kinds (wire codes; append only).
+AXIS_DESCENDANTS = 0
+AXIS_FOLLOWING = 1
+AXIS_ANCESTORS = 2
+AXIS_ANCESTOR_AT_DEPTH = 3
+
+AXIS_NAMES = {
+    AXIS_DESCENDANTS: "descendants",
+    AXIS_FOLLOWING: "following",
+    AXIS_ANCESTORS: "ancestors",
+    AXIS_ANCESTOR_AT_DEPTH: "ancestor_at_depth",
 }
 
 #: :class:`ReplFetch` source kinds.
@@ -224,6 +240,27 @@ class ReplFetch:
 
 
 @dataclass(frozen=True)
+class Query:
+    """An ordered-axis stream request over the server's element catalog.
+
+    ``axis`` is one of the ``AXIS_*`` codes; the anchor element is the
+    ``(start_lid, end_lid)`` pair; ``depth`` is the target depth for
+    :data:`AXIS_ANCESTOR_AT_DEPTH` (ignored otherwise); ``chunk`` caps
+    elements per response chunk (0 = server default).  The response is a
+    *stream*: one or more :class:`QueryChunk` frames sharing this
+    request id, the final one flagged ``last`` — or a single
+    :class:`ErrorFrame`.
+    """
+
+    request_id: int
+    axis: int
+    start_lid: int
+    end_lid: int
+    depth: int = 0
+    chunk: int = 0
+
+
+@dataclass(frozen=True)
 class ServerHello:
     """Server handshake reply: topology plus the session's initial pin."""
 
@@ -311,6 +348,23 @@ class ReplChunk:
 
 
 @dataclass(frozen=True)
+class QueryChunk:
+    """One slice of a :class:`Query` result stream.
+
+    ``epochs`` is the pinned epoch number(s) the whole stream was
+    evaluated at — identical on every chunk of one stream, which is the
+    wire form of the "no torn results" guarantee; ``elements`` are
+    ``(start_lid, end_lid)`` pairs in document order; ``last`` marks the
+    stream's final chunk (an empty result set is one empty last chunk).
+    """
+
+    request_id: int
+    last: bool
+    epochs: tuple[int, ...]
+    elements: tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
 class ErrorFrame:
     """A typed failure: one of the ``ERR_*`` codes plus a message."""
 
@@ -325,9 +379,9 @@ class ErrorFrame:
 
 Frame = (
     Hello | Ping | Refresh | Lookup | Ordinal | Compare | Submit
-    | ReplState | ReplFetch
+    | ReplState | ReplFetch | Query
     | ServerHello | Pong | Epochs | Values | Orders | Results | ErrorFrame
-    | ReplManifest | ReplChunk
+    | ReplManifest | ReplChunk | QueryChunk
 )
 
 
@@ -586,6 +640,14 @@ def encode_payload(frame: Frame) -> bytes:
         _append_uvarint(out, frame.segment)
         _append_uvarint(out, frame.offset)
         _append_uvarint(out, frame.limit)
+    elif isinstance(frame, Query):
+        _append_uvarint(out, T_QUERY)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, frame.axis)
+        _append_uvarint(out, frame.start_lid)
+        _append_uvarint(out, frame.end_lid)
+        _append_uvarint(out, frame.depth)
+        _append_uvarint(out, frame.chunk)
     elif isinstance(frame, ServerHello):
         _append_uvarint(out, T_SERVER_HELLO)
         _append_uvarint(out, frame.request_id)
@@ -643,6 +705,17 @@ def encode_payload(frame: Frame) -> bytes:
         _append_uvarint(out, frame.total)
         _append_uvarint(out, len(frame.data))
         out += frame.data
+    elif isinstance(frame, QueryChunk):
+        _append_uvarint(out, T_QUERY_CHUNK)
+        _append_uvarint(out, frame.request_id)
+        _append_uvarint(out, 1 if frame.last else 0)
+        _append_uvarint(out, len(frame.epochs))
+        for number in frame.epochs:
+            _append_uvarint(out, number)
+        _append_uvarint(out, len(frame.elements))
+        for start_lid, end_lid in frame.elements:
+            _append_uvarint(out, start_lid)
+            _append_uvarint(out, end_lid)
     elif isinstance(frame, ErrorFrame):
         _append_uvarint(out, T_ERROR)
         _append_uvarint(out, frame.request_id)
@@ -764,6 +837,24 @@ def _decode_body(frame_type: int, request_id: int, reader: _Reader) -> Frame:
             reader.uvarint(),
             reader.uvarint(),
         )
+    if frame_type == T_QUERY:
+        return Query(
+            request_id,
+            reader.uvarint(),
+            reader.uvarint(),
+            reader.uvarint(),
+            reader.uvarint(),
+            reader.uvarint(),
+        )
+    if frame_type == T_QUERY_CHUNK:
+        last_raw = reader.uvarint()
+        if last_raw > 1:
+            raise ProtocolError(f"bad last flag {last_raw}")
+        n = reader.count()
+        epochs = tuple(reader.uvarint() for _ in range(n))
+        n = reader.count()
+        elements = tuple((reader.uvarint(), reader.uvarint()) for _ in range(n))
+        return QueryChunk(request_id, bool(last_raw), epochs, elements)
     if frame_type == T_REPL_CHUNK:
         sealed_raw = reader.uvarint()
         if sealed_raw > 1:

@@ -46,6 +46,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
+from ..core.batch import BatchRef
 from ..errors import (
     BackpressureTimeout,
     CrossShardError,
@@ -62,6 +63,7 @@ from ..errors import (
 )
 from ..obs import trace
 from ..obs.metrics import get_registry
+from ..query.streams import ElementCatalog, QueryEngine
 from ..storage.walseg import checkpoint_image_path, segment_path
 from . import protocol as proto
 from .protocol import (
@@ -76,6 +78,8 @@ from .protocol import (
     Orders,
     Ping,
     Pong,
+    Query,
+    QueryChunk,
     Refresh,
     ReplChunk,
     ReplFetch,
@@ -98,6 +102,11 @@ DEFAULT_SUBMIT_TIMEOUT = 2.0
 #: Hard cap on one ``ReplChunk``'s data, comfortably under the frame
 #: limit with headers to spare.  Fetch limits above this are clamped.
 REPL_CHUNK_CAP = 256 * 1024
+
+#: Default elements per ``QueryChunk`` when the client leaves the chunk
+#: size unset; the hard cap keeps any chunk well under the frame limit.
+DEFAULT_QUERY_CHUNK = 256
+QUERY_CHUNK_CAP = 8192
 
 
 def _error_code_for(error: BaseException) -> int:
@@ -122,7 +131,7 @@ def _error_code_for(error: BaseException) -> int:
 class _Connection:
     """Per-connection state: the pinned session and the FIFO order lock."""
 
-    __slots__ = ("reader", "writer", "session", "lock", "decoder", "peer")
+    __slots__ = ("reader", "writer", "session", "lock", "decoder", "peer", "engine")
 
     def __init__(
         self,
@@ -137,6 +146,7 @@ class _Connection:
         self.lock = asyncio.Lock()
         self.decoder = FrameDecoder(max_frame_bytes)
         self.peer = writer.get_extra_info("peername")
+        self.engine: QueryEngine | None = None
 
 
 class NetServer:
@@ -158,6 +168,13 @@ class NetServer:
         write queue before shedding.
     max_workers:
         Executor threads running the blocking service calls.
+    catalog:
+        The :class:`~repro.query.streams.ElementCatalog` query streams
+        range over, shared by every connection.  Defaults to a fresh
+        empty catalog; the server grows it from acked
+        ``insert_element_before`` results and shrinks it on
+        ``delete_element``, so elements written through the server are
+        queryable through the server.
     """
 
     def __init__(
@@ -170,6 +187,7 @@ class NetServer:
         submit_timeout: float = DEFAULT_SUBMIT_TIMEOUT,
         max_workers: int = 8,
         max_frame_bytes: int = proto.MAX_FRAME_BYTES,
+        catalog: ElementCatalog | None = None,
     ) -> None:
         self.service = service
         self.host = host
@@ -177,6 +195,7 @@ class NetServer:
         self.max_inflight = max_inflight
         self.submit_timeout = submit_timeout
         self.max_frame_bytes = max_frame_bytes
+        self.catalog = catalog if catalog is not None else ElementCatalog()
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="net-worker"
         )
@@ -207,6 +226,10 @@ class NetServer:
         self._repl_bytes_total = registry.counter(
             "repro_repl_bytes_shipped_total",
             help="replication payload bytes served to followers",
+        )
+        self._query_chunks_total = registry.counter(
+            "repro_net_query_chunks_total",
+            help="query stream chunks sent to clients",
         )
 
     # -- service shape helpers -----------------------------------------
@@ -348,10 +371,21 @@ class NetServer:
         try:
             async with conn.lock:  # FIFO: per-connection program order
                 loop = asyncio.get_running_loop()
-                reply = await loop.run_in_executor(
-                    self._executor, self._execute, conn, frame
-                )
-                await self._send(conn, reply)
+                if isinstance(frame, Query):
+                    # Streaming: the full result is computed at one epoch
+                    # on the executor, then shipped as a chunk sequence
+                    # under the same FIFO lock — no other reply can
+                    # interleave mid-stream on this connection.
+                    replies = await loop.run_in_executor(
+                        self._executor, self._execute_query, conn, frame
+                    )
+                    for reply in replies:
+                        await self._send(conn, reply)
+                else:
+                    reply = await loop.run_in_executor(
+                        self._executor, self._execute, conn, frame
+                    )
+                    await self._send(conn, reply)
         except (ConnectionError, OSError):
             pass  # peer is gone; the work (if any) already happened
         finally:
@@ -383,6 +417,104 @@ class NetServer:
                 return ErrorFrame(frame.request_id, code, str(error))
         self._requests_total.inc()
         return reply
+
+    def _execute_query(self, conn: _Connection, frame: Query) -> list[Frame]:
+        """Evaluate one query stream on an executor thread.
+
+        The whole answer is materialised from a single
+        :class:`~repro.query.streams.EpochView` before the first chunk is
+        framed, so every chunk of the stream carries the same epoch
+        vector — the wire form of "no torn results".  Any failure
+        (degraded service mid-build, unknown element, bad axis) collapses
+        the stream to a single typed error frame."""
+        with trace.span("net.request", kind="query") as span:
+            if span.recording:
+                span.set("request_id", frame.request_id)
+            try:
+                chunks = self._query_chunks(conn, frame)
+            except BaseException as error:  # noqa: BLE001 — typed frame, conn lives
+                code = _error_code_for(error)
+                if span.recording:
+                    span.set("error", proto.ERROR_NAMES.get(code, str(code)))
+                self._requests_total.inc()
+                return [ErrorFrame(frame.request_id, code, str(error))]
+        self._requests_total.inc()
+        self._query_chunks_total.inc(len(chunks))
+        return chunks
+
+    def _query_chunks(self, conn: _Connection, frame: Query) -> list[Frame]:
+        if conn.engine is None:
+            conn.engine = QueryEngine(conn.session, self.catalog)
+        view = conn.engine.view()
+        element = (frame.start_lid, frame.end_lid)
+        if frame.axis == proto.AXIS_DESCENDANTS:
+            elements = list(view.descendants(element))
+        elif frame.axis == proto.AXIS_FOLLOWING:
+            elements = list(view.following(element))
+        elif frame.axis == proto.AXIS_ANCESTORS:
+            elements = list(view.ancestors(element))
+        elif frame.axis == proto.AXIS_ANCESTOR_AT_DEPTH:
+            ancestor = view.ancestor_at_depth(element, frame.depth)
+            elements = [] if ancestor is None else [ancestor]
+        else:
+            raise ProtocolError(f"unknown query axis {frame.axis}")
+        size = frame.chunk if frame.chunk else DEFAULT_QUERY_CHUNK
+        size = max(1, min(size, QUERY_CHUNK_CAP))
+        chunks: list[Frame] = []
+        for offset in range(0, len(elements), size):
+            part = elements[offset : offset + size]
+            chunks.append(
+                QueryChunk(
+                    frame.request_id,
+                    offset + size >= len(elements),
+                    view.epochs,
+                    tuple(part),
+                )
+            )
+        if not chunks:  # empty result still answers: one empty last chunk
+            chunks.append(QueryChunk(frame.request_id, True, view.epochs, ()))
+        return chunks
+
+    def _untrack_deletes(self, ops: list[Any]) -> None:
+        """Catalog half 1, *before* the batch commits: drop every element
+        a ``delete_element`` op names directly.  Remove-before-commit is
+        the discipline that lets concurrent view builds retry instead of
+        tripping over dead LIDs (``BatchRef`` args name same-batch insert
+        results, which were never added, so they need no removal)."""
+        for op in ops:
+            if op.kind == "delete_element" and not any(
+                isinstance(arg, BatchRef) for arg in op.args
+            ):
+                self.catalog.remove(op.args[0], op.args[1])
+
+    def _track_submit(self, ops: list[Any], results: tuple[Any, ...]) -> None:
+        """Catalog half 2, after the batch acks: add every element an
+        ``insert_element_before`` created — unless the same batch also
+        deleted it (by ref or by value).
+
+        Only element-level ops maintain the catalog (tag-level inserts
+        and subtree/range ops carry no element pairing on the wire);
+        callers seeding richer catalogs pass one to the constructor."""
+
+        def resolve(arg: Any) -> Any:
+            if isinstance(arg, BatchRef):
+                value = results[arg.index]
+                if arg.item is not None:
+                    value = value[arg.item]
+                return value
+            return arg
+
+        deleted = set()
+        for op in ops:
+            if op.kind == "delete_element":
+                deleted.add((resolve(op.args[0]), resolve(op.args[1])))
+        for op, result in zip(ops, results):
+            if (
+                op.kind == "insert_element_before"
+                and result is not None
+                and (result[0], result[1]) not in deleted
+            ):
+                self.catalog.add(result[0], result[1])
 
     def _apply(self, conn: _Connection, frame: Frame) -> Frame:
         session = conn.session
@@ -418,6 +550,7 @@ class NetServer:
         if isinstance(frame, ReplFetch):
             return self._repl_fetch(frame)
         if isinstance(frame, Submit):
+            self._untrack_deletes(list(frame.ops))
             try:
                 ticket = self.service.submit_ops(
                     list(frame.ops), timeout=self.submit_timeout
@@ -427,6 +560,7 @@ class NetServer:
                     f"write queue full for {self.submit_timeout}s: {error}"
                 ) from error
             result = ticket.wait()
+            self._track_submit(list(frame.ops), tuple(result.results))
             return Results(frame.request_id, tuple(result.results))
         raise ProtocolError(
             f"{type(frame).__name__} is not a request frame"

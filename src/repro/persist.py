@@ -43,6 +43,7 @@ import os
 from typing import Any
 
 from .config import BoxConfig
+from .core.ancestry import AncestryDynamic, AncestryScheme, _OrderedGapScheme
 from .core.bbox.tree import BBox
 from .core.naive import NaiveScheme
 from .core.ordpath import OrdPath
@@ -96,6 +97,8 @@ _SCHEME_CLASSES = {
     "BBox": BBox,
     "NaiveScheme": NaiveScheme,
     "OrdPath": OrdPath,
+    "AncestryScheme": AncestryScheme,
+    "AncestryDynamic": AncestryDynamic,
 }
 
 
@@ -126,6 +129,20 @@ def _scheme_metadata(scheme: Any) -> dict:
         meta.update(
             gap_bits=scheme.gap_bits,
             relabel_count=scheme.relabel_count,
+        )
+    elif isinstance(scheme, AncestryDynamic):
+        # Order list and kind mirror are derived state (each record
+        # stores value + kind); only the universe sizing is journaled.
+        meta.update(
+            relabel_count=scheme.relabel_count,
+            relabeled_items=scheme.relabeled_items,
+            capacity=scheme.capacity,
+            gap=scheme.gap,
+        )
+    elif isinstance(scheme, AncestryScheme):
+        meta.update(
+            relabel_count=scheme.relabel_count,
+            relabeled_items=scheme.relabeled_items,
         )
     elif isinstance(scheme, OrdPath):
         pass  # order list is derived state, as for naive-k
@@ -310,6 +327,8 @@ def _instantiate_scheme(header: dict) -> Any:
     meta = header["meta"]
     if cls is OrdPath:
         return OrdPath(config)
+    if cls in (AncestryScheme, AncestryDynamic):
+        return cls(config)
     if cls is NaiveScheme:
         return NaiveScheme(meta["gap_bits"], config)
     if cls is BBox:
@@ -346,6 +365,13 @@ def _restore_scheme_state(scheme: Any, header: dict) -> None:
         scheme._live = meta["live"]
     elif isinstance(scheme, OrdPath):
         scheme._order = _derived_order(scheme)
+    elif isinstance(scheme, _OrderedGapScheme):
+        scheme.relabel_count = meta["relabel_count"]
+        scheme.relabeled_items = meta["relabeled_items"]
+        if isinstance(scheme, AncestryDynamic):
+            scheme.capacity = meta["capacity"]
+            scheme.gap = meta["gap"]
+        scheme.rebuild_derived_state()
     elif isinstance(scheme, NaiveScheme):
         scheme.relabel_count = meta["relabel_count"]
         scheme._order = _derived_order(scheme)

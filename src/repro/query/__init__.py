@@ -9,6 +9,7 @@ caching layer), so every label fetch is I/O-accounted.
 """
 
 from .axes import LabelInterval, contains, precedes, label_interval
+from .streams import ElementCatalog, EpochView, QueryEngine
 from .containment import (
     containment_count,
     containment_join,
@@ -19,6 +20,9 @@ from .twig import TwigNode, twig_match
 from .xpath import XPathError, evaluate as xpath
 
 __all__ = [
+    "ElementCatalog",
+    "EpochView",
+    "QueryEngine",
     "LabelInterval",
     "contains",
     "precedes",

@@ -1,0 +1,304 @@
+"""Ordered-axis query streams over a pinned service epoch.
+
+The lookup-heavy counterpart of the update-heavy workloads: descendant /
+following / ancestor(-at-depth) streams evaluated purely from the labels
+of a *catalog* of elements, read through a pinned
+:class:`~repro.service.service.ReaderSession` (or
+:class:`~repro.service.sharded.ShardedReaderSession`) so every stream
+reflects exactly one published epoch — lock-free, with the same
+retry-on-pin-movement discipline as ``lookup_many``.
+
+Three layers:
+
+* :class:`ElementCatalog` — the versioned registry of element
+  ``(start_lid, end_lid)`` pairs queries range over.  The labels
+  themselves live in the scheme; the catalog is only the *identity* of
+  the queryable elements (the net server grows it from acked
+  ``insert_element_before`` results, tests seed it from bulk loads).
+* :class:`EpochView` — an immutable index built from **one**
+  epoch-consistent ``lookup_many`` round over the catalog: elements in
+  document order, parent pointers and depths recovered from nesting.
+  Everything a stream yields comes from this snapshot, so a result set
+  can never mix epochs ("no torn results").
+* :class:`QueryEngine` — the cheap façade that rebuilds the view only
+  when the catalog version or the session pin moved, and exposes the
+  axis streams.  :meth:`LabelService.query()
+  <repro.service.service.LabelService.query>` hands one out.
+
+Document order across shards needs no special casing: the sharded
+partition is contiguous chunks in document order, so the sort key
+``(shard index, label)`` *is* global document order — even for elements
+whose start and end tags live on different shards.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..errors import LabelingError, RecordNotFoundError, UnknownLIDError
+
+__all__ = ["ElementCatalog", "EpochView", "QueryEngine"]
+
+#: An element's identity: its (start LID, end LID) pair.
+ElementPair = tuple[int, int]
+
+
+class ElementCatalog:
+    """A thread-safe, versioned registry of queryable element pairs.
+
+    Insertion order is irrelevant — document order is recovered from the
+    labels at view-build time — so adds and removes are O(1) dict ops.
+    The version counter is what lets engines cache views: any mutation
+    bumps it, and a view built at version *v* is exact for version *v*.
+    """
+
+    def __init__(self, pairs: Iterable[ElementPair] = ()) -> None:
+        self._lock = threading.Lock()
+        self._pairs: dict[ElementPair, None] = dict.fromkeys(
+            (int(start), int(end)) for start, end in pairs
+        )
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __contains__(self, pair: ElementPair) -> bool:
+        return tuple(pair) in self._pairs
+
+    def add(self, start_lid: int, end_lid: int) -> None:
+        with self._lock:
+            self._pairs[(int(start_lid), int(end_lid))] = None
+            self._version += 1
+
+    def remove(self, start_lid: int, end_lid: int) -> None:
+        with self._lock:
+            self._pairs.pop((int(start_lid), int(end_lid)), None)
+            self._version += 1
+
+    def snapshot(self) -> tuple[int, list[ElementPair]]:
+        """An atomic (version, pairs) snapshot."""
+        with self._lock:
+            return self._version, list(self._pairs)
+
+
+def _pin_numbers(session: Any) -> tuple[int, ...]:
+    """The session's pinned epoch number(s) as a flat tuple — one entry
+    for a :class:`ReaderSession`, one per shard for a sharded session."""
+    vector = getattr(session, "vector", None)
+    if vector is not None:
+        return vector.numbers
+    return (session.epoch.number,)
+
+
+def _key_factory(session: Any):
+    """A document-order sort key for (lid, label): the label itself for a
+    single service, (shard, label) for a sharded one (contiguous-chunk
+    partitioning makes that lexicographic order global document order)."""
+    router = getattr(session, "_router", None)
+    if router is None:
+        return lambda lid, label: label
+    return lambda lid, label: (router.shard_of(lid), label)
+
+
+class EpochView:
+    """An immutable document-order index of a catalog at one epoch.
+
+    Built from a single epoch-consistent label round; every stream
+    answer is derived from the arrays here, so results never mix epochs.
+    """
+
+    __slots__ = (
+        "epochs",
+        "catalog_version",
+        "pairs",
+        "_start_keys",
+        "_end_keys",
+        "_parents",
+        "_depths",
+        "_index",
+    )
+
+    def __init__(
+        self,
+        epochs: tuple[int, ...],
+        catalog_version: int,
+        pairs: list[ElementPair],
+        start_keys: list[Any],
+        end_keys: list[Any],
+    ) -> None:
+        #: The pinned epoch number(s) the labels were read at.
+        self.epochs = epochs
+        self.catalog_version = catalog_version
+        #: Element pairs in document order (sorted by start label).
+        self.pairs = pairs
+        self._start_keys = start_keys
+        self._end_keys = end_keys
+        self._index = {pair: position for position, pair in enumerate(pairs)}
+        # Nesting recovery: starts are sorted, so a stack of open
+        # elements (those whose end key exceeds the incoming start's end
+        # key) yields parent pointers and depths in one pass.
+        parents = [-1] * len(pairs)
+        depths = [0] * len(pairs)
+        stack: list[int] = []
+        for position in range(len(pairs)):
+            while stack and end_keys[stack[-1]] < end_keys[position]:
+                stack.pop()
+            if stack:
+                parents[position] = stack[-1]
+                depths[position] = depths[stack[-1]] + 1
+            stack.append(position)
+        self._parents = parents
+        self._depths = depths
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def _position(self, element: ElementPair) -> int:
+        try:
+            return self._index[tuple(element)]
+        except KeyError:
+            raise LabelingError(
+                f"element {tuple(element)!r} is not in this view's catalog"
+            ) from None
+
+    def depth(self, element: ElementPair) -> int:
+        """Nesting depth of ``element`` within the catalog (roots are 0)."""
+        return self._depths[self._position(element)]
+
+    # -- axis streams (generators, document order) ---------------------
+
+    def descendants(self, element: ElementPair) -> Iterator[ElementPair]:
+        """Catalog elements properly contained in ``element``, in
+        document order — a contiguous run of the start-sorted array."""
+        position = self._position(element)
+        limit = bisect_left(self._start_keys, self._end_keys[position])
+        for inner in range(position + 1, limit):
+            yield self.pairs[inner]
+
+    def following(self, element: ElementPair) -> Iterator[ElementPair]:
+        """Catalog elements that begin after ``element`` ends (the XPath
+        ``following`` axis restricted to the catalog), document order."""
+        position = self._position(element)
+        for later in range(bisect_left(self._start_keys, self._end_keys[position]), len(self.pairs)):
+            yield self.pairs[later]
+
+    def ancestors(self, element: ElementPair) -> Iterator[ElementPair]:
+        """Proper ancestors of ``element`` within the catalog, nearest
+        first (XPath ``ancestor`` axis order)."""
+        position = self._parents[self._position(element)]
+        while position != -1:
+            yield self.pairs[position]
+            position = self._parents[position]
+
+    def ancestor_at_depth(self, element: ElementPair, depth: int) -> ElementPair | None:
+        """The proper ancestor of ``element`` at nesting depth ``depth``
+        (roots are depth 0), or ``None`` when the element sits at or
+        above that depth."""
+        position = self._position(element)
+        if depth >= self._depths[position] or depth < 0:
+            return None
+        position = self._parents[position]
+        while self._depths[position] != depth:
+            position = self._parents[position]
+        return self.pairs[position]
+
+
+class QueryEngine:
+    """Axis streams for one (session, catalog) pair.
+
+    Rebuilding the view is the only label I/O; it happens lazily, and
+    only when the catalog changed or the session pin moved.  Engines are
+    as thread-safe as their session — i.e. use one per reader thread,
+    exactly like sessions themselves.
+    """
+
+    def __init__(self, session: Any, catalog: ElementCatalog | Iterable[ElementPair]) -> None:
+        if not isinstance(catalog, ElementCatalog):
+            catalog = ElementCatalog(catalog)
+        self.session = session
+        self.catalog = catalog
+        self._key_of = _key_factory(session)
+        self._view: EpochView | None = None
+
+    def view(self) -> EpochView:
+        """The current epoch's view, rebuilt only when stale.
+
+        The build is the ``lookup_many`` discipline one level up: snapshot
+        the catalog, read every label through the session's torn-read-safe
+        multi-lookup, and retry the whole round if the pin advanced while
+        it ran (a concurrent fallthrough), so the returned view is exact
+        for the pin at return.  Terminates because pins only advance.
+        """
+        view = self._view
+        if (
+            view is not None
+            and view.catalog_version == self.catalog.version
+            and view.epochs == _pin_numbers(self.session)
+        ):
+            return view
+        while True:
+            version, pairs = self.catalog.snapshot()
+            before = _pin_numbers(self.session)
+            lids = [lid for pair in pairs for lid in pair]
+            try:
+                labels = self.session.lookup_many(lids)
+            except (UnknownLIDError, RecordNotFoundError):
+                # Catalog discipline is remove-*before*-the-delete-commits,
+                # so a dead LID in our snapshot means the snapshot raced a
+                # concurrent removal — the catalog has already moved on.
+                # Retry with a fresh snapshot; if the catalog did NOT move,
+                # it genuinely names a dead element and the error stands.
+                if self.catalog.version != version:
+                    continue
+                raise
+            after = _pin_numbers(self.session)
+            if after != before:
+                continue
+            self._view = self._build(after, version, pairs, labels)
+            return self._view
+
+    def _build(
+        self,
+        epochs: tuple[int, ...],
+        version: int,
+        pairs: list[ElementPair],
+        labels: Sequence[Any],
+    ) -> EpochView:
+        key_of = self._key_of
+        keyed = []
+        for position, pair in enumerate(pairs):
+            start_key = key_of(pair[0], labels[2 * position])
+            end_key = key_of(pair[1], labels[2 * position + 1])
+            if not start_key < end_key:
+                raise LabelingError(
+                    f"catalog pair {pair!r} is not a (start, end) element"
+                )
+            keyed.append((start_key, end_key, pair))
+        keyed.sort()
+        return EpochView(
+            epochs,
+            version,
+            [pair for _s, _e, pair in keyed],
+            [start for start, _e, _p in keyed],
+            [end for _s, end, _p in keyed],
+        )
+
+    # -- convenience streams (always against the fresh view) -----------
+
+    def descendants(self, element: ElementPair) -> Iterator[ElementPair]:
+        return self.view().descendants(element)
+
+    def following(self, element: ElementPair) -> Iterator[ElementPair]:
+        return self.view().following(element)
+
+    def ancestors(self, element: ElementPair) -> Iterator[ElementPair]:
+        return self.view().ancestors(element)
+
+    def ancestor_at_depth(self, element: ElementPair, depth: int) -> ElementPair | None:
+        return self.view().ancestor_at_depth(element, depth)

@@ -630,6 +630,19 @@ class LabelService:
         """
         return ReaderSession(self, self._current)
 
+    def query(self, elements: Any, session: "ReaderSession | None" = None) -> Any:
+        """An ordered-axis :class:`~repro.query.streams.QueryEngine` over
+        ``elements`` (an :class:`~repro.query.streams.ElementCatalog` or an
+        iterable of (start LID, end LID) pairs).
+
+        The engine reads through a pinned session — ``session`` if given,
+        else a fresh one — so every stream reflects exactly one published
+        epoch.  Like sessions, engines are per-thread objects.
+        """
+        from ..query.streams import QueryEngine
+
+        return QueryEngine(session if session is not None else self.session(), elements)
+
     def describe(self) -> dict[str, Any]:
         """Diagnostic summary for CLIs and tests."""
         counters = self.stats.snapshot()

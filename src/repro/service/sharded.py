@@ -314,6 +314,20 @@ class ShardedLabelService:
         per-shard session each; not itself thread-safe)."""
         return ShardedReaderSession(self)
 
+    def query(
+        self, elements: Any, session: "ShardedReaderSession | None" = None
+    ) -> Any:
+        """An ordered-axis :class:`~repro.query.streams.QueryEngine` over
+        global-LID element pairs, reading through a pinned epoch vector.
+
+        Cross-shard document order comes for free: the contiguous-chunk
+        partition makes (shard index, label) lexicographic order global
+        document order, which is the sort key the engine uses here.
+        """
+        from ..query.streams import QueryEngine
+
+        return QueryEngine(session if session is not None else self.session(), elements)
+
     def describe(self) -> dict[str, Any]:
         """Diagnostic summary: global state plus one section per shard."""
         return {

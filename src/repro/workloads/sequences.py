@@ -583,6 +583,178 @@ def run_service_stress(
 
 
 @dataclass
+class QueryStressResult:
+    """Outcome of one mixed query-stream / writer-churn stress run."""
+
+    scheme: str
+    readers: int
+    wall_seconds: float
+    #: Axis streams fully evaluated across all readers.
+    query_ops: int
+    #: Elements yielded by those streams, summed.
+    elements_streamed: int
+    #: Epoch views (re)built across all readers — staleness-driven, so
+    #: this tracks how often the catalog or a pin actually moved under
+    #: the readers.
+    views_built: int
+    write_ops: int
+    counters: object  #: final ServiceCounters snapshot
+    reader_errors: list = field(default_factory=list)
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.query_ops / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def run_query_stress(
+    scheme: LabelingScheme,
+    base_elements: int = 200,
+    readers: int = 4,
+    duration: float = 2.0,
+    write_batch: int = 8,
+    group_size: int = 16,
+    log_capacity: int = 4096,
+    refresh_every: int = 8,
+    seed: int = 1,
+) -> QueryStressResult:
+    """Mixed workload: axis query streams racing an element-churn writer.
+
+    ``readers`` threads each run a :class:`~repro.query.streams.QueryEngine`
+    over a shared :class:`~repro.query.streams.ElementCatalog`, evaluating
+    descendant / following / ancestor(-at-depth) streams against elements
+    of whatever :class:`~repro.query.streams.EpochView` their pinned
+    session sees, re-pinning every ``refresh_every`` streams.  One writer
+    inserts ``write_batch`` elements as last children of the root, then
+    deletes them again — growing and shrinking the catalog from *acked*
+    results only, so the catalog never names an uncommitted element.
+
+    Each reader checks the view invariants the engine promises on every
+    rebuild: the root's descendant stream is every other catalog element
+    (document order), its following stream is empty, and every stream's
+    elements come from the view it was asked of — a live-fire version of
+    the "no torn results" guarantee under real concurrency.
+    """
+    import random
+    import threading
+
+    from ..query.streams import ElementCatalog, QueryEngine
+    from ..service import LabelService
+
+    lids = _bulk_load_two_level(scheme, base_elements)
+    root_pair = (lids[0], lids[-1])
+    catalog = ElementCatalog()
+    catalog.add(*root_pair)
+    for child in range(base_elements):
+        catalog.add(lids[1 + 2 * child], lids[2 + 2 * child])
+    service = LabelService(
+        scheme,
+        log_capacity=log_capacity,
+        group_size=group_size,
+        queue_capacity=8,
+    )
+    service.start()
+    stop_flag = threading.Event()
+    barrier = threading.Barrier(readers + 1)
+    query_counts = [0] * readers
+    element_counts = [0] * readers
+    view_counts = [0] * readers
+    errors: list = []
+    write_ops = 0
+
+    def reader(index: int) -> None:
+        session = service.session()
+        engine = QueryEngine(session, catalog)
+        rng = random.Random(seed + index)
+        queries = elements = views = 0
+        last_view = None
+        try:
+            barrier.wait(timeout=60)
+            while not stop_flag.is_set():
+                session.refresh()
+                for _ in range(refresh_every):
+                    view = engine.view()
+                    if view is not last_view:
+                        views += 1
+                        last_view = view
+                        # Root invariants, checked once per fresh view.
+                        if len(list(view.descendants(root_pair))) != len(view) - 1:
+                            raise AssertionError("root descendants miss elements")
+                        if list(view.following(root_pair)):
+                            raise AssertionError("root has following elements")
+                    target = view.pairs[rng.randrange(len(view.pairs))]
+                    axis = queries % 4
+                    if axis == 0:
+                        stream = view.descendants(target)
+                    elif axis == 1:
+                        stream = view.following(target)
+                    elif axis == 2:
+                        stream = view.ancestors(target)
+                    else:
+                        ancestor = view.ancestor_at_depth(target, 0)
+                        stream = () if ancestor is None else (ancestor,)
+                    for pair in stream:
+                        if pair not in view._index:
+                            raise AssertionError(f"stream yielded foreign pair {pair}")
+                        elements += 1
+                    queries += 1
+                    if stop_flag.is_set():
+                        break
+        except Exception as error:  # surfaced to the caller, fails the run
+            errors.append(error)
+        finally:
+            query_counts[index] = queries
+            element_counts[index] = elements
+            view_counts[index] = views
+
+    threads = [
+        threading.Thread(target=reader, args=(i,), name=f"query-reader-{i}", daemon=True)
+        for i in range(readers)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60)
+    service.stats.reset()
+    started = time.perf_counter()
+    deadline = started + duration
+    timeout = max(duration, 10.0)
+    while time.perf_counter() < deadline:
+        insert = [BatchOp("insert_element_before", (lids[-1],)) for _ in range(write_batch)]
+        inserted = service.submit_ops(insert, timeout=timeout).wait(timeout=timeout)
+        for start_lid, end_lid in inserted.results:
+            catalog.add(start_lid, end_lid)
+        write_ops += len(insert)
+        # Remove from the catalog BEFORE the delete commits: a reader
+        # snapshot taken after the commit must not name a dead LID (the
+        # engine retries snapshots that raced this removal).
+        for start_lid, end_lid in inserted.results:
+            catalog.remove(start_lid, end_lid)
+        delete = [
+            BatchOp("delete_element", (start_lid, end_lid))
+            for start_lid, end_lid in inserted.results
+        ]
+        service.submit_ops(delete, timeout=timeout).wait(timeout=timeout)
+        write_ops += len(delete)
+    stop_flag.set()
+    for thread in threads:
+        thread.join(timeout=30)
+    wall = time.perf_counter() - started
+    service.close()
+    if any(thread.is_alive() for thread in threads):
+        errors.append(RuntimeError("query reader thread failed to stop"))
+    return QueryStressResult(
+        scheme=scheme.name,
+        readers=readers,
+        wall_seconds=wall,
+        query_ops=sum(query_counts),
+        elements_streamed=sum(element_counts),
+        views_built=sum(view_counts),
+        write_ops=write_ops,
+        counters=service.stats.snapshot(),
+        reader_errors=errors,
+    )
+
+
+@dataclass
 class ShardedStressResult:
     """Outcome of one sharded concentrated-write stress run."""
 

@@ -9,7 +9,17 @@ import random
 
 import pytest
 
-from repro import BBox, LabeledDocument, NaiveScheme, OrdPath, TINY_CONFIG, WBox, WBoxO
+from repro import (
+    AncestryDynamic,
+    AncestryScheme,
+    BBox,
+    LabeledDocument,
+    NaiveScheme,
+    OrdPath,
+    TINY_CONFIG,
+    WBox,
+    WBoxO,
+)
 from repro.xml.model import Element, TagKind, document_tags
 
 try:
@@ -56,6 +66,14 @@ def make_ordpath(**kwargs):
     return OrdPath(TINY_CONFIG, **kwargs)
 
 
+def make_ancestry(**kwargs):
+    return AncestryScheme(TINY_CONFIG, **kwargs)
+
+
+def make_ancestry_dynamic(**kwargs):
+    return AncestryDynamic(TINY_CONFIG, **kwargs)
+
+
 SCHEME_FACTORIES = {
     "wbox": make_wbox,
     "wbox-ordinal": make_wbox_ordinal,
@@ -65,13 +83,15 @@ SCHEME_FACTORIES = {
     "bbox-quarter": make_bbox_quarter,
     "naive-4": make_naive,
     "ordpath": make_ordpath,
+    "ancestry": make_ancestry,
+    "ancestry-dyn": make_ancestry_dynamic,
 }
 
 #: Schemes with tree structure (i.e. with check_invariants()).
 TREE_FACTORIES = {
     key: factory
     for key, factory in SCHEME_FACTORIES.items()
-    if key not in ("naive-4", "ordpath")
+    if key not in ("naive-4", "ordpath", "ancestry", "ancestry-dyn")
 }
 
 

@@ -39,6 +39,8 @@ from repro.net.protocol import (
     Orders,
     Ping,
     Pong,
+    Query,
+    QueryChunk,
     Refresh,
     ReplChunk,
     ReplFetch,
@@ -169,6 +171,22 @@ frames = st.one_of(
         st.booleans(),
         st.integers(min_value=0, max_value=2**40),
         st.binary(max_size=64),
+    ),
+    st.builds(
+        Query,
+        request_ids,
+        st.integers(min_value=0, max_value=3),
+        lids,
+        lids,
+        st.integers(min_value=0, max_value=2**16),
+        st.integers(min_value=0, max_value=2**20),
+    ),
+    st.builds(
+        QueryChunk,
+        request_ids,
+        st.booleans(),
+        st.lists(epoch_numbers, max_size=8).map(tuple),
+        st.lists(st.tuples(lids, lids), max_size=8).map(tuple),
     ),
 )
 

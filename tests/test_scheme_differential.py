@@ -1,0 +1,189 @@
+"""Cross-scheme differential oracle.
+
+Every labeling scheme answers the same questions — document order
+(``compare``), ancestry (derived from start/end comparisons), ordinals
+(where supported) — from wildly different label representations.  This
+suite drives *all* scheme variants through one identical edit tape,
+addressed positionally so LID allocation differences cannot skew the
+workload, and asserts the schemes agree answer-for-answer at several
+checkpoints.  Any scheme whose relabeling / room-making / layout logic
+breaks order produces a differing matrix here, long before a workload
+would notice.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    AncestryDynamic,
+    AncestryScheme,
+    BBox,
+    NaiveScheme,
+    OrdPath,
+    WBox,
+    WBoxO,
+)
+from repro.config import TINY_CONFIG
+from repro.workloads import two_level_pairing
+
+SCHEME_FACTORIES = {
+    "wbox": lambda: WBox(TINY_CONFIG),
+    "wbox-ordinal": lambda: WBox(TINY_CONFIG, ordinal=True),
+    "wboxo": lambda: WBoxO(TINY_CONFIG),
+    "bbox": lambda: BBox(TINY_CONFIG),
+    "bbox-ordinal": lambda: BBox(TINY_CONFIG, ordinal=True),
+    "naive-4": lambda: NaiveScheme(4, TINY_CONFIG),
+    "ordpath": lambda: OrdPath(TINY_CONFIG),
+    "ancestry": lambda: AncestryScheme(TINY_CONFIG),
+    "ancestry-dyn": lambda: AncestryDynamic(TINY_CONFIG),
+}
+
+#: Tag pairing for a 3-element subtree: parent containing two leaves.
+SUBTREE_PAIRING = [5, 2, 1, 4, 3, 0]
+
+BASE_ELEMENTS = 6
+
+
+def make_tape(operations, seed):
+    """A deterministic edit tape over positional element indices.
+
+    Ops reference elements by index into the driver's live-element list,
+    never by LID, so every scheme executes the same logical edits even
+    though their LID streams differ after deletes."""
+    rng = random.Random(seed)
+    tape = []
+    live = 1 + BASE_ELEMENTS  # root + children, mirrored by the driver
+    for _ in range(operations):
+        action = rng.random()
+        if action < 0.5 or live < 4:
+            # Insert before the anchor's start (previous sibling) or its
+            # end (last child) — both arms of insert_element_before.
+            tape.append(("insert", rng.randrange(live), rng.random() < 0.5))
+            live += 1
+        elif action < 0.7:
+            tape.append(("subtree", rng.randrange(live)))
+            live += 3
+        else:
+            tape.append(("delete", 1 + rng.randrange(live - 1)))  # never the root
+            live -= 1
+    return tape
+
+
+class Driver:
+    """One scheme working through the shared tape."""
+
+    def __init__(self, name, factory):
+        self.name = name
+        self.scheme = factory()
+        lids = self.scheme.bulk_load(
+            2 + 2 * BASE_ELEMENTS, pairing=two_level_pairing(BASE_ELEMENTS)
+        )
+        self.elements = [(lids[0], lids[-1])]
+        self.elements += [
+            (lids[1 + 2 * child], lids[2 + 2 * child]) for child in range(BASE_ELEMENTS)
+        ]
+
+    def apply(self, op):
+        if op[0] == "insert":
+            _kind, anchor, before_start = op
+            target = self.elements[anchor][0 if before_start else 1]
+            self.elements.append(self.scheme.insert_element_before(target))
+        elif op[0] == "subtree":
+            _kind, anchor = op
+            target = self.elements[anchor][1]
+            lids = self.scheme.insert_subtree_before(target, 6, list(SUBTREE_PAIRING))
+            self.elements += [(lids[0], lids[5]), (lids[1], lids[2]), (lids[3], lids[4])]
+        else:
+            _kind, victim = op
+            start_lid, end_lid = self.elements.pop(victim)
+            self.scheme.delete_element(start_lid, end_lid)
+
+    # -- the scheme's answers, in representation-free form --------------
+
+    def tag_lids(self):
+        return [lid for pair in self.elements for lid in pair]
+
+    def compare_matrix(self):
+        lids = self.tag_lids()
+        return [
+            [self.scheme.compare(a, b) for b in lids] for a in lids
+        ]
+
+    def ancestry_matrix(self):
+        """is_ancestor for every ordered element pair, derived purely from
+        label comparisons — the paper's two-comparison ancestor test."""
+        out = []
+        for a_start, a_end in self.elements:
+            row = []
+            for d_start, d_end in self.elements:
+                row.append(
+                    self.scheme.compare(a_start, d_start) < 0
+                    and self.scheme.compare(d_end, a_end) < 0
+                )
+            out.append(row)
+        return out
+
+    def ordinal_ranks(self):
+        """Ordinals re-expressed as ranks (0..m-1 in document order), so
+        exact-position and order-only schemes are comparable."""
+        if not self.scheme.supports_ordinal:
+            return None
+        ordinals = [self.scheme.ordinal_lookup(lid) for lid in self.tag_lids()]
+        order = sorted(range(len(ordinals)), key=ordinals.__getitem__)
+        ranks = [0] * len(ordinals)
+        for rank, position in enumerate(order):
+            ranks[position] = rank
+        return ranks
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_all_schemes_agree_on_shared_tape(seed):
+    drivers = [Driver(name, factory) for name, factory in sorted(SCHEME_FACTORIES.items())]
+    tape = make_tape(60, seed)
+    checkpoints = {len(tape) // 3, 2 * len(tape) // 3, len(tape)}
+    for step, op in enumerate(tape, start=1):
+        for driver in drivers:
+            driver.apply(op)
+        if step not in checkpoints:
+            continue
+        oracle = drivers[0]
+        compare_oracle = oracle.compare_matrix()
+        ancestry_oracle = oracle.ancestry_matrix()
+        rank_oracle = None
+        for driver in drivers[1:]:
+            assert driver.compare_matrix() == compare_oracle, (
+                f"{driver.name} disagrees with {oracle.name} on document order "
+                f"after step {step} (seed {seed})"
+            )
+            assert driver.ancestry_matrix() == ancestry_oracle, (
+                f"{driver.name} disagrees with {oracle.name} on ancestry "
+                f"after step {step} (seed {seed})"
+            )
+            ranks = driver.ordinal_ranks()
+            if ranks is None:
+                continue
+            if rank_oracle is None:
+                rank_oracle = ranks
+            assert ranks == rank_oracle, (
+                f"{driver.name} ordinal ranks diverge after step {step} (seed {seed})"
+            )
+
+
+def test_ordinal_ranks_match_compare_order():
+    """Where ordinals exist, their rank order IS the compare order."""
+    drivers = [
+        Driver(name, factory)
+        for name, factory in sorted(SCHEME_FACTORIES.items())
+        if factory().supports_ordinal
+    ]
+    assert drivers, "no ordinal-capable schemes registered"
+    for op in make_tape(30, seed=5):
+        for driver in drivers:
+            driver.apply(op)
+    for driver in drivers:
+        lids = driver.tag_lids()
+        ranks = driver.ordinal_ranks()
+        by_rank = sorted(range(len(lids)), key=ranks.__getitem__)
+        for earlier, later in zip(by_rank, by_rank[1:]):
+            assert driver.scheme.compare(lids[earlier], lids[later]) < 0
